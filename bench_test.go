@@ -1,0 +1,332 @@
+// Benchmarks reproducing every table and figure of the paper's evaluation
+// (Section 8) at CI-friendly scale. Each benchmark family mirrors one
+// figure: sub-benchmarks sweep the figure's x-axis and compare TSL, TMA
+// and SMA. The absolute numbers depend on the host; the shapes — who wins,
+// by what factor, how costs scale — are the reproduction targets and are
+// recorded against the paper in EXPERIMENTS.md.
+//
+// go test -bench=. -benchmem ./...
+package topkmon_test
+
+import (
+	"fmt"
+	"testing"
+
+	"topkmon/internal/core"
+	"topkmon/internal/grid"
+	"topkmon/internal/harness"
+	"topkmon/internal/stream"
+	"topkmon/internal/topk"
+	"topkmon/internal/tsl"
+	"topkmon/internal/window"
+)
+
+// benchBase is the Table 1 default configuration scaled to 1% (N=10K,
+// r=100, Q=10) so the full suite runs in minutes.
+func benchBase() harness.Config {
+	return harness.Config{
+		Algo: harness.AlgoSMA,
+		Dist: stream.IND,
+		Func: stream.FuncLinear,
+		Dims: 4,
+		N:    10000,
+		R:    100,
+		Q:    10,
+		K:    20,
+		Seed: 1,
+	}
+}
+
+// runCycles drives b.N processing cycles against a pre-filled monitor and
+// reports the monitor's space footprint as a secondary metric.
+func runCycles(b *testing.B, cfg harness.Config) {
+	b.Helper()
+	mon, gen, ts, err := harness.NewMonitor(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.Step(ts, gen.Batch(cfg.R, ts)); err != nil {
+			b.Fatal(err)
+		}
+		ts++
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mon.MemoryBytes())/(1<<20), "space-MB")
+}
+
+var benchAlgos = []harness.Algo{harness.AlgoTSL, harness.AlgoTMA, harness.AlgoSMA}
+
+// BenchmarkFig14Grid reproduces Figure 14: TMA and SMA per-cycle cost as a
+// function of grid granularity (cells per axis at the paper's density).
+func BenchmarkFig14Grid(b *testing.B) {
+	for _, res := range []int{5, 8, 12, 15} {
+		for _, algo := range []harness.Algo{harness.AlgoTMA, harness.AlgoSMA} {
+			b.Run(fmt.Sprintf("cells=%d^4/%s", res, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.Algo = algo
+				// Scale the paper's res^4 cell count by N/1M to keep the
+				// points-per-cell density.
+				cfg.TargetCells = res * res * res * res * cfg.N / 1000000
+				if cfg.TargetCells < 16 {
+					cfg.TargetCells = 16
+				}
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig15Dims reproduces Figure 15: CPU cost vs dimensionality for
+// all three algorithms, IND data and linear functions.
+func BenchmarkFig15Dims(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5, 6} {
+		for _, algo := range benchAlgos {
+			b.Run(fmt.Sprintf("d=%d/%s", d, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.Dims = d
+				cfg.Algo = algo
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig15ANT repeats Figure 15 on anti-correlated data (the right
+// panel), where top-k computations must visit many more cells.
+func BenchmarkFig15ANT(b *testing.B) {
+	for _, d := range []int{2, 4, 6} {
+		for _, algo := range benchAlgos {
+			b.Run(fmt.Sprintf("d=%d/%s", d, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.Dims = d
+				cfg.Dist = stream.ANT
+				cfg.Algo = algo
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig16N reproduces Figure 16: cost vs data cardinality with the
+// arrival rate fixed at 1% of N per cycle.
+func BenchmarkFig16N(b *testing.B) {
+	for _, mul := range []int{1, 2, 4} {
+		for _, algo := range benchAlgos {
+			b.Run(fmt.Sprintf("N=%dx/%s", mul, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.N *= mul
+				cfg.R = cfg.N / 100
+				cfg.Algo = algo
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig17Rate reproduces Figure 17: cost vs arrival rate (0.1% to
+// 10% of the window per cycle).
+func BenchmarkFig17Rate(b *testing.B) {
+	for _, pct := range []float64{0.1, 1, 10} {
+		for _, algo := range benchAlgos {
+			b.Run(fmt.Sprintf("r=%.1f%%/%s", pct, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.R = int(float64(cfg.N) * pct / 100)
+				cfg.Algo = algo
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig18Queries reproduces Figure 18: cost vs the number of
+// registered queries.
+func BenchmarkFig18Queries(b *testing.B) {
+	for _, q := range []int{2, 10, 50} {
+		for _, algo := range benchAlgos {
+			b.Run(fmt.Sprintf("Q=%d/%s", q, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.Q = q
+				cfg.Algo = algo
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig19K reproduces Figure 19: cost vs the result cardinality k.
+func BenchmarkFig19K(b *testing.B) {
+	for _, k := range []int{1, 20, 100} {
+		for _, algo := range benchAlgos {
+			b.Run(fmt.Sprintf("k=%d/%s", k, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.K = k
+				cfg.Algo = algo
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig20Space reproduces Figure 20 (space vs k): the space-MB
+// metric is the figure's y-axis; wall time is incidental.
+func BenchmarkFig20Space(b *testing.B) {
+	for _, k := range []int{20, 100} {
+		for _, algo := range benchAlgos {
+			b.Run(fmt.Sprintf("k=%d/%s", k, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.K = k
+				cfg.Algo = algo
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig21NonLinear reproduces Figure 21: non-linear preference
+// functions (product and quadratic forms) at the default dimensionality.
+func BenchmarkFig21NonLinear(b *testing.B) {
+	for _, fk := range []stream.FunctionKind{stream.FuncProduct, stream.FuncQuadratic} {
+		for _, algo := range benchAlgos {
+			b.Run(fmt.Sprintf("f=%s/%s", fk, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.Func = fk
+				cfg.Algo = algo
+				runCycles(b, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2AuxSize reproduces Table 2: the average view (TSL) and
+// skyband (SMA) cardinality per query, reported as the aux-entries metric.
+func BenchmarkTable2AuxSize(b *testing.B) {
+	for _, k := range []int{1, 20, 100} {
+		for _, algo := range []harness.Algo{harness.AlgoTSL, harness.AlgoSMA} {
+			b.Run(fmt.Sprintf("k=%d/%s", k, algo), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.K = k
+				cfg.Algo = algo
+				mon, gen, ts, err := harness.NewMonitor(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mon.Step(ts, gen.Batch(cfg.R, ts)); err != nil {
+						b.Fatal(err)
+					}
+					ts++
+				}
+				b.StopTimer()
+				switch m := mon.(type) {
+				case *core.Engine:
+					b.ReportMetric(m.Stats().AvgSkybandSize(), "aux-entries")
+				case *tsl.Monitor:
+					b.ReportMetric(m.Stats().AvgViewSize(), "aux-entries")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTopKComputation isolates the top-k computation module of
+// Figure 6 (the T_comp term of the Section 6 analysis) on a loaded grid.
+func BenchmarkTopKComputation(b *testing.B) {
+	for _, k := range []int{1, 20, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			g := grid.New(4, grid.ResolutionForTargetCells(4, 10000/48), grid.FIFO)
+			gen := stream.NewGenerator(stream.IND, 4, 3)
+			for i := 0; i < 10000; i++ {
+				g.Insert(gen.Next(0))
+			}
+			s := topk.NewSearcher(g)
+			qg := stream.NewQueryGenerator(stream.FuncLinear, 4, 4)
+			fns := qg.NextN(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.TopK(topk.Request{F: fns[i%len(fns)], K: k})
+			}
+		})
+	}
+}
+
+// BenchmarkUpdateStream measures the explicit-deletion model of Section 7
+// (TMA over hash-based cells).
+func BenchmarkUpdateStream(b *testing.B) {
+	e, err := core.NewEngine(core.Options{Dims: 4, Mode: core.UpdateStream, TargetCells: 10000 / 48})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qg := stream.NewQueryGenerator(stream.FuncLinear, 4, 5)
+	for i := 0; i < 10; i++ {
+		if _, err := e.Register(core.QuerySpec{F: qg.Next(), K: 20, Policy: core.TMA}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gen := stream.NewGenerator(stream.IND, 4, 6)
+	var live []uint64
+	ts := int64(0)
+	if _, err := e.StepUpdate(ts, gen.Batch(10000, ts), nil); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		live = append(live, uint64(i))
+	}
+	idx := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts++
+		arrivals := gen.Batch(100, ts)
+		deletions := make([]uint64, 100)
+		for j := range deletions {
+			deletions[j] = live[idx]
+			idx++
+		}
+		for _, a := range arrivals {
+			live = append(live, a.ID)
+		}
+		if _, err := e.StepUpdate(ts, arrivals, deletions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowKinds compares count-based and time-based windows under
+// identical load (both window variants of Section 1).
+func BenchmarkWindowKinds(b *testing.B) {
+	for _, kind := range []string{"count", "time"} {
+		b.Run(kind, func(b *testing.B) {
+			spec := window.Count(10000)
+			if kind == "time" {
+				spec = window.Time(100) // 100 cycles x 100 arrivals = same population
+			}
+			e, err := core.NewEngine(core.Options{Dims: 4, Window: spec, TargetCells: 10000 / 48})
+			if err != nil {
+				b.Fatal(err)
+			}
+			qg := stream.NewQueryGenerator(stream.FuncLinear, 4, 7)
+			for i := 0; i < 10; i++ {
+				if _, err := e.Register(core.QuerySpec{F: qg.Next(), K: 20, Policy: core.SMA}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			gen := stream.NewGenerator(stream.IND, 4, 8)
+			ts := int64(0)
+			// Warm up to steady state.
+			for ; ts < 100; ts++ {
+				if _, err := e.Step(ts, gen.Batch(100, ts)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Step(ts, gen.Batch(100, ts)); err != nil {
+					b.Fatal(err)
+				}
+				ts++
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+// Command replay runs monitoring queries over a recorded tuple trace
+// instead of a synthetic workload. The trace is CSV with one tuple per
+// line — "ts,x1,...,xd" (header optional, attributes in [0,1], timestamps
+// non-decreasing) — the format cmd/datagen and stream.WriteCSV emit.
+//
+// Each distinct timestamp forms one processing cycle. Queries are given as
+// repeated -query flags using a compact spec syntax:
+//
+//	-query "k=10;w=1,2"            top-10 under f = x1 + 2*x2 (SMA)
+//	-query "k=5;w=1,-1;policy=TMA" decreasing preference on x2
+//	-query "threshold=1.5;w=1,1"   threshold monitoring query
+//
+// Example:
+//
+//	datagen -dist ANT -d 2 -n 5000 | replay -d 2 -n 1000 -query "k=3;w=1,2"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+type querySpecs []string
+
+func (q *querySpecs) String() string     { return strings.Join(*q, " ") }
+func (q *querySpecs) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var (
+		dimsFlag  = flag.Int("d", 2, "trace dimensionality")
+		nFlag     = flag.Int("n", 10000, "count-based window size")
+		spanFlag  = flag.Int64("span", 0, "time-based window span (overrides -n when positive)")
+		inFlag    = flag.String("i", "", "trace file (default stdin)")
+		everyFlag = flag.Int64("print-every", 1, "print results every this many cycles")
+		queries   querySpecs
+	)
+	flag.Var(&queries, "query", "query spec 'k=K;w=w1,...,wd[;policy=TMA|SMA]' or 'threshold=T;w=...' (repeatable)")
+	flag.Parse()
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "replay: at least one -query is required")
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if *inFlag != "" {
+		f, err := os.Open(*inFlag)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	spec := window.Count(*nFlag)
+	if *spanFlag > 0 {
+		spec = window.Time(*spanFlag)
+	}
+	engine, err := core.NewEngine(core.Options{Dims: *dimsFlag, Window: spec})
+	if err != nil {
+		fatal(err)
+	}
+	var ids []core.QueryID
+	for _, qs := range queries {
+		spec, err := parseQuery(qs, *dimsFlag)
+		if err != nil {
+			fatal(fmt.Errorf("query %q: %w", qs, err))
+		}
+		id, err := engine.Register(spec)
+		if err != nil {
+			fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	reader, err := stream.NewCSVReader(in, *dimsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cycles := int64(0)
+	for {
+		batch, ts, err := reader.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := engine.Step(ts, batch); err != nil {
+			fatal(err)
+		}
+		cycles++
+		if cycles%*everyFlag == 0 {
+			for _, id := range ids {
+				res, err := engine.Result(id)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("t=%d q%d:", ts, id)
+				for _, e := range res {
+					fmt.Printf(" p%d(%.4f)", e.T.ID, e.Score)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	s := engine.Stats()
+	fmt.Printf("replayed %d cycles, %d arrivals, %d expirations, %d recomputations\n",
+		cycles, s.Arrivals, s.Expirations, s.Recomputes)
+}
+
+// parseQuery decodes the compact "k=K;w=...;policy=..." spec syntax.
+func parseQuery(s string, dims int) (core.QuerySpec, error) {
+	spec := core.QuerySpec{Policy: core.SMA}
+	var weights []float64
+	for _, part := range strings.Split(s, ";") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return spec, fmt.Errorf("bad clause %q", part)
+		}
+		switch key {
+		case "k":
+			k, err := strconv.Atoi(val)
+			if err != nil {
+				return spec, err
+			}
+			spec.K = k
+		case "threshold":
+			t, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return spec, err
+			}
+			spec.Threshold = &t
+		case "policy":
+			p, err := core.ParsePolicy(val)
+			if err != nil {
+				return spec, err
+			}
+			spec.Policy = p
+		case "w":
+			for _, ws := range strings.Split(val, ",") {
+				w, err := strconv.ParseFloat(strings.TrimSpace(ws), 64)
+				if err != nil {
+					return spec, err
+				}
+				weights = append(weights, w)
+			}
+		default:
+			return spec, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	if len(weights) != dims {
+		return spec, fmt.Errorf("need %d weights, got %d", dims, len(weights))
+	}
+	spec.F = geom.NewLinear(weights...)
+	return spec, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replay:", err)
+	os.Exit(1)
+}

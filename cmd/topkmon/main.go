@@ -1,0 +1,90 @@
+// Command topkmon runs a single continuous-monitoring simulation and
+// reports its cost profile: per-cycle CPU time, space, recomputation
+// counts, and the average auxiliary-structure size.
+//
+// Example:
+//
+//	topkmon -algo SMA -dist ANT -d 4 -n 100000 -r 1000 -q 100 -k 20 -cycles 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"topkmon/internal/harness"
+	"topkmon/internal/stream"
+)
+
+func main() {
+	var (
+		algoFlag   = flag.String("algo", "SMA", "algorithm: TSL, TMA or SMA")
+		distFlag   = flag.String("dist", "IND", "data distribution: IND or ANT")
+		funcFlag   = flag.String("func", "linear", "scoring family: linear, product, quadratic, mixed")
+		dimsFlag   = flag.Int("d", 4, "dimensionality")
+		nFlag      = flag.Int("n", 100000, "window size (count-based)")
+		rFlag      = flag.Int("r", 1000, "arrivals per processing cycle")
+		qFlag      = flag.Int("q", 100, "number of monitoring queries")
+		kFlag      = flag.Int("k", 20, "results per query")
+		cyclesFlag = flag.Int("cycles", 50, "measured processing cycles")
+		cellsFlag  = flag.Int("cells", 0, "target total grid cells (0 = auto-tune)")
+		resFlag    = flag.Int("res", 0, "cells per axis (overrides -cells)")
+		kmaxFlag   = flag.Int("kmax", 0, "TSL view capacity (0 = tuned default)")
+		seedFlag   = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	algo, err := harness.ParseAlgo(*algoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dist, err := stream.ParseDistribution(*distFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fk, err := stream.ParseFunctionKind(*funcFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := harness.Config{
+		Algo:        algo,
+		Dist:        dist,
+		Func:        fk,
+		Dims:        *dimsFlag,
+		N:           *nFlag,
+		R:           *rFlag,
+		Q:           *qFlag,
+		K:           *kFlag,
+		Cycles:      *cyclesFlag,
+		TargetCells: *cellsFlag,
+		GridRes:     *resFlag,
+		KMax:        *kmaxFlag,
+		Seed:        *seedFlag,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("running %s on %s d=%d N=%d r=%d Q=%d k=%d func=%s cycles=%d\n",
+		algo, dist, cfg.Dims, cfg.N, cfg.R, cfg.Q, cfg.K, fk, cfg.Cycles)
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  init (registration):  %s\n", harness.FormatDuration(res.InitTime))
+	fmt.Printf("  total maintenance:    %s\n", harness.FormatDuration(res.RunTime))
+	fmt.Printf("  per cycle:            %s\n", harness.FormatDuration(res.PerCycle()))
+	fmt.Printf("  space:                %s\n", harness.FormatMB(res.SpaceBytes))
+	fmt.Printf("  recomputes/refills:   %d\n", res.Recomputes)
+	if res.CellsProcessed > 0 {
+		fmt.Printf("  cells processed:      %d\n", res.CellsProcessed)
+	}
+	if res.AvgAuxSize > 0 {
+		fmt.Printf("  avg view/skyband:     %.1f entries per query\n", res.AvgAuxSize)
+	}
+}

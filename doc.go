@@ -1,0 +1,27 @@
+// Package topkmon is a Go reproduction of "Continuous Monitoring of Top-k
+// Queries over Sliding Windows" (Mouratidis, Bakiras, Papadias — SIGMOD
+// 2006).
+//
+// The library continuously evaluates many long-running top-k preference
+// queries over a sliding window of streaming multidimensional tuples. The
+// valid tuples live in main memory, indexed by a regular grid with
+// per-cell influence lists; two maintenance policies are provided — TMA
+// (recompute on result expiration) and SMA (k-skyband pre-computation of
+// future results) — together with the TSL baseline (Fagin's threshold
+// algorithm plus materialized top-k views) the paper compares against.
+//
+// Packages:
+//
+//	internal/core      the monitoring engine, TMA and SMA (start here)
+//	internal/tsl       the TSL baseline
+//	internal/geom      scoring functions and workspace geometry
+//	internal/grid      the grid index with influence lists
+//	internal/topk      the top-k computation module (best-first cell search)
+//	internal/skyband   k-skyband maintenance in score-time space
+//	internal/window    count-based and time-based sliding windows
+//	internal/stream    tuples and IND/ANT workload generators
+//	internal/harness   experiment runner for every figure of the paper
+//
+// See the examples/ directory for runnable end-to-end programs and
+// EXPERIMENTS.md for the reproduction results.
+package topkmon

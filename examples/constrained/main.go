@@ -1,0 +1,111 @@
+// Constrained: the query-type extensions of Section 7 on one stream —
+// constrained top-k queries (the preference is evaluated only inside a
+// rectangular region of the attribute space) and threshold queries (report
+// everything scoring above a fixed value).
+//
+// The scenario is a sensor field streaming (temperature, humidity)
+// readings. One query watches the hottest readings overall; a constrained
+// variant watches the hottest readings among mid-humidity readings only
+// (the region R of Figure 12); a threshold query trips an alarm for any
+// reading whose heat index passes a critical level.
+//
+// Run with:
+//
+//	go run ./examples/constrained
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+func main() {
+	engine, err := core.NewEngine(core.Options{Dims: 2, Window: window.Count(5000)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	heatIndex := geom.NewLinear(1, 0.4) // temperature-dominated score
+
+	global, err := engine.Register(core.QuerySpec{F: heatIndex, K: 3, Policy: core.SMA})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Constrained query: same preference, but only readings with humidity
+	// in [0.4, 0.7] qualify.
+	region := geom.Rect{Lo: geom.Vector{0, 0.4}, Hi: geom.Vector{1, 0.7}}
+	constrained, err := engine.Register(core.QuerySpec{
+		F: heatIndex, K: 3, Policy: core.TMA, Constraint: &region,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	critical := 1.25
+	alarm, err := engine.Register(core.QuerySpec{F: heatIndex, Threshold: &critical})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	var nextID uint64
+	for ts := int64(0); ts < 20; ts++ {
+		batch := make([]*stream.Tuple, 0, 500)
+		for i := 0; i < 500; i++ {
+			temp := rng.Float64() * 0.9
+			if ts >= 12 && i < 5 {
+				temp = 0.95 + rng.Float64()*0.05 // heat wave readings
+			}
+			t := &stream.Tuple{
+				ID:  nextID,
+				Seq: nextID,
+				TS:  ts,
+				Vec: geom.Vector{temp, rng.Float64()},
+			}
+			nextID++
+			batch = append(batch, t)
+		}
+		updates, err := engine.Step(ts, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, u := range updates {
+			if u.Query != alarm {
+				continue
+			}
+			for _, e := range u.Added {
+				fmt.Printf("t=%2d  ALARM: reading p%d heat index %.3f (temp=%.2f hum=%.2f)\n",
+					ts, e.T.ID, e.Score, e.T.Vec[0], e.T.Vec[1])
+			}
+		}
+		if ts%5 == 4 {
+			g, _ := engine.Result(global)
+			c, _ := engine.Result(constrained)
+			fmt.Printf("t=%2d  hottest overall:       %s\n", ts, fmtEntries(g))
+			fmt.Printf("t=%2d  hottest @ mid-humidity: %s\n", ts, fmtEntries(c))
+			for _, e := range c {
+				if !region.Contains(e.T.Vec) {
+					log.Fatalf("constrained result p%d escaped the region", e.T.ID)
+				}
+			}
+		}
+	}
+}
+
+func fmtEntries(entries []core.Entry) string {
+	out := ""
+	for i, e := range entries {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("p%d(%.3f)", e.T.ID, e.Score)
+	}
+	return out
+}

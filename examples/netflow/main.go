@@ -1,0 +1,175 @@
+// Netflow: the motivating scenario of the paper's introduction — an ISP
+// streams per-flow traffic records to a central server, which continuously
+// monitors two top-k queries over a sliding window:
+//
+//  1. the top-k flows with the largest individual throughput: if many
+//     results share a destination address, the destination is likely the
+//     victim of a DDoS attack;
+//  2. the top-k flows with the minimum number of transmitted packets
+//     (monitored as a decreasingly monotone preference on the packet
+//     attribute): if many results share a source address, that source is
+//     probably a worm scanning the address space.
+//
+// The example synthesizes background traffic, injects a DDoS burst and a
+// worm scan, and shows both heuristics firing on the monitored results.
+//
+// Run with:
+//
+//	go run ./examples/netflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+// flowMeta carries the non-indexed attributes of a flow record.
+type flowMeta struct {
+	srcIP, dstIP string
+}
+
+const (
+	topK        = 50
+	windowSize  = 20000
+	flowsPerSec = 2000
+)
+
+func main() {
+	// Flow tuples are normalized to the unit workspace:
+	//   x1 = throughput (bytes/s, normalized)
+	//   x2 = packet count (normalized)
+	engine, err := core.NewEngine(core.Options{Dims: 2, Window: window.Count(windowSize)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query 1: top flows by throughput (increasing on x1 only).
+	ddosQ, err := engine.Register(core.QuerySpec{
+		F:      geom.NewLinear(1, 0),
+		K:      topK,
+		Policy: core.SMA,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Query 2: flows with the fewest packets — a preference decreasing on
+	// x2 (negative weight), per Figure 7a.
+	wormQ, err := engine.Register(core.QuerySpec{
+		F:      geom.NewLinear(0, -1),
+		K:      topK,
+		Policy: core.SMA,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	meta := make(map[uint64]flowMeta)
+	var nextID, nextSeq uint64
+
+	mkFlow := func(ts int64, throughput, packets float64, m flowMeta) *stream.Tuple {
+		t := &stream.Tuple{
+			ID:  nextID,
+			Seq: nextSeq,
+			TS:  ts,
+			Vec: geom.Vector{clamp(throughput), clamp(packets)},
+		}
+		meta[t.ID] = m
+		nextID++
+		nextSeq++
+		return t
+	}
+
+	randIP := func() string {
+		return fmt.Sprintf("10.%d.%d.%d", rng.Intn(256), rng.Intn(256), rng.Intn(256))
+	}
+
+	for ts := int64(0); ts < 30; ts++ {
+		batch := make([]*stream.Tuple, 0, flowsPerSec)
+		for i := 0; i < flowsPerSec; i++ {
+			// Background traffic: modest throughput, varied packet counts.
+			batch = append(batch, mkFlow(ts,
+				rng.Float64()*0.6,
+				0.05+rng.Float64()*0.9,
+				flowMeta{srcIP: randIP(), dstIP: randIP()},
+			))
+		}
+		if ts >= 10 && ts < 14 {
+			// DDoS burst: hundreds of very-high-throughput flows converging
+			// on one victim.
+			for i := 0; i < 300; i++ {
+				batch = append(batch, mkFlow(ts,
+					0.85+rng.Float64()*0.15,
+					0.3+rng.Float64()*0.5,
+					flowMeta{srcIP: randIP(), dstIP: "10.0.0.1"},
+				))
+			}
+		}
+		if ts >= 20 && ts < 24 {
+			// Worm scan: one source probing many hosts with single-SYN
+			// flows (minimal packet counts).
+			for i := 0; i < 300; i++ {
+				batch = append(batch, mkFlow(ts,
+					rng.Float64()*0.1,
+					rng.Float64()*0.01,
+					flowMeta{srcIP: "10.66.66.66", dstIP: randIP()},
+				))
+			}
+		}
+		if _, err := engine.Step(ts, batch); err != nil {
+			log.Fatal(err)
+		}
+
+		// Security heuristics over the continuously maintained results.
+		if victim, share := dominantKey(engine, ddosQ, meta, func(m flowMeta) string { return m.dstIP }); share >= 0.5 {
+			fmt.Printf("t=%2d  DDoS alert: %.0f%% of the top-%d throughput flows target %s\n",
+				ts, share*100, topK, victim)
+		}
+		if scanner, share := dominantKey(engine, wormQ, meta, func(m flowMeta) string { return m.srcIP }); share >= 0.5 {
+			fmt.Printf("t=%2d  worm alert: %.0f%% of the top-%d min-packet flows originate from %s\n",
+				ts, share*100, topK, scanner)
+		}
+		// Forget metadata of tuples that slid out of the window.
+		for id := range meta {
+			if nextID-id > windowSize+2*flowsPerSec {
+				delete(meta, id)
+			}
+		}
+	}
+}
+
+// dominantKey returns the most frequent key among a query's current results
+// and its share of the result set.
+func dominantKey(e *core.Engine, q core.QueryID, meta map[uint64]flowMeta, key func(flowMeta) string) (string, float64) {
+	res, err := e.Result(q)
+	if err != nil || len(res) == 0 {
+		return "", 0
+	}
+	counts := make(map[string]int)
+	for _, en := range res {
+		counts[key(meta[en.T.ID])]++
+	}
+	bestKey, bestN := "", 0
+	for k, n := range counts {
+		if n > bestN {
+			bestKey, bestN = k, n
+		}
+	}
+	return bestKey, float64(bestN) / float64(len(res))
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

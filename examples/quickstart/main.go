@@ -1,0 +1,71 @@
+// Quickstart: the smallest end-to-end use of the monitoring engine.
+//
+// It creates an engine over a count-based window, registers one top-5
+// query with the linear preference function f = x1 + 2*x2 (the running
+// example of the paper), streams random tuples through it, and prints the
+// result deltas the engine reports after each processing cycle.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+func main() {
+	// A 2-dimensional workspace; the window keeps the 500 most recent
+	// tuples; the grid resolution is tuned automatically.
+	engine, err := core.NewEngine(core.Options{
+		Dims:   2,
+		Window: window.Count(500),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Monitor the top-5 tuples under f(x) = x1 + 2*x2 with the skyband
+	// algorithm (SMA) — the paper's recommended policy.
+	qid, err := engine.Register(core.QuerySpec{
+		F:      geom.NewLinear(1, 2),
+		K:      5,
+		Policy: core.SMA,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream 100 uniform tuples per cycle for 10 cycles.
+	gen := stream.NewGenerator(stream.IND, 2, 42)
+	for ts := int64(0); ts < 10; ts++ {
+		updates, err := engine.Step(ts, gen.Batch(100, ts))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, u := range updates {
+			for _, e := range u.Added {
+				fmt.Printf("t=%d query %d: + p%-4d score=%.4f at %s\n", ts, u.Query, e.T.ID, e.Score, e.T.Vec)
+			}
+			for _, e := range u.Removed {
+				fmt.Printf("t=%d query %d: - p%-4d score=%.4f\n", ts, u.Query, e.T.ID, e.Score)
+			}
+		}
+	}
+
+	// The full current result is always available, best first.
+	result, err := engine.Result(qid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal top-5:")
+	for rank, e := range result {
+		fmt.Printf("  #%d p%-4d score=%.4f %s\n", rank+1, e.T.ID, e.Score, e.T.Vec)
+	}
+}

@@ -1,0 +1,138 @@
+// Stocks: continuous preference monitoring over a time-based window.
+//
+// A synthetic tick stream carries, per trade: normalized momentum, volume
+// and volatility. Three long-running screens are registered:
+//
+//   - "momo":   aggressive momentum screen, f = 2*momentum + volume;
+//   - "quiet":  high-volume but low-volatility screen — a mixed-direction
+//     preference with a negative weight on volatility (Figure 7a);
+//   - "spike":  a threshold query (Section 7) that reports every trade
+//     whose combined score exceeds a fixed alert level.
+//
+// Ticks expire when they are older than the window span, so the screens
+// always reflect the last 20 time units.
+//
+// Run with:
+//
+//	go run ./examples/stocks
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+const tickersPerCycle = 400
+
+var symbols = []string{"ACME", "GLOBX", "INITECH", "UMBRL", "HOOLI", "STARK", "WAYNE", "TYRELL"}
+
+func main() {
+	engine, err := core.NewEngine(core.Options{
+		Dims:   3,
+		Window: window.Time(20), // ticks are valid for 20 time units
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	momo, err := engine.Register(core.QuerySpec{
+		F: geom.NewLinear(2, 1, 0), K: 5, Policy: core.SMA,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	quiet, err := engine.Register(core.QuerySpec{
+		F: geom.NewLinear(0.2, 1.5, -1.2), K: 5, Policy: core.SMA,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alertLevel := 2.6
+	spike, err := engine.Register(core.QuerySpec{
+		F: geom.NewLinear(2, 1, 0), Threshold: &alertLevel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	names := make(map[uint64]string)
+	var nextID uint64
+
+	for ts := int64(0); ts < 40; ts++ {
+		batch := make([]*stream.Tuple, 0, tickersPerCycle)
+		for i := 0; i < tickersPerCycle; i++ {
+			sym := symbols[rng.Intn(len(symbols))]
+			// Regime shift at t=25: HOOLI turns hot (high momentum+volume).
+			momentum := rng.Float64() * 0.7
+			volume := rng.Float64() * 0.8
+			volatility := rng.Float64()
+			if sym == "HOOLI" && ts >= 25 {
+				momentum = 0.8 + rng.Float64()*0.2
+				volume = 0.7 + rng.Float64()*0.3
+			}
+			t := &stream.Tuple{
+				ID:  nextID,
+				Seq: nextID,
+				TS:  ts,
+				Vec: geom.Vector{momentum, volume, volatility},
+			}
+			names[t.ID] = sym
+			nextID++
+			batch = append(batch, t)
+		}
+		updates, err := engine.Step(ts, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, u := range updates {
+			if u.Query != spike {
+				continue
+			}
+			for _, e := range u.Added {
+				fmt.Printf("t=%2d  spike alert: %s score=%.3f (momentum=%.2f volume=%.2f)\n",
+					ts, names[e.T.ID], e.Score, e.T.Vec[0], e.T.Vec[1])
+			}
+		}
+		if ts%10 == 9 {
+			fmt.Printf("t=%2d  momo screen:  %s\n", ts, describe(engine, momo, names))
+			fmt.Printf("t=%2d  quiet screen: %s\n", ts, describe(engine, quiet, names))
+		}
+	}
+
+	// A momentum regime like HOOLI's should dominate the momo screen by the
+	// end of the run.
+	res, _ := engine.Result(momo)
+	hooli := 0
+	for _, e := range res {
+		if names[e.T.ID] == "HOOLI" {
+			hooli++
+		}
+	}
+	fmt.Printf("\nfinal momo screen: %d/%d entries are HOOLI (expected after the t=25 regime shift)\n",
+		hooli, len(res))
+}
+
+func describe(e *core.Engine, q core.QueryID, names map[uint64]string) string {
+	res, err := e.Result(q)
+	if err != nil {
+		return err.Error()
+	}
+	out := ""
+	for i, en := range res {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s(%.2f)", names[en.T.ID], round3(en.Score))
+	}
+	return out
+}
+
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }

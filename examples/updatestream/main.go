@@ -1,0 +1,101 @@
+// Updatestream: the explicit-deletion stream model of Section 7.
+//
+// An order book streams limit orders that stay live until cancelled or
+// filled — deletions arrive in arbitrary order, so the FIFO sliding-window
+// machinery does not apply: per-cell point lists become hash tables, and
+// TMA (not SMA) maintains the results, recomputing from scratch whenever a
+// deletion removes a current result order.
+//
+// Two screens run continuously over the live book: the most aggressive
+// bids (price-weighted size) and the largest resting orders.
+//
+// Run with:
+//
+//	go run ./examples/updatestream
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+)
+
+func main() {
+	engine, err := core.NewEngine(core.Options{
+		Dims: 2,                 // x1 = normalized price aggressiveness, x2 = order size
+		Mode: core.UpdateStream, // no window: orders live until deleted
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	aggressive, err := engine.Register(core.QuerySpec{
+		F: geom.NewLinear(2, 1), K: 5, Policy: core.TMA,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	largest, err := engine.Register(core.QuerySpec{
+		F: geom.NewLinear(0, 1), K: 5, Policy: core.TMA,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	var nextID, nextSeq uint64
+	var live []uint64
+
+	for ts := int64(0); ts < 30; ts++ {
+		// New orders.
+		arrivals := make([]*stream.Tuple, 0, 200)
+		for i := 0; i < 200; i++ {
+			t := &stream.Tuple{
+				ID:  nextID,
+				Seq: nextSeq,
+				TS:  ts,
+				Vec: geom.Vector{rng.Float64(), rng.Float64()},
+			}
+			nextID++
+			nextSeq++
+			arrivals = append(arrivals, t)
+			live = append(live, t.ID)
+		}
+		// Cancellations/fills: random orders leave the book, in arbitrary
+		// order — the case FIFO windows cannot express.
+		var deletions []uint64
+		for i := 0; i < 180 && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			deletions = append(deletions, live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if _, err := engine.StepUpdate(ts, arrivals, deletions); err != nil {
+			log.Fatal(err)
+		}
+		if ts%6 == 5 {
+			a, _ := engine.Result(aggressive)
+			l, _ := engine.Result(largest)
+			fmt.Printf("t=%2d  book=%-5d  most aggressive: %s\n", ts, engine.NumPoints(), fmtTop(a))
+			fmt.Printf("t=%2d             largest resting: %s\n", ts, fmtTop(l))
+		}
+	}
+	s := engine.Stats()
+	fmt.Printf("\nprocessed %d insertions and %d deletions; %d from-scratch recomputations\n",
+		s.Arrivals, s.Expirations, s.Recomputes)
+}
+
+func fmtTop(entries []core.Entry) string {
+	out := ""
+	for i, e := range entries {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("o%d(%.3f)", e.T.ID, e.Score)
+	}
+	return out
+}

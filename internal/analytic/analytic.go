@@ -1,0 +1,108 @@
+// Package analytic implements the performance model of Section 6: closed
+// forms for the cost of the top-k computation module and for the per-cycle
+// running time and space of TMA and SMA under the uniform-data assumptions
+// of the analysis. The model is used by the ablation benchmarks to check
+// that measured trends follow the predicted ones.
+//
+// All time quantities are unitless operation counts (the big-O bodies with
+// constant 1); they predict trends and ratios, not seconds.
+package analytic
+
+import "math"
+
+// Params are the system parameters of the analysis (Table 1 naming).
+type Params struct {
+	// N is the average number of valid tuples.
+	N float64
+	// R is the stream rate: arrivals (= expirations) per processing cycle.
+	R float64
+	// Q is the number of running queries.
+	Q float64
+	// K is the result cardinality per query.
+	K float64
+	// D is the dimensionality.
+	D float64
+	// Delta is the cell extent per axis (1/resolution).
+	Delta float64
+}
+
+// CellVolume returns delta^d, the volume of one cell.
+func (p Params) CellVolume() float64 {
+	return math.Pow(p.Delta, p.D)
+}
+
+// PointsPerCell returns N * delta^d, the expected cell population.
+func (p Params) PointsPerCell() float64 {
+	return p.N * p.CellVolume()
+}
+
+// ProcessedCells returns C = ceil(k / (N * delta^d)): the expected number
+// of cells intersecting a query's influence region, whose volume is k/N
+// under uniformity.
+func (p Params) ProcessedCells() float64 {
+	ppc := p.PointsPerCell()
+	if ppc <= 0 {
+		return 1
+	}
+	return math.Ceil(p.K / ppc)
+}
+
+// TopKComputationTime returns T_comp = C*log2(C) + |C|*log2(k), the cost of
+// one from-scratch top-k computation: heap operations over the C processed
+// cells plus top-list updates for the |C| = C*N*delta^d points they hold.
+func (p Params) TopKComputationTime() float64 {
+	c := p.ProcessedCells()
+	points := c * p.PointsPerCell()
+	return c*log2pos(c) + points*log2pos(p.K)
+}
+
+// RecomputeProbability returns the paper's upper bound on Prrec, the
+// probability that a query must be recomputed from scratch in a cycle:
+// 1 - (1 - r/N)^k, the probability that at least one of the current top-k
+// tuples expires.
+func (p Params) RecomputeProbability() float64 {
+	if p.N <= 0 {
+		return 1
+	}
+	frac := p.R / p.N
+	if frac >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-frac, p.K)
+}
+
+// TMATime returns T_TMA per processing cycle:
+// r + Q * (C*r*delta^d + k*r*log2(k)/N + Prrec * T_comp).
+func (p Params) TMATime() float64 {
+	perQuery := p.ProcessedCells()*p.R*p.CellVolume() +
+		p.K*p.R*log2pos(p.K)/p.N +
+		p.RecomputeProbability()*p.TopKComputationTime()
+	return p.R + p.Q*perQuery
+}
+
+// SMATime returns T_SMA per processing cycle:
+// r + Q * (C*r*delta^d + k^2*r/N). Under uniformity SMA does not resort to
+// from-scratch recomputation (Section 6).
+func (p Params) SMATime() float64 {
+	perQuery := p.ProcessedCells()*p.R*p.CellVolume() + p.K*p.K*p.R/p.N
+	return p.R + p.Q*perQuery
+}
+
+// TMASpace returns S_TMA = N*(d+1) + Q*(C + d + 2k) in units of stored
+// words.
+func (p Params) TMASpace() float64 {
+	return p.N*(p.D+1) + p.Q*(p.ProcessedCells()+p.D+2*p.K)
+}
+
+// SMASpace returns S_SMA = N*(d+1) + Q*(C + d + 3k): the skyband stores
+// dominance counters in addition to ids and scores.
+func (p Params) SMASpace() float64 {
+	return p.N*(p.D+1) + p.Q*(p.ProcessedCells()+p.D+3*p.K)
+}
+
+func log2pos(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}

@@ -1,0 +1,137 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// paperDefaults mirrors Table 1 with the tuned 12^4-cell grid.
+func paperDefaults() Params {
+	return Params{N: 1e6, R: 1e4, Q: 1e3, K: 20, D: 4, Delta: 1.0 / 12}
+}
+
+func TestProcessedCells(t *testing.T) {
+	p := paperDefaults()
+	// Points per cell: 10^6 / 12^4 ~ 48.2; C = ceil(20/48.2) = 1.
+	if ppc := p.PointsPerCell(); math.Abs(ppc-48.2) > 0.5 {
+		t.Fatalf("points per cell=%g", ppc)
+	}
+	if c := p.ProcessedCells(); c != 1 {
+		t.Fatalf("C=%g want 1", c)
+	}
+	// Larger k grows the influence region.
+	p.K = 1000
+	if c := p.ProcessedCells(); c < 20 {
+		t.Fatalf("C=%g for k=1000", c)
+	}
+	// Degenerate empty system still returns a sane value.
+	if (Params{Delta: 0.5, D: 2}).ProcessedCells() != 1 {
+		t.Fatalf("degenerate C")
+	}
+}
+
+func TestRecomputeProbability(t *testing.T) {
+	p := paperDefaults()
+	pr := p.RecomputeProbability()
+	// 1 - (1 - 0.01)^20 ~ 0.182.
+	if math.Abs(pr-0.182) > 0.01 {
+		t.Fatalf("Prrec=%g want ~0.182", pr)
+	}
+	// Monotone in k and r.
+	hi := p
+	hi.K = 100
+	if hi.RecomputeProbability() <= pr {
+		t.Fatalf("Prrec must grow with k")
+	}
+	hiR := p
+	hiR.R = 1e5
+	if hiR.RecomputeProbability() <= pr {
+		t.Fatalf("Prrec must grow with r")
+	}
+	// Saturation.
+	full := p
+	full.R = p.N
+	if full.RecomputeProbability() != 1 {
+		t.Fatalf("Prrec must saturate at 1")
+	}
+}
+
+func TestSMAFasterThanTMAAtDefaults(t *testing.T) {
+	p := paperDefaults()
+	if p.SMATime() >= p.TMATime() {
+		t.Fatalf("model must predict SMA < TMA at defaults: SMA=%g TMA=%g", p.SMATime(), p.TMATime())
+	}
+}
+
+// TestTMAWinsWhenRecomputationIsRare reproduces the analysis remark: if
+// Prrec is very small (k=1, low rate), TMA's cheaper per-update result
+// maintenance beats SMA's O(k^2 r/N) skyband upkeep... at k=1 the two
+// models coincide up to the Prrec term, so the gap must be tiny.
+func TestTMAWinsWhenRecomputationIsRare(t *testing.T) {
+	p := paperDefaults()
+	p.K = 1
+	p.R = 100 // 0.01% churn: Prrec ~ 1e-4
+	tma, sma := p.TMATime(), p.SMATime()
+	if tma > sma*1.5 {
+		t.Fatalf("with negligible Prrec, TMA must be competitive: TMA=%g SMA=%g", tma, sma)
+	}
+}
+
+func TestTimeMonotonicity(t *testing.T) {
+	base := paperDefaults()
+	for _, mod := range []struct {
+		name string
+		bump func(Params) Params
+	}{
+		{"k", func(p Params) Params { p.K *= 5; return p }},
+		{"Q", func(p Params) Params { p.Q *= 5; return p }},
+		{"r", func(p Params) Params { p.R *= 5; return p }},
+	} {
+		hi := mod.bump(base)
+		if hi.TMATime() <= base.TMATime() {
+			t.Errorf("TMA time must grow with %s", mod.name)
+		}
+		if hi.SMATime() <= base.SMATime() {
+			t.Errorf("SMA time must grow with %s", mod.name)
+		}
+	}
+}
+
+func TestSpaceModel(t *testing.T) {
+	p := paperDefaults()
+	// SMA stores the extra dominance counter: exactly Q*k more words.
+	if diff := p.SMASpace() - p.TMASpace(); math.Abs(diff-p.Q*p.K) > 1e-6 {
+		t.Fatalf("space gap=%g want Q*k=%g", diff, p.Q*p.K)
+	}
+	// Space grows with k and Q, and is dominated by the N(d+1) term.
+	hiK := p
+	hiK.K = 100
+	if hiK.TMASpace() <= p.TMASpace() {
+		t.Errorf("space must grow with k")
+	}
+	if p.TMASpace() < p.N*(p.D+1) {
+		t.Errorf("index term missing")
+	}
+}
+
+// TestGridGranularityTradeoff mirrors Figure 14: too-fine grids inflate the
+// heap/bookkeeping term of T_comp, too-coarse grids inflate the
+// points-scanned term; an intermediate resolution minimizes the model.
+func TestGridGranularityTradeoff(t *testing.T) {
+	costAt := func(res int) float64 {
+		p := paperDefaults()
+		p.Delta = 1.0 / float64(res)
+		p.K = 1000 // make both terms visible at model scale
+		return p.TopKComputationTime()
+	}
+	coarse, fine := costAt(2), costAt(100)
+	best := math.Inf(1)
+	for res := 2; res <= 100; res++ {
+		if c := costAt(res); c < best {
+			best = c
+		}
+	}
+	if best >= coarse || best >= fine {
+		t.Fatalf("no interior optimum: coarse=%g best=%g fine=%g", coarse, best, fine)
+	}
+}

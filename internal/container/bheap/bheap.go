@@ -1,0 +1,121 @@
+// Package bheap implements a generic binary heap. It is the priority queue
+// behind the top-k computation module of Figure 6: cells are de-heaped in
+// descending maxscore order, so the search touches exactly the cells that
+// intersect the query's influence region.
+//
+// The heap is generic over the element type; ordering is supplied as a
+// "before" function at construction time (before(a, b) == true means a must
+// be popped before b).
+package bheap
+
+// Heap is a binary heap ordered by a user-supplied priority function. The
+// zero value is not usable; construct with New.
+type Heap[T any] struct {
+	items  []T
+	before func(a, b T) bool
+}
+
+// New returns an empty heap that pops elements in "before" order.
+func New[T any](before func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{before: before}
+}
+
+// NewWithCapacity returns an empty heap with pre-allocated storage for n
+// elements, avoiding growth on hot paths.
+func NewWithCapacity[T any](before func(a, b T) bool, n int) *Heap[T] {
+	return &Heap[T]{items: make([]T, 0, n), before: before}
+}
+
+// Len returns the number of elements in the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push adds an element to the heap in O(log n).
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the highest-priority element without removing it. ok is
+// false when the heap is empty.
+func (h *Heap[T]) Peek() (top T, ok bool) {
+	if len(h.items) == 0 {
+		return top, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the highest-priority element in O(log n). ok is
+// false when the heap is empty.
+func (h *Heap[T]) Pop() (top T, ok bool) {
+	if len(h.items) == 0 {
+		return top, false
+	}
+	top = h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release references held by the slot
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// Drain removes all remaining elements in priority order and returns them.
+// It is used by TMA to collect the frontier cells left in H after a top-k
+// computation terminates (Figure 9, line 14).
+func (h *Heap[T]) Drain() []T {
+	out := make([]T, 0, len(h.items))
+	for {
+		x, ok := h.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, x)
+	}
+}
+
+// Items exposes the raw heap-ordered backing slice (not sorted). Callers
+// must not mutate it; it is used for read-only iteration over remaining
+// elements when the order does not matter.
+func (h *Heap[T]) Items() []T { return h.items }
+
+// Reset empties the heap, retaining allocated capacity.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && h.before(h.items[right], h.items[left]) {
+			best = right
+		}
+		if !h.before(h.items[best], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+}

@@ -1,0 +1,163 @@
+package bheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func maxHeap() *Heap[int] { return New[int](func(a, b int) bool { return a > b }) }
+
+func TestEmptyHeap(t *testing.T) {
+	h := maxHeap()
+	if h.Len() != 0 {
+		t.Fatalf("len=%d", h.Len())
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatalf("pop on empty must fail")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatalf("peek on empty must fail")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	h := maxHeap()
+	for _, v := range []int{3, 1, 4, 1, 5, 9, 2, 6} {
+		h.Push(v)
+	}
+	want := []int{9, 6, 5, 4, 3, 2, 1, 1}
+	for i, w := range want {
+		got, ok := h.Pop()
+		if !ok || got != w {
+			t.Fatalf("pop %d: got %d,%v want %d", i, got, ok, w)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	h := maxHeap()
+	h.Push(10)
+	h.Push(20)
+	if top, _ := h.Peek(); top != 20 {
+		t.Fatalf("peek=%d", top)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("peek must not remove")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	h := maxHeap()
+	for _, v := range []int{5, 2, 8} {
+		h.Push(v)
+	}
+	got := h.Drain()
+	if len(got) != 3 || got[0] != 8 || got[1] != 5 || got[2] != 2 {
+		t.Fatalf("drain=%v", got)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("drain must empty the heap")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewWithCapacity[int](func(a, b int) bool { return a > b }, 16)
+	for i := 0; i < 10; i++ {
+		h.Push(i)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("reset must empty")
+	}
+	h.Push(42)
+	if top, _ := h.Pop(); top != 42 {
+		t.Fatalf("heap unusable after reset")
+	}
+}
+
+func TestMinHeapOrdering(t *testing.T) {
+	h := New[float64](func(a, b float64) bool { return a < b })
+	for _, v := range []float64{0.5, 0.1, 0.9, 0.3} {
+		h.Push(v)
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		v, _ := h.Pop()
+		if v < prev {
+			t.Fatalf("out of order: %g after %g", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestItemsExposure(t *testing.T) {
+	h := maxHeap()
+	h.Push(1)
+	h.Push(2)
+	if len(h.Items()) != 2 {
+		t.Fatalf("items=%v", h.Items())
+	}
+}
+
+// TestHeapSortProperty: popping everything yields a descending sort.
+func TestHeapSortProperty(t *testing.T) {
+	prop := func(values []int) bool {
+		h := maxHeap()
+		for _, v := range values {
+			h.Push(v)
+		}
+		got := h.Drain()
+		want := append([]int(nil), values...)
+		sort.Sort(sort.Reverse(sort.IntSlice(want)))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedOps mixes pushes and pops against a sorted reference.
+func TestInterleavedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := maxHeap()
+	var ref []int
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) > 0 || len(ref) == 0 {
+			v := rng.Intn(1000)
+			h.Push(v)
+			ref = append(ref, v)
+			sort.Sort(sort.Reverse(sort.IntSlice(ref)))
+		} else {
+			got, ok := h.Pop()
+			if !ok || got != ref[0] {
+				t.Fatalf("step %d: pop=%d,%v want %d", step, got, ok, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if h.Len() != len(ref) {
+			t.Fatalf("len mismatch: %d vs %d", h.Len(), len(ref))
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	h := NewWithCapacity[int](func(a, b int) bool { return a > b }, 1024)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(rng.Intn(1 << 20))
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package ostree implements an order-statistic AVL tree: a self-balancing
+// binary search tree whose nodes carry subtree cardinalities, supporting
+// rank and select queries in O(log n).
+//
+// It plays two roles in the reproduction:
+//
+//   - it is the "balanced tree BT" of Section 5, used by SMA to compute
+//     skyband dominance counters in O(k log k): processing tuples in
+//     descending score order, DC(p) is the number of already-inserted
+//     arrival sequence numbers greater than p's (CountGreater);
+//   - it implements the d sorted attribute lists of the TSL baseline
+//     (Section 3.2), which require ordered traversal plus O(log n)
+//     insertion and deletion as tuples arrive and expire.
+//
+// Keys must be unique under the supplied ordering; callers embed a
+// tie-breaker (e.g. the tuple id) in composite keys when the primary
+// ordering has duplicates.
+package ostree
+
+// Tree is an order-statistic AVL tree. The zero value is not usable;
+// construct with New.
+type Tree[K any] struct {
+	less func(a, b K) bool
+	root *node[K]
+}
+
+type node[K any] struct {
+	key         K
+	left, right *node[K]
+	height      int
+	size        int
+}
+
+// New returns an empty tree ordered by less. Two keys a, b are considered
+// equal when !less(a,b) && !less(b,a).
+func New[K any](less func(a, b K) bool) *Tree[K] {
+	return &Tree[K]{less: less}
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[K]) Len() int { return size(t.root) }
+
+// Insert adds k to the tree. It returns false (leaving the tree unchanged)
+// if an equal key is already present.
+func (t *Tree[K]) Insert(k K) bool {
+	root, inserted := t.insert(t.root, k)
+	t.root = root
+	return inserted
+}
+
+// Delete removes k from the tree, reporting whether it was present.
+func (t *Tree[K]) Delete(k K) bool {
+	root, deleted := t.delete(t.root, k)
+	t.root = root
+	return deleted
+}
+
+// Contains reports whether an equal key is present.
+func (t *Tree[K]) Contains(k K) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(k, n.key):
+			n = n.left
+		case t.less(n.key, k):
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the stored key equal to k. This matters for composite keys
+// whose payload fields do not participate in the ordering.
+func (t *Tree[K]) Get(k K) (stored K, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(k, n.key):
+			n = n.left
+		case t.less(n.key, k):
+			n = n.right
+		default:
+			return n.key, true
+		}
+	}
+	var zero K
+	return zero, false
+}
+
+// Rank returns the number of keys strictly less than k. k itself need not
+// be present.
+func (t *Tree[K]) Rank(k K) int {
+	rank := 0
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(k, n.key):
+			n = n.left
+		case t.less(n.key, k):
+			rank += size(n.left) + 1
+			n = n.right
+		default:
+			return rank + size(n.left)
+		}
+	}
+	return rank
+}
+
+// CountGreater returns the number of keys strictly greater than k. This is
+// the dominance-counter query of Section 5.
+func (t *Tree[K]) CountGreater(k K) int {
+	count := 0
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(k, n.key):
+			count += size(n.right) + 1
+			n = n.left
+		case t.less(n.key, k):
+			n = n.right
+		default:
+			return count + size(n.right)
+		}
+	}
+	return count
+}
+
+// At returns the i-th smallest key (0-based). ok is false when i is out of
+// range.
+func (t *Tree[K]) At(i int) (k K, ok bool) {
+	if i < 0 || i >= t.Len() {
+		var zero K
+		return zero, false
+	}
+	n := t.root
+	for {
+		ls := size(n.left)
+		switch {
+		case i < ls:
+			n = n.left
+		case i > ls:
+			i -= ls + 1
+			n = n.right
+		default:
+			return n.key, true
+		}
+	}
+}
+
+// Min returns the smallest key. ok is false for an empty tree.
+func (t *Tree[K]) Min() (k K, ok bool) {
+	n := t.root
+	if n == nil {
+		var zero K
+		return zero, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// Max returns the largest key. ok is false for an empty tree.
+func (t *Tree[K]) Max() (k K, ok bool) {
+	n := t.root
+	if n == nil {
+		var zero K
+		return zero, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, true
+}
+
+// Ascend visits keys in increasing order until fn returns false.
+func (t *Tree[K]) Ascend(fn func(K) bool) {
+	ascend(t.root, fn)
+}
+
+// Descend visits keys in decreasing order until fn returns false.
+func (t *Tree[K]) Descend(fn func(K) bool) {
+	descend(t.root, fn)
+}
+
+func ascend[K any](n *node[K], fn func(K) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+func descend[K any](n *node[K], fn func(K) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !descend(n.right, fn) {
+		return false
+	}
+	if !fn(n.key) {
+		return false
+	}
+	return descend(n.left, fn)
+}
+
+func size[K any](n *node[K]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func height[K any](n *node[K]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *node[K]) update() {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+	n.size = size(n.left) + size(n.right) + 1
+}
+
+func rotateRight[K any](y *node[K]) *node[K] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func rotateLeft[K any](x *node[K]) *node[K] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func rebalance[K any](n *node[K]) *node[K] {
+	n.update()
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	default:
+		return n
+	}
+}
+
+func (t *Tree[K]) insert(n *node[K], k K) (*node[K], bool) {
+	if n == nil {
+		return &node[K]{key: k, height: 1, size: 1}, true
+	}
+	var inserted bool
+	switch {
+	case t.less(k, n.key):
+		n.left, inserted = t.insert(n.left, k)
+	case t.less(n.key, k):
+		n.right, inserted = t.insert(n.right, k)
+	default:
+		return n, false
+	}
+	if !inserted {
+		return n, false
+	}
+	return rebalance(n), true
+}
+
+func (t *Tree[K]) delete(n *node[K], k K) (*node[K], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case t.less(k, n.key):
+		n.left, deleted = t.delete(n.left, k)
+	case t.less(n.key, k):
+		n.right, deleted = t.delete(n.right, k)
+	default:
+		deleted = true
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			// Replace with the in-order successor and delete it from the
+			// right subtree.
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.key = succ.key
+			n.right, _ = t.delete(n.right, succ.key)
+		}
+	}
+	if !deleted {
+		return n, false
+	}
+	return rebalance(n), true
+}

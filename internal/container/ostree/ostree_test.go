@@ -1,0 +1,303 @@
+package ostree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int] { return New[int](func(a, b int) bool { return a < b }) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatalf("min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatalf("max on empty")
+	}
+	if _, ok := tr.At(0); ok {
+		t.Fatalf("at on empty")
+	}
+	if tr.Delete(1) {
+		t.Fatalf("delete on empty")
+	}
+	if tr.Rank(5) != 0 || tr.CountGreater(5) != 0 {
+		t.Fatalf("rank/countgreater on empty")
+	}
+}
+
+func TestInsertContainsDelete(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{5, 3, 8, 1, 4, 7, 9} {
+		if !tr.Insert(v) {
+			t.Fatalf("insert %d failed", v)
+		}
+	}
+	if tr.Insert(5) {
+		t.Fatalf("duplicate insert must fail")
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	if !tr.Contains(4) || tr.Contains(6) {
+		t.Fatalf("contains wrong")
+	}
+	if !tr.Delete(3) || tr.Delete(3) {
+		t.Fatalf("delete semantics wrong")
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("len after delete=%d", tr.Len())
+	}
+}
+
+func TestRankAndCountGreater(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{10, 20, 30, 40, 50} {
+		tr.Insert(v)
+	}
+	cases := []struct{ k, rank, greater int }{
+		{5, 0, 5},
+		{10, 0, 4},
+		{25, 2, 3},
+		{30, 2, 2},
+		{50, 4, 0},
+		{99, 5, 0},
+	}
+	for _, c := range cases {
+		if got := tr.Rank(c.k); got != c.rank {
+			t.Errorf("Rank(%d)=%d want %d", c.k, got, c.rank)
+		}
+		if got := tr.CountGreater(c.k); got != c.greater {
+			t.Errorf("CountGreater(%d)=%d want %d", c.k, got, c.greater)
+		}
+	}
+}
+
+func TestAtSelect(t *testing.T) {
+	tr := intTree()
+	vals := []int{42, 17, 99, 3, 56}
+	for _, v := range vals {
+		tr.Insert(v)
+	}
+	sort.Ints(vals)
+	for i, want := range vals {
+		got, ok := tr.At(i)
+		if !ok || got != want {
+			t.Fatalf("At(%d)=%d,%v want %d", i, got, ok, want)
+		}
+	}
+	if _, ok := tr.At(-1); ok {
+		t.Fatalf("negative index")
+	}
+	if _, ok := tr.At(len(vals)); ok {
+		t.Fatalf("index out of range")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{7, 2, 9, 4} {
+		tr.Insert(v)
+	}
+	if mn, _ := tr.Min(); mn != 2 {
+		t.Fatalf("min=%d", mn)
+	}
+	if mx, _ := tr.Max(); mx != 9 {
+		t.Fatalf("max=%d", mx)
+	}
+}
+
+func TestAscendDescend(t *testing.T) {
+	tr := intTree()
+	for v := 1; v <= 10; v++ {
+		tr.Insert(v)
+	}
+	var up []int
+	tr.Ascend(func(k int) bool { up = append(up, k); return true })
+	if !sort.IntsAreSorted(up) || len(up) != 10 {
+		t.Fatalf("ascend order: %v", up)
+	}
+	var down []int
+	tr.Descend(func(k int) bool { down = append(down, k); return len(down) < 4 })
+	if len(down) != 4 || down[0] != 10 || down[3] != 7 {
+		t.Fatalf("descend early stop: %v", down)
+	}
+}
+
+type payloadKey struct {
+	val float64
+	id  uint64
+	tag string // payload, not part of the ordering
+}
+
+func TestGetReturnsStoredPayload(t *testing.T) {
+	less := func(a, b payloadKey) bool {
+		if a.val != b.val {
+			return a.val < b.val
+		}
+		return a.id < b.id
+	}
+	tr := New[payloadKey](less)
+	tr.Insert(payloadKey{0.5, 7, "seven"})
+	got, ok := tr.Get(payloadKey{val: 0.5, id: 7})
+	if !ok || got.tag != "seven" {
+		t.Fatalf("Get=%v,%v", got, ok)
+	}
+	if _, ok := tr.Get(payloadKey{val: 0.5, id: 8}); ok {
+		t.Fatalf("Get of absent key")
+	}
+}
+
+// checkBalanced verifies AVL height and size invariants.
+func checkBalanced[K any](t *testing.T, n *node[K]) int {
+	t.Helper()
+	if n == nil {
+		return 0
+	}
+	hl := checkBalanced(t, n.left)
+	hr := checkBalanced(t, n.right)
+	if diff := hl - hr; diff < -1 || diff > 1 {
+		t.Fatalf("unbalanced node: heights %d vs %d", hl, hr)
+	}
+	wantH := max(hl, hr) + 1
+	if n.height != wantH {
+		t.Fatalf("stale height: %d want %d", n.height, wantH)
+	}
+	wantS := size(n.left) + size(n.right) + 1
+	if n.size != wantS {
+		t.Fatalf("stale size: %d want %d", n.size, wantS)
+	}
+	return wantH
+}
+
+func TestBalanceInvariantSequential(t *testing.T) {
+	tr := intTree()
+	for v := 0; v < 1000; v++ { // ascending inserts are the classic worst case
+		tr.Insert(v)
+		if v%97 == 0 {
+			checkBalanced(t, tr.root)
+		}
+	}
+	checkBalanced(t, tr.root)
+	if tr.root.height > 15 { // log2(1000) ~ 10, AVL bound 1.44*log2(n)+2
+		t.Fatalf("tree too tall: %d", tr.root.height)
+	}
+	for v := 0; v < 1000; v += 2 {
+		tr.Delete(v)
+	}
+	checkBalanced(t, tr.root)
+	if tr.Len() != 500 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+}
+
+// TestRandomizedVsReference drives the tree against a sorted-slice reference
+// model with mixed operations.
+func TestRandomizedVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := intTree()
+	ref := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		v := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0:
+			if tr.Insert(v) != !ref[v] {
+				t.Fatalf("insert(%d) disagreement", v)
+			}
+			ref[v] = true
+		case 1:
+			if tr.Delete(v) != ref[v] {
+				t.Fatalf("delete(%d) disagreement", v)
+			}
+			delete(ref, v)
+		default:
+			if tr.Contains(v) != ref[v] {
+				t.Fatalf("contains(%d) disagreement", v)
+			}
+		}
+	}
+	checkBalanced(t, tr.root)
+	// Full-order comparison at the end.
+	var want []int
+	for v := range ref {
+		want = append(want, v)
+	}
+	sort.Ints(want)
+	var got []int
+	tr.Ascend(func(k int) bool { got = append(got, k); return true })
+	if len(got) != len(want) {
+		t.Fatalf("sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order differs at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	// Rank/At round trip.
+	for i, v := range want {
+		if r := tr.Rank(v); r != i {
+			t.Fatalf("Rank(%d)=%d want %d", v, r, i)
+		}
+		if k, _ := tr.At(i); k != v {
+			t.Fatalf("At(%d)=%d want %d", i, k, v)
+		}
+		if g := tr.CountGreater(v); g != len(want)-i-1 {
+			t.Fatalf("CountGreater(%d)=%d want %d", v, g, len(want)-i-1)
+		}
+	}
+}
+
+// TestRankProperty uses testing/quick: for random key sets, Rank agrees with
+// a brute-force count.
+func TestRankProperty(t *testing.T) {
+	prop := func(values []int, probe int) bool {
+		tr := intTree()
+		seen := map[int]bool{}
+		for _, v := range values {
+			tr.Insert(v)
+			seen[v] = true
+		}
+		wantRank, wantGreater := 0, 0
+		for v := range seen {
+			if v < probe {
+				wantRank++
+			}
+			if v > probe {
+				wantGreater++
+			}
+		}
+		return tr.Rank(probe) == wantRank && tr.CountGreater(probe) == wantGreater
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := intTree()
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := rng.Intn(1 << 16)
+		if !tr.Insert(v) {
+			tr.Delete(v)
+		}
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	tr := intTree()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1<<16; i++ {
+		tr.Insert(rng.Int())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Rank(rng.Int())
+	}
+}

@@ -1,0 +1,673 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"topkmon/internal/grid"
+	"topkmon/internal/skyband"
+	"topkmon/internal/stream"
+	"topkmon/internal/topk"
+	"topkmon/internal/window"
+)
+
+type queryKind int
+
+const (
+	topkKind queryKind = iota
+	thresholdKind
+)
+
+// query is one entry of the query table QT (Figure 4): the scoring
+// function, k, the current result, and the per-policy maintenance state.
+type query struct {
+	id   QueryID
+	spec QuerySpec
+	kind queryKind
+
+	// topScore is the admission filter compared against arriving tuples.
+	// TMA: the current kth score (rises as better tuples arrive). SMA: the
+	// kth score at the last from-scratch computation (the paper's "score
+	// of the kth element after the last application of top-k computation").
+	// Threshold queries: the fixed threshold. -Inf while the result is
+	// underfull (the influence region is then the whole workspace).
+	topScore float64
+	// regScore is the admission filter value at the moment the influence
+	// lists were last registered; the registered cell set corresponds to
+	// it. Used by the invariant checker.
+	regScore float64
+
+	// TMA state: the top list in descending total order plus an id set for
+	// O(1) membership tests on expiration.
+	top    []Entry
+	topIDs map[uint64]struct{}
+	// affected marks a TMA query whose result lost an expiring tuple; it
+	// is recomputed from scratch once the whole expiration batch has been
+	// applied (Figure 9 lines 12-13).
+	affected bool
+
+	// SMA state.
+	sky        *skyband.Skyband
+	skyChanged bool
+
+	// Threshold-query state: the current result set.
+	thr map[uint64]Entry
+
+	// Reporting state: the result as last reported to the client.
+	lastIDs map[uint64]Entry
+	dirty   bool
+}
+
+// Engine is the grid-based continuous monitoring engine. It is not safe
+// for concurrent use: the paper's model is a single server processing one
+// cycle at a time.
+type Engine struct {
+	opts Options
+	g    *grid.Grid
+	w    *window.Window // nil in UpdateStream mode
+	s    *topk.Searcher
+
+	// byID locates tuples for explicit deletions (UpdateStream mode only).
+	byID map[uint64]*stream.Tuple
+
+	queries map[QueryID]*query
+	nextID  QueryID
+
+	now     int64
+	started bool
+	haveSeq bool
+	lastSeq uint64
+
+	// dirtyList collects queries touched during the current cycle.
+	dirtyList []*query
+
+	// scratch state for influence-list walks.
+	walkVisited []uint32
+	walkGen     uint32
+	walkQueue   []int
+
+	stats Stats
+}
+
+// NewEngine constructs an engine from the given options.
+func NewEngine(opts Options) (*Engine, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	res := opts.GridRes
+	if res == 0 {
+		res = grid.ResolutionForTargetCells(opts.Dims, opts.TargetCells)
+	}
+	mode := grid.FIFO
+	if opts.Mode == UpdateStream {
+		mode = grid.Random
+	}
+	g := grid.New(opts.Dims, res, mode)
+	e := &Engine{
+		opts:        opts,
+		g:           g,
+		s:           topk.NewSearcher(g),
+		queries:     make(map[QueryID]*query),
+		walkVisited: make([]uint32, g.NumCells()),
+	}
+	if opts.Mode == AppendOnly {
+		e.w = window.New(opts.Window)
+	} else {
+		e.byID = make(map[uint64]*stream.Tuple)
+	}
+	return e, nil
+}
+
+// Grid exposes the underlying index (read-only use: tests, harness).
+func (e *Engine) Grid() *grid.Grid { return e.g }
+
+// Now returns the engine clock: the timestamp of the last processed cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// NumPoints returns the number of valid tuples.
+func (e *Engine) NumPoints() int { return e.g.NumPoints() }
+
+// NumQueries returns the number of registered queries.
+func (e *Engine) NumQueries() int { return len(e.queries) }
+
+// Stats returns a snapshot of the engine counters. CellsProcessed is read
+// from the searcher.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.CellsProcessed = e.s.CellsProcessed
+	return s
+}
+
+// Register implements Monitor.
+func (e *Engine) Register(spec QuerySpec) (QueryID, error) {
+	if spec.F == nil {
+		return 0, fmt.Errorf("core: query needs a scoring function")
+	}
+	if spec.F.Dims() != e.opts.Dims {
+		return 0, fmt.Errorf("core: function dimensionality %d != workspace %d", spec.F.Dims(), e.opts.Dims)
+	}
+	if spec.Constraint != nil && spec.Constraint.Dims() != e.opts.Dims {
+		return 0, fmt.Errorf("core: constraint dimensionality %d != workspace %d", spec.Constraint.Dims(), e.opts.Dims)
+	}
+	q := &query{
+		id:      e.nextID,
+		spec:    spec,
+		lastIDs: make(map[uint64]Entry),
+	}
+	if spec.Threshold != nil {
+		q.kind = thresholdKind
+		q.topScore = *spec.Threshold
+		q.regScore = *spec.Threshold
+		q.thr = make(map[uint64]Entry)
+	} else {
+		if spec.K <= 0 {
+			return 0, fmt.Errorf("core: K must be positive, got %d", spec.K)
+		}
+		if spec.Policy == SMA && e.opts.Mode == UpdateStream {
+			return 0, fmt.Errorf("core: SMA is unavailable under update streams (expiry order unknown, Section 7)")
+		}
+		if spec.Policy != TMA && spec.Policy != SMA {
+			return 0, fmt.Errorf("core: unknown policy %v", spec.Policy)
+		}
+		q.kind = topkKind
+		if spec.Policy == SMA {
+			q.sky = skyband.New(spec.K)
+		}
+	}
+	e.nextID++
+	e.queries[q.id] = q
+
+	// Initial result computation (Figure 6), registering influence lists
+	// over the processed cells.
+	if q.kind == thresholdKind {
+		entries, processed := e.s.Threshold(spec.F, *spec.Threshold, spec.Constraint)
+		for _, idx := range processed {
+			e.g.AddInfluence(idx, q.id)
+		}
+		for _, en := range entries {
+			q.thr[en.T.ID] = Entry{T: en.T, Score: en.Score}
+		}
+	} else {
+		e.computeFromScratch(q)
+		e.stats.InitialComputations++
+		e.stats.Recomputes-- // computeFromScratch counted it as a recompute
+	}
+	for _, en := range q.currentResult(nil) {
+		q.lastIDs[en.T.ID] = en
+	}
+	return q.id, nil
+}
+
+// Unregister implements Monitor: it deletes the query from the query table
+// and removes its entries from all influence lists by walking worse-ward
+// from the cell with the maximum maxscore (Section 4.3).
+func (e *Engine) Unregister(id QueryID) error {
+	q, ok := e.queries[id]
+	if !ok {
+		return fmt.Errorf("core: unknown query %d", id)
+	}
+	delete(e.queries, id)
+	start := e.g.BestCell(q.spec.F)
+	if q.spec.Constraint != nil {
+		start = e.g.BestCellIn(q.spec.F, *q.spec.Constraint)
+	}
+	e.walkInfluence(q, []int{start})
+	// Drop the query from the dirty list if the current cycle touched it.
+	for i, dq := range e.dirtyList {
+		if dq == q {
+			e.dirtyList = append(e.dirtyList[:i], e.dirtyList[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Step implements Monitor for the append-only (sliding-window) model. The
+// arrival batch must carry the cycle's timestamp and strictly increasing
+// sequence numbers.
+func (e *Engine) Step(now int64, arrivals []*stream.Tuple) ([]Update, error) {
+	if e.opts.Mode != AppendOnly {
+		return nil, fmt.Errorf("core: Step requires AppendOnly mode; use StepUpdate")
+	}
+	if e.started && now < e.now {
+		return nil, fmt.Errorf("core: time went backwards: %d after %d", now, e.now)
+	}
+	for _, t := range arrivals {
+		if t.TS != now {
+			return nil, fmt.Errorf("core: arrival %v not stamped with cycle timestamp %d", t, now)
+		}
+		if e.haveSeq && t.Seq <= e.lastSeq {
+			return nil, fmt.Errorf("core: arrival sequence %d not increasing (last %d)", t.Seq, e.lastSeq)
+		}
+		e.haveSeq = true
+		e.lastSeq = t.Seq
+	}
+	e.started = true
+	e.now = now
+
+	if e.opts.DeletionsFirst {
+		// Ablation: apply the cycle's expirations before its arrivals.
+		// The window must still account for the arrivals when deciding
+		// what expires, so they are pushed first and only the event
+		// handlers run in inverted order.
+		for _, t := range arrivals {
+			e.w.Push(t)
+		}
+		batch := make(map[uint64]struct{}, len(arrivals))
+		for _, t := range arrivals {
+			batch[t.ID] = struct{}{}
+		}
+		// A tuple that arrives and expires within the same cycle (r > N)
+		// must not be indexed at all: it was never inserted, so its
+		// expiration is a no-op too.
+		gone := make(map[uint64]struct{})
+		for _, t := range e.w.Expire(now) {
+			if _, sameBatch := batch[t.ID]; sameBatch {
+				gone[t.ID] = struct{}{}
+				continue
+			}
+			e.expireTuple(t)
+		}
+		for _, t := range arrivals {
+			if _, skip := gone[t.ID]; skip {
+				continue
+			}
+			e.insertTuple(t)
+		}
+		return e.finishCycle(), nil
+	}
+
+	// Phase 1 — Pins. Handled before expirations so that an arrival
+	// replacing an expiring result tuple avoids a from-scratch
+	// recomputation (Figure 8a discussion).
+	for _, t := range arrivals {
+		e.w.Push(t)
+		e.insertTuple(t)
+	}
+
+	// Phase 2 — Pdel.
+	for _, t := range e.w.Expire(now) {
+		e.expireTuple(t)
+	}
+
+	return e.finishCycle(), nil
+}
+
+// StepUpdate runs one processing cycle under the explicit-deletion stream
+// model of Section 7: arrivals are inserted and the tuples named by
+// deletions are removed, in arbitrary order.
+func (e *Engine) StepUpdate(now int64, arrivals []*stream.Tuple, deletions []uint64) ([]Update, error) {
+	if e.opts.Mode != UpdateStream {
+		return nil, fmt.Errorf("core: StepUpdate requires UpdateStream mode")
+	}
+	if e.started && now < e.now {
+		return nil, fmt.Errorf("core: time went backwards: %d after %d", now, e.now)
+	}
+	e.started = true
+	e.now = now
+	for _, t := range arrivals {
+		if _, dup := e.byID[t.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate tuple id %d", t.ID)
+		}
+		e.byID[t.ID] = t
+		e.insertTuple(t)
+	}
+	for _, id := range deletions {
+		t, ok := e.byID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: deletion of unknown tuple %d", id)
+		}
+		delete(e.byID, id)
+		e.expireTuple(t)
+	}
+	return e.finishCycle(), nil
+}
+
+// Result implements Monitor.
+func (e *Engine) Result(id QueryID) ([]Entry, error) {
+	q, ok := e.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown query %d", id)
+	}
+	return q.currentResult(nil), nil
+}
+
+// insertTuple indexes an arriving tuple and updates every query whose
+// influence list covers the tuple's cell (Figure 9 lines 3-7 / Figure 11
+// lines 4-11).
+func (e *Engine) insertTuple(t *stream.Tuple) {
+	e.stats.Arrivals++
+	e.g.Insert(t)
+	idx := e.g.IndexOf(t.Vec)
+	e.g.InfluenceDo(idx, func(id grid.QueryID) bool {
+		q, ok := e.queries[id]
+		if !ok {
+			return true
+		}
+		e.stats.InfluenceEvents++
+		e.handleInsert(q, t)
+		return true
+	})
+}
+
+// expireTuple removes a tuple from the index and updates the queries whose
+// influence list covers its cell (Figure 9 lines 8-11 / Figure 11 lines
+// 12-16).
+func (e *Engine) expireTuple(t *stream.Tuple) {
+	e.stats.Expirations++
+	e.g.Remove(t)
+	idx := e.g.IndexOf(t.Vec)
+	e.g.InfluenceDo(idx, func(id grid.QueryID) bool {
+		q, ok := e.queries[id]
+		if !ok {
+			return true
+		}
+		e.stats.InfluenceEvents++
+		e.handleExpire(q, t)
+		return true
+	})
+}
+
+func (e *Engine) handleInsert(q *query, t *stream.Tuple) {
+	if q.spec.Constraint != nil && !q.spec.Constraint.Contains(t.Vec) {
+		return
+	}
+	score := q.spec.F.Score(t.Vec)
+	switch q.kind {
+	case thresholdKind:
+		if score > *q.spec.Threshold {
+			q.thr[t.ID] = Entry{T: t, Score: score}
+			e.markDirty(q)
+		}
+	case topkKind:
+		if q.spec.Policy == SMA {
+			// Stale filter: kth score at the last from-scratch computation
+			// (-Inf while underfull, admitting everything).
+			if score >= q.topScore {
+				q.sky.Insert(t, score)
+				q.skyChanged = true
+				e.markDirty(q)
+			}
+			return
+		}
+		// TMA: maintain exactly the top-k list.
+		if len(q.top) == q.spec.K {
+			kth := q.top[q.spec.K-1]
+			if !stream.Better(score, t.Seq, kth.Score, kth.T.Seq) {
+				return
+			}
+		}
+		q.insertTop(Entry{T: t, Score: score})
+		e.markDirty(q)
+	}
+}
+
+func (e *Engine) handleExpire(q *query, t *stream.Tuple) {
+	switch q.kind {
+	case thresholdKind:
+		if _, ok := q.thr[t.ID]; ok {
+			delete(q.thr, t.ID)
+			e.markDirty(q)
+		}
+	case topkKind:
+		if q.spec.Policy == SMA {
+			if q.sky.Remove(t.ID) {
+				q.skyChanged = true
+				e.markDirty(q)
+			}
+			return
+		}
+		if _, ok := q.topIDs[t.ID]; ok {
+			// Result tuple expired: mark affected; recomputation happens
+			// after the whole deletion batch (Figure 9 line 11-13).
+			q.affected = true
+			e.markDirty(q)
+		}
+	}
+}
+
+// finishCycle recomputes affected queries, samples statistics, and emits
+// result deltas ordered by query id.
+func (e *Engine) finishCycle() []Update {
+	// Recompute affected TMA queries and underflowing SMA skybands.
+	for _, q := range e.dirtyList {
+		switch {
+		case q.kind != topkKind:
+		case q.spec.Policy == TMA && q.affected:
+			e.computeFromScratch(q)
+			q.affected = false
+		case q.spec.Policy == SMA && q.skyChanged:
+			if q.sky.Len() < q.spec.K && e.g.NumPoints() > q.sky.Len() {
+				e.computeFromScratch(q)
+			}
+			q.skyChanged = false
+		}
+	}
+
+	// Sample skyband sizes for Table 2.
+	for _, q := range e.queries {
+		if q.kind == topkKind && q.spec.Policy == SMA {
+			e.stats.SkybandSizeSum += int64(q.sky.Len())
+			e.stats.SkybandSamples++
+		}
+	}
+
+	// Report changes to the client (Figure 9 line 22 / Figure 11 line 23).
+	var updates []Update
+	var scratch []Entry
+	for _, q := range e.dirtyList {
+		q.dirty = false
+		scratch = q.currentResult(scratch[:0])
+		var upd Update
+		for _, en := range scratch {
+			if _, ok := q.lastIDs[en.T.ID]; !ok {
+				upd.Added = append(upd.Added, en)
+			}
+		}
+		if len(scratch) != len(q.lastIDs) || len(upd.Added) > 0 {
+			current := make(map[uint64]struct{}, len(scratch))
+			for _, en := range scratch {
+				current[en.T.ID] = struct{}{}
+			}
+			for id, en := range q.lastIDs {
+				if _, ok := current[id]; !ok {
+					upd.Removed = append(upd.Removed, en)
+				}
+			}
+		}
+		if len(upd.Added) == 0 && len(upd.Removed) == 0 {
+			continue
+		}
+		upd.Query = q.id
+		clear(q.lastIDs)
+		for _, en := range scratch {
+			q.lastIDs[en.T.ID] = en
+		}
+		sort.Slice(upd.Added, func(i, j int) bool {
+			return stream.Better(upd.Added[i].Score, upd.Added[i].T.Seq, upd.Added[j].Score, upd.Added[j].T.Seq)
+		})
+		sort.Slice(upd.Removed, func(i, j int) bool {
+			return stream.Better(upd.Removed[i].Score, upd.Removed[i].T.Seq, upd.Removed[j].Score, upd.Removed[j].T.Seq)
+		})
+		updates = append(updates, upd)
+		e.stats.ResultUpdates++
+	}
+	e.dirtyList = e.dirtyList[:0]
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Query < updates[j].Query })
+	return updates
+}
+
+// computeFromScratch runs the top-k computation module for q, refreshes the
+// policy state, registers the new influence region and prunes the stale
+// one (Figure 9 lines 13-21).
+func (e *Engine) computeFromScratch(q *query) {
+	e.stats.Recomputes++
+	res := e.s.TopK(topk.Request{F: q.spec.F, K: q.spec.K, Constraint: q.spec.Constraint})
+
+	if q.spec.Policy == SMA {
+		in := make([]skyband.Entry, len(res.Top))
+		for i, en := range res.Top {
+			in[i] = skyband.Entry{T: en.T, Score: en.Score}
+		}
+		q.sky.Rebuild(in)
+	} else {
+		q.top = q.top[:0]
+		if q.topIDs == nil {
+			q.topIDs = make(map[uint64]struct{}, q.spec.K)
+		} else {
+			clear(q.topIDs)
+		}
+		for _, en := range res.Top {
+			q.top = append(q.top, Entry{T: en.T, Score: en.Score})
+			q.topIDs[en.T.ID] = struct{}{}
+		}
+	}
+	if len(res.Top) == q.spec.K {
+		q.topScore = res.Top[q.spec.K-1].Score
+	} else {
+		q.topScore = math.Inf(-1)
+	}
+	q.regScore = q.topScore
+
+	// Register the new influence region...
+	for _, idx := range res.Processed {
+		e.g.AddInfluence(idx, q.id)
+	}
+	// ...and prune the stale one, walking worse-ward from the frontier
+	// cells left in the heap (Figure 9 lines 14-21). Worse-stepping only
+	// decreases maxscore, so the walk can never re-enter (and damage) the
+	// just-registered region.
+	e.walkInfluence(q, res.Frontier)
+}
+
+// walkInfluence removes q from the influence list of every cell reachable
+// from seeds through cells still holding an entry for q, stepping
+// worse-ward along every axis. It implements both the pruning walk after a
+// recomputation and the cleanup at query termination.
+func (e *Engine) walkInfluence(q *query, seeds []int) {
+	e.walkGen++
+	if e.walkGen == 0 {
+		for i := range e.walkVisited {
+			e.walkVisited[i] = 0
+		}
+		e.walkGen = 1
+	}
+	queue := e.walkQueue[:0]
+	for _, idx := range seeds {
+		if e.walkVisited[idx] != e.walkGen {
+			e.walkVisited[idx] = e.walkGen
+			queue = append(queue, idx)
+		}
+	}
+	for len(queue) > 0 {
+		idx := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !e.g.RemoveInfluence(idx, q.id) {
+			continue
+		}
+		for dim := 0; dim < e.g.Dims(); dim++ {
+			n, ok := e.g.StepWorse(idx, dim, q.spec.F.Direction(dim))
+			if !ok || e.walkVisited[n] == e.walkGen {
+				continue
+			}
+			e.walkVisited[n] = e.walkGen
+			queue = append(queue, n)
+		}
+	}
+	e.walkQueue = queue[:0]
+}
+
+func (e *Engine) markDirty(q *query) {
+	if !q.dirty {
+		q.dirty = true
+		e.dirtyList = append(e.dirtyList, q)
+	}
+}
+
+// insertTop inserts an entry into a TMA top list, keeping descending total
+// order and at most K entries (the previous kth is dropped, as in the
+// paper: TMA maintains exactly k results).
+func (q *query) insertTop(en Entry) {
+	lo, hi := 0, len(q.top)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if stream.Better(q.top[mid].Score, q.top[mid].T.Seq, en.Score, en.T.Seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if len(q.top) < q.spec.K {
+		q.top = append(q.top, Entry{})
+	} else {
+		evicted := q.top[len(q.top)-1]
+		delete(q.topIDs, evicted.T.ID)
+	}
+	copy(q.top[lo+1:], q.top[lo:])
+	q.top[lo] = en
+	if q.topIDs == nil {
+		q.topIDs = make(map[uint64]struct{}, q.spec.K)
+	}
+	q.topIDs[en.T.ID] = struct{}{}
+	if len(q.top) == q.spec.K {
+		q.topScore = q.top[q.spec.K-1].Score
+	}
+}
+
+// currentResult appends the query's current result to out: the TMA top
+// list, the first k skyband entries, or the threshold set in descending
+// total order.
+func (q *query) currentResult(out []Entry) []Entry {
+	switch q.kind {
+	case thresholdKind:
+		for _, en := range q.thr {
+			out = append(out, en)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			return stream.Better(out[i].Score, out[i].T.Seq, out[j].Score, out[j].T.Seq)
+		})
+		return out
+	default:
+		if q.spec.Policy == SMA {
+			n := q.spec.K
+			if n > q.sky.Len() {
+				n = q.sky.Len()
+			}
+			for _, en := range q.sky.Entries()[:n] {
+				out = append(out, Entry{T: en.T, Score: en.Score})
+			}
+			return out
+		}
+		return append(out, q.top...)
+	}
+}
+
+// MemoryBytes implements Monitor, mirroring the space analysis of
+// Section 6: the index (grid + valid list) plus the query-table entries
+// (O(d + 2k) for TMA, O(d + 3k) for SMA).
+func (e *Engine) MemoryBytes() int64 {
+	const (
+		entrySize    = 24 // tuple pointer + score
+		skyEntrySize = 32 // tuple pointer + score + dominance counter
+		mapEntrySize = 16
+		queryBase    = 96
+	)
+	total := e.g.MemoryBytes()
+	if e.w != nil {
+		total += e.w.MemoryBytes()
+	}
+	if e.byID != nil {
+		total += int64(len(e.byID)) * mapEntrySize
+	}
+	for _, q := range e.queries {
+		total += queryBase + int64(q.spec.F.Dims())*8
+		total += int64(len(q.top))*entrySize + int64(len(q.topIDs))*mapEntrySize
+		if q.sky != nil {
+			total += int64(q.sky.Len()) * (skyEntrySize + mapEntrySize)
+		}
+		total += int64(len(q.thr)) * (entrySize + mapEntrySize)
+		total += int64(len(q.lastIDs)) * (entrySize + mapEntrySize)
+	}
+	return total
+}

@@ -1,0 +1,217 @@
+// Package core implements the continuous top-k monitoring engine of the
+// paper: the query table, the processing cycle (arrivals before
+// expirations, Section 4.3), lazy influence-list maintenance, and the two
+// monitoring policies — TMA (Top-k Monitoring Algorithm, Figure 9) and SMA
+// (Skyband Monitoring Algorithm, Figure 11) — plus the constrained,
+// threshold and update-stream extensions of Section 7.
+package core
+
+import (
+	"fmt"
+
+	"topkmon/internal/geom"
+	"topkmon/internal/grid"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+// QueryID identifies a registered query.
+type QueryID = grid.QueryID
+
+// Policy selects the maintenance algorithm for a top-k query.
+type Policy int
+
+// Monitoring policies.
+const (
+	// TMA recomputes a query's result from scratch whenever one of its
+	// current top-k tuples expires (Figure 9).
+	TMA Policy = iota
+	// SMA maintains the k-skyband of the query's influence region,
+	// partially pre-computing future results and recomputing from scratch
+	// only when the skyband underflows (Figure 11).
+	SMA
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case TMA:
+		return "TMA"
+	case SMA:
+		return "SMA"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a string such as "TMA" or "sma" to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "TMA", "tma":
+		return TMA, nil
+	case "SMA", "sma":
+		return SMA, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q", s)
+	}
+}
+
+// StreamMode selects the data stream model.
+type StreamMode int
+
+// Stream models.
+const (
+	// AppendOnly is the sliding-window model: tuples expire in FIFO order
+	// as the window slides.
+	AppendOnly StreamMode = iota
+	// UpdateStream is the explicit-deletion model of Section 7: tuples
+	// stay valid until deleted by id, in arbitrary order. Per-cell point
+	// lists become hash tables and SMA is unavailable (the expiry order is
+	// unknown in advance).
+	UpdateStream
+)
+
+// String implements fmt.Stringer.
+func (m StreamMode) String() string {
+	switch m {
+	case AppendOnly:
+		return "append-only"
+	case UpdateStream:
+		return "update-stream"
+	default:
+		return fmt.Sprintf("StreamMode(%d)", int(m))
+	}
+}
+
+// QuerySpec describes a monitoring query.
+type QuerySpec struct {
+	// F is the monotone preference function. Required.
+	F geom.ScoringFunction
+	// K is the result cardinality of a top-k query. Ignored for threshold
+	// queries.
+	K int
+	// Policy selects TMA or SMA maintenance for top-k queries.
+	Policy Policy
+	// Constraint optionally restricts the query to a rectangular region of
+	// the workspace (constrained top-k, Section 7).
+	Constraint *geom.Rect
+	// Threshold, when non-nil, turns the query into a threshold
+	// monitoring query (Section 7): the engine continuously reports all
+	// tuples with score strictly above *Threshold. K and Policy are
+	// ignored.
+	Threshold *float64
+}
+
+// Entry is one result tuple with its score under the query's function.
+type Entry struct {
+	T     *stream.Tuple
+	Score float64
+}
+
+// Update reports the result delta of one query after a processing cycle.
+// Queries whose result did not change produce no Update.
+type Update struct {
+	Query   QueryID
+	Added   []Entry
+	Removed []Entry
+}
+
+// Monitor is the interface shared by the grid-based engine and the TSL
+// baseline, so the experiment harness can drive them uniformly.
+type Monitor interface {
+	// Register installs a query, computes its initial result and returns
+	// its id.
+	Register(spec QuerySpec) (QueryID, error)
+	// Unregister removes a query and its bookkeeping.
+	Unregister(id QueryID) error
+	// Step runs one processing cycle at timestamp now: the given arrivals
+	// enter the window and expired tuples leave it. It returns the result
+	// deltas of the affected queries, ordered by query id.
+	Step(now int64, arrivals []*stream.Tuple) ([]Update, error)
+	// Result returns the current result of a query in descending total
+	// order (threshold queries: descending score order).
+	Result(id QueryID) ([]Entry, error)
+	// MemoryBytes estimates the monitor's total memory footprint.
+	MemoryBytes() int64
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Dims is the dimensionality of the workspace. Required.
+	Dims int
+	// Window is the sliding-window specification. Ignored (may be zero)
+	// in UpdateStream mode.
+	Window window.Spec
+	// Mode selects the stream model. Default AppendOnly.
+	Mode StreamMode
+	// GridRes fixes the number of cells per axis. When zero, the
+	// resolution is derived from TargetCells.
+	GridRes int
+	// TargetCells is the approximate total cell count used to derive the
+	// per-axis resolution when GridRes is zero. Defaults to 12^4 = 20736,
+	// the configuration the paper found best (Figure 14).
+	TargetCells int
+	// DeletionsFirst inverts the paper's Pins-before-Pdel processing order
+	// (Section 4.3, Figure 8): expirations are applied before arrivals, so
+	// an arrival can no longer absorb the expiration of a result tuple
+	// within the same cycle. Results stay correct but from-scratch
+	// recomputations become more frequent. This exists purely as an
+	// ablation of the design decision; leave it false in production.
+	DeletionsFirst bool
+}
+
+// DefaultTargetCells is the grid size the paper tunes to (12^4 cells).
+const DefaultTargetCells = 20736
+
+func (o *Options) validate() error {
+	if o.Dims <= 0 {
+		return fmt.Errorf("core: Dims must be positive, got %d", o.Dims)
+	}
+	if o.Mode == AppendOnly {
+		if err := o.Window.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.GridRes < 0 {
+		return fmt.Errorf("core: GridRes must be non-negative, got %d", o.GridRes)
+	}
+	if o.TargetCells == 0 {
+		o.TargetCells = DefaultTargetCells
+	}
+	if o.TargetCells < 1 {
+		return fmt.Errorf("core: TargetCells must be positive, got %d", o.TargetCells)
+	}
+	return nil
+}
+
+// Stats aggregates engine counters for the experiment harness and tests.
+type Stats struct {
+	// Arrivals and Expirations count processed stream events.
+	Arrivals    int64
+	Expirations int64
+	// InfluenceEvents counts (event, query) pairs examined because the
+	// event fell in a cell of the query's influence list.
+	InfluenceEvents int64
+	// Recomputes counts from-scratch top-k computations triggered by
+	// maintenance (excluding initial registrations).
+	Recomputes int64
+	// InitialComputations counts top-k computations run at registration.
+	InitialComputations int64
+	// CellsProcessed counts de-heaped cells across all computations.
+	CellsProcessed int64
+	// SkybandSizeSum / SkybandSamples track the per-cycle skyband sizes of
+	// SMA queries (Table 2).
+	SkybandSizeSum int64
+	SkybandSamples int64
+	// ResultUpdates counts emitted Update records.
+	ResultUpdates int64
+}
+
+// AvgSkybandSize returns the average skyband cardinality per SMA query per
+// cycle (Table 2), or 0 when no samples were taken.
+func (s Stats) AvgSkybandSize() float64 {
+	if s.SkybandSamples == 0 {
+		return 0
+	}
+	return float64(s.SkybandSizeSum) / float64(s.SkybandSamples)
+}

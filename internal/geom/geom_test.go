@@ -1,0 +1,357 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{0.1, 0.2, 0.3}
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatalf("clone differs: %v vs %v", v, c)
+	}
+	c[0] = 0.9
+	if v[0] != 0.1 {
+		t.Fatalf("clone aliases original")
+	}
+}
+
+func TestVectorEqual(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Vector{1, 2}, Vector{1, 2}, true},
+		{Vector{1, 2}, Vector{1, 3}, false},
+		{Vector{1, 2}, Vector{1, 2, 3}, false},
+		{Vector{}, Vector{}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnitRect(t *testing.T) {
+	r := UnitRect(3)
+	if r.Dims() != 3 {
+		t.Fatalf("dims=%d", r.Dims())
+	}
+	if !r.Contains(Vector{0, 0.5, 1}) {
+		t.Fatalf("unit rect should contain boundary and interior points")
+	}
+	if r.Contains(Vector{0, 0.5, 1.01}) {
+		t.Fatalf("unit rect should not contain outside points")
+	}
+	if r.Contains(Vector{0, 0.5}) {
+		t.Fatalf("dimension mismatch must not be contained")
+	}
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect(Vector{0, 0}, Vector{1}); err == nil {
+		t.Fatalf("expected error for mismatched dims")
+	}
+	if _, err := NewRect(Vector{0.5, 0}, Vector{0.4, 1}); err == nil {
+		t.Fatalf("expected error for inverted bounds")
+	}
+	r, err := NewRect(Vector{0.1, 0.2}, Vector{0.3, 0.4})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !r.Contains(Vector{0.2, 0.3}) {
+		t.Fatalf("rect should contain interior point")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{Lo: Vector{0, 0}, Hi: Vector{0.5, 0.5}}
+	b := Rect{Lo: Vector{0.25, 0.25}, Hi: Vector{1, 1}}
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatalf("rects should intersect")
+	}
+	want := Rect{Lo: Vector{0.25, 0.25}, Hi: Vector{0.5, 0.5}}
+	if !got.Lo.Equal(want.Lo) || !got.Hi.Equal(want.Hi) {
+		t.Fatalf("intersection=%v want %v", got, want)
+	}
+
+	c := Rect{Lo: Vector{0.6, 0.6}, Hi: Vector{0.9, 0.9}}
+	if _, ok := a.Intersect(c); ok {
+		t.Fatalf("disjoint rects must not intersect")
+	}
+	// Touching boundaries count as intersecting (closed rectangles).
+	d := Rect{Lo: Vector{0.5, 0}, Hi: Vector{0.7, 0.2}}
+	if !a.Intersects(d) {
+		t.Fatalf("touching rects should intersect")
+	}
+}
+
+func TestRectIntersectInto(t *testing.T) {
+	a := Rect{Lo: Vector{0, 0}, Hi: Vector{0.5, 0.5}}
+	b := Rect{Lo: Vector{0.25, 0.1}, Hi: Vector{1, 0.3}}
+	out := Rect{Lo: make(Vector, 2), Hi: make(Vector, 2)}
+	if !a.IntersectInto(b, &out) {
+		t.Fatalf("expected intersection")
+	}
+	if !out.Lo.Equal(Vector{0.25, 0.1}) || !out.Hi.Equal(Vector{0.5, 0.3}) {
+		t.Fatalf("got %v", out)
+	}
+	c := Rect{Lo: Vector{2, 2}, Hi: Vector{3, 3}}
+	if a.IntersectInto(c, &out) {
+		t.Fatalf("expected no intersection")
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0.2}, Hi: Vector{1, 0.4}}
+	c := r.Center()
+	if !c.Equal(Vector{0.5, 0.30000000000000004}) && math.Abs(c[1]-0.3) > 1e-12 {
+		t.Fatalf("center=%v", c)
+	}
+}
+
+func TestLinearScoreAndDirections(t *testing.T) {
+	f := NewLinear(1, 2)
+	if got := f.Score(Vector{0.5, 0.25}); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("score=%g want 1", got)
+	}
+	if f.Direction(0) != Increasing || f.Direction(1) != Increasing {
+		t.Fatalf("positive weights must be increasing")
+	}
+	g := NewLinear(1, -1)
+	if g.Direction(1) != Decreasing {
+		t.Fatalf("negative weight must be decreasing")
+	}
+	if got := g.Score(Vector{0.75, 0.25}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("score=%g want 0.5", got)
+	}
+}
+
+func TestProductScore(t *testing.T) {
+	f := NewProduct(0.5, 1.0)
+	if got := f.Score(Vector{0.5, 0}); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("score=%g want 1", got)
+	}
+	if f.Direction(0) != Increasing {
+		t.Fatalf("product must be increasing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("negative offset must panic")
+		}
+	}()
+	NewProduct(-0.1)
+}
+
+func TestQuadraticScore(t *testing.T) {
+	f := NewQuadratic(2, -1)
+	if got := f.Score(Vector{0.5, 0.5}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("score=%g want 0.25", got)
+	}
+	if f.Direction(0) != Increasing || f.Direction(1) != Decreasing {
+		t.Fatalf("directions wrong")
+	}
+}
+
+func TestEmptyFunctionsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"linear":    func() { NewLinear() },
+		"product":   func() { NewProduct() },
+		"quadratic": func() { NewQuadratic() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic for empty args", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLinearWeightsCopy(t *testing.T) {
+	in := []float64{1, 2, 3}
+	f := NewLinear(in...)
+	in[0] = 99
+	if f.Weights()[0] != 1 {
+		t.Fatalf("constructor must copy weights")
+	}
+	w := f.Weights()
+	w[1] = 99
+	if f.Weights()[1] != 2 {
+		t.Fatalf("Weights must return a copy")
+	}
+}
+
+func TestBestCornerLinear(t *testing.T) {
+	r := Rect{Lo: Vector{0.2, 0.4}, Hi: Vector{0.6, 0.8}}
+	inc := NewLinear(1, 2)
+	if got := BestCorner(inc, r); !got.Equal(Vector{0.6, 0.8}) {
+		t.Fatalf("best corner=%v want hi,hi", got)
+	}
+	mixed := NewLinear(1, -1)
+	if got := BestCorner(mixed, r); !got.Equal(Vector{0.6, 0.4}) {
+		t.Fatalf("best corner=%v want hi,lo", got)
+	}
+}
+
+func TestMaxScoreMatchesPaperExample(t *testing.T) {
+	// Figure 5: f = x1 + 2*x2, the top-right corner of the workspace has the
+	// highest maxscore, 3.
+	f := NewLinear(1, 2)
+	if got := MaxScore(f, UnitRect(2)); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("maxscore=%g want 3", got)
+	}
+}
+
+func TestMinScore(t *testing.T) {
+	r := Rect{Lo: Vector{0.2, 0.4}, Hi: Vector{0.6, 0.8}}
+	f := NewLinear(1, -1)
+	// Worst corner for x1 - x2 is (lo, hi) = (0.2, 0.8) -> -0.6.
+	if got := MinScore(f, r); math.Abs(got-(-0.6)) > 1e-12 {
+		t.Fatalf("minscore=%g want -0.6", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Increasing.String() != "increasing" || Decreasing.String() != "decreasing" {
+		t.Fatalf("stringer broken")
+	}
+	if Direction(0).String() == "" {
+		t.Fatalf("unknown direction must still render")
+	}
+}
+
+func TestFunctionStrings(t *testing.T) {
+	for _, f := range []ScoringFunction{
+		NewLinear(1, 2),
+		NewProduct(0.5, 0.5),
+		NewQuadratic(1, -2),
+	} {
+		if f.String() == "" {
+			t.Errorf("%T: empty String()", f)
+		}
+	}
+}
+
+// randomRect samples a non-degenerate rectangle inside the unit workspace.
+func randomRect(rng *rand.Rand, d int) Rect {
+	lo := make(Vector, d)
+	hi := make(Vector, d)
+	for i := 0; i < d; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+func randomPointIn(rng *rand.Rand, r Rect) Vector {
+	v := make(Vector, r.Dims())
+	for i := range v {
+		v[i] = r.Lo[i] + rng.Float64()*(r.Hi[i]-r.Lo[i])
+	}
+	return v
+}
+
+// TestMaxScoreUpperBoundProperty checks the central geometric fact the grid
+// traversal relies on: maxscore(r) >= score(p) for every p in r, for all
+// three function families including mixed monotonicity directions.
+func TestMaxScoreUpperBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(5)
+		r := randomRect(rng, d)
+		weights := make([]float64, d)
+		offsets := make([]float64, d)
+		for i := range weights {
+			weights[i] = rng.Float64()*2 - 1 // mixed signs
+			offsets[i] = rng.Float64()
+		}
+		funcs := []ScoringFunction{
+			NewLinear(weights...),
+			NewProduct(offsets...),
+			NewQuadratic(weights...),
+		}
+		for _, f := range funcs {
+			upper := MaxScore(f, r)
+			lower := MinScore(f, r)
+			for i := 0; i < 20; i++ {
+				p := randomPointIn(rng, r)
+				s := f.Score(p)
+				if s > upper+1e-9 {
+					t.Fatalf("%s: score %g exceeds maxscore %g in %v", f, s, upper, r)
+				}
+				if s < lower-1e-9 {
+					t.Fatalf("%s: score %g below minscore %g in %v", f, s, lower, r)
+				}
+			}
+		}
+	}
+}
+
+// TestMonotonicityProperty verifies with testing/quick that raising an
+// attribute moves the score in the declared direction.
+func TestMonotonicityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(f ScoringFunction) {
+		prop := func(seed int64) bool {
+			local := rand.New(rand.NewSource(seed))
+			d := f.Dims()
+			v := make(Vector, d)
+			for i := range v {
+				v[i] = local.Float64()
+			}
+			dim := local.Intn(d)
+			delta := local.Float64() * (1 - v[dim])
+			w := v.Clone()
+			w[dim] += delta
+			s1, s2 := f.Score(v), f.Score(w)
+			if f.Direction(dim) == Increasing {
+				return s2 >= s1-1e-12
+			}
+			return s2 <= s1+1e-12
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: monotonicity violated: %v", f, err)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		d := 2 + rng.Intn(4)
+		weights := make([]float64, d)
+		offsets := make([]float64, d)
+		for i := range weights {
+			weights[i] = rng.Float64()*2 - 1
+			offsets[i] = rng.Float64()
+		}
+		check(NewLinear(weights...))
+		check(NewProduct(offsets...))
+		check(NewQuadratic(weights...))
+	}
+}
+
+// TestIntersectionProperty cross-checks Intersect against point membership.
+func TestIntersectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		d := 1 + rng.Intn(4)
+		a, b := randomRect(rng, d), randomRect(rng, d)
+		inter, ok := a.Intersect(b)
+		p := randomPointIn(rng, a)
+		inBoth := a.Contains(p) && b.Contains(p)
+		if inBoth && !ok {
+			t.Fatalf("point %v in both %v and %v but Intersect says disjoint", p, a, b)
+		}
+		if ok && inBoth && !inter.Contains(p) {
+			t.Fatalf("point %v in both rects but not in intersection %v", p, inter)
+		}
+	}
+}

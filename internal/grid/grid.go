@@ -1,0 +1,428 @@
+// Package grid implements the regular grid that indexes the valid records
+// in main memory (Section 4.1). Each cell has extent delta = 1/res per
+// axis and stores:
+//
+//   - a point list holding (pointers to) the valid tuples inside the cell.
+//     Under the append-only stream model insertions and deletions hit a
+//     cell in first-in-first-out order, so the list is a deque with O(1)
+//     operations at both ends. Under the update-stream model of Section 7
+//     (explicit deletions) the lists switch to hash tables;
+//   - an influence list IL_c: a hash set with an entry for every query
+//     whose influence region intersects the cell. Influence lists are
+//     maintained lazily by the monitoring algorithms, exactly as in the
+//     paper.
+//
+// The grid also provides the cell geometry needed by the top-k computation
+// module: cell lookup in O(1) from a point, cell rectangles, the best-corner
+// cell for a monotone scoring function, and "worse-neighbor" stepping along
+// each axis.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+)
+
+// QueryID identifies a registered monitoring query in influence lists and
+// the query table.
+type QueryID uint32
+
+// Mode selects the point-list representation.
+type Mode int
+
+// Grid modes.
+const (
+	// FIFO stores per-cell point lists as deques; valid under the
+	// append-only sliding-window model where expiration order equals
+	// arrival order.
+	FIFO Mode = iota
+	// Random stores per-cell point lists as hash tables, supporting the
+	// explicit-deletion stream model of Section 7 in O(1) expected time.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+type cell struct {
+	// FIFO mode: deque over buf[head:].
+	buf  []*stream.Tuple
+	head int
+	// Random mode: id -> tuple.
+	hash map[uint64]*stream.Tuple
+	// Influence list, allocated on first use.
+	infl map[QueryID]struct{}
+}
+
+// Grid is the in-memory index of valid records. It is not safe for
+// concurrent mutation; the engine owns it single-threaded, matching the
+// paper's single-server processing-cycle model.
+type Grid struct {
+	dims   int
+	res    int
+	delta  float64
+	mode   Mode
+	cells  []cell
+	stride []int // stride[i] = res^i, for index arithmetic
+	points int
+}
+
+// New constructs a grid over the unit workspace [0,1]^dims with res cells
+// per axis (res^dims cells in total).
+func New(dims, res int, mode Mode) *Grid {
+	if dims <= 0 {
+		panic(fmt.Sprintf("grid: dims must be positive, got %d", dims))
+	}
+	if res <= 0 {
+		panic(fmt.Sprintf("grid: resolution must be positive, got %d", res))
+	}
+	total := 1
+	stride := make([]int, dims)
+	for i := 0; i < dims; i++ {
+		stride[i] = total
+		if total > math.MaxInt32/res {
+			panic(fmt.Sprintf("grid: %d^%d cells overflow", res, dims))
+		}
+		total *= res
+	}
+	return &Grid{
+		dims:   dims,
+		res:    res,
+		delta:  1.0 / float64(res),
+		mode:   mode,
+		cells:  make([]cell, total),
+		stride: stride,
+	}
+}
+
+// ResolutionForTargetCells returns the per-axis resolution whose total cell
+// count res^dims is closest to target. The paper tunes the grid to roughly
+// 12^4 cells regardless of dimensionality (Section 8).
+func ResolutionForTargetCells(dims, target int) int {
+	if dims <= 0 || target < 1 {
+		return 1
+	}
+	res := int(math.Round(math.Pow(float64(target), 1/float64(dims))))
+	if res < 1 {
+		res = 1
+	}
+	best, bestDiff := res, math.Abs(math.Pow(float64(res), float64(dims))-float64(target))
+	for _, cand := range []int{res - 1, res + 1} {
+		if cand < 1 {
+			continue
+		}
+		if diff := math.Abs(math.Pow(float64(cand), float64(dims)) - float64(target)); diff < bestDiff {
+			best, bestDiff = cand, diff
+		}
+	}
+	return best
+}
+
+// Dims returns the dimensionality of the workspace.
+func (g *Grid) Dims() int { return g.dims }
+
+// Res returns the number of cells per axis.
+func (g *Grid) Res() int { return g.res }
+
+// Delta returns the cell extent per axis (1/Res).
+func (g *Grid) Delta() float64 { return g.delta }
+
+// Mode returns the point-list representation mode.
+func (g *Grid) Mode() Mode { return g.mode }
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return len(g.cells) }
+
+// NumPoints returns the number of indexed tuples.
+func (g *Grid) NumPoints() int { return g.points }
+
+// coordOf maps an attribute value in [0,1] to a cell coordinate, assigning
+// the boundary value 1.0 to the last cell.
+func (g *Grid) coordOf(x float64) int {
+	c := int(x * float64(g.res))
+	if c >= g.res {
+		c = g.res - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// IndexOf returns the index of the cell covering v in O(d) time.
+func (g *Grid) IndexOf(v geom.Vector) int {
+	idx := 0
+	for i := 0; i < g.dims; i++ {
+		idx += g.coordOf(v[i]) * g.stride[i]
+	}
+	return idx
+}
+
+// CoordsInto decodes a cell index into per-axis coordinates, writing them
+// into out (which must have length Dims).
+func (g *Grid) CoordsInto(idx int, out []int) {
+	for i := g.dims - 1; i >= 0; i-- {
+		out[i] = idx / g.stride[i]
+		idx -= out[i] * g.stride[i]
+	}
+}
+
+// IndexFromCoords encodes per-axis coordinates into a cell index.
+func (g *Grid) IndexFromCoords(coords []int) int {
+	idx := 0
+	for i, c := range coords {
+		idx += c * g.stride[i]
+	}
+	return idx
+}
+
+// RectInto writes the closed rectangle of cell idx into out, whose Lo/Hi
+// vectors must have length Dims. Bounds are computed by division (c/res),
+// not multiplication by delta: division is correctly rounded, so the
+// boundary of cell 7 in a 10-cell grid is exactly the double 0.7 and
+// touches user-supplied constraint rectangles written with such literals.
+func (g *Grid) RectInto(idx int, out *geom.Rect) {
+	res := float64(g.res)
+	for i := g.dims - 1; i >= 0; i-- {
+		c := idx / g.stride[i]
+		idx -= c * g.stride[i]
+		out.Lo[i] = float64(c) / res
+		out.Hi[i] = float64(c+1) / res
+	}
+}
+
+// Rect returns the rectangle of cell idx.
+func (g *Grid) Rect(idx int) geom.Rect {
+	out := geom.Rect{Lo: make(geom.Vector, g.dims), Hi: make(geom.Vector, g.dims)}
+	g.RectInto(idx, &out)
+	return out
+}
+
+// Neighbor returns the index of the cell one step along dim (delta = +1 or
+// -1 cell). ok is false when the step leaves the workspace.
+func (g *Grid) Neighbor(idx, dim, delta int) (int, bool) {
+	c := (idx / g.stride[dim]) % g.res
+	nc := c + delta
+	if nc < 0 || nc >= g.res {
+		return 0, false
+	}
+	return idx + delta*g.stride[dim], true
+}
+
+// StepWorse returns the neighbor of idx along dim in the direction of
+// decreasing maxscore for a function monotone as dir on that axis: toward
+// lower coordinates when increasing, higher when decreasing. This is the
+// en-heaping step of Figure 6 (generalized to arbitrary monotonicity as in
+// Figure 7).
+func (g *Grid) StepWorse(idx, dim int, dir geom.Direction) (int, bool) {
+	if dir == geom.Increasing {
+		return g.Neighbor(idx, dim, -1)
+	}
+	return g.Neighbor(idx, dim, +1)
+}
+
+// BestCell returns the index of the cell with the globally maximal
+// maxscore for f: the corner cell of the workspace in f's preferred
+// directions (the "top-right cell" of Figure 5 for increasing functions).
+func (g *Grid) BestCell(f geom.ScoringFunction) int {
+	idx := 0
+	for i := 0; i < g.dims; i++ {
+		if f.Direction(i) == geom.Increasing {
+			idx += (g.res - 1) * g.stride[i]
+		}
+	}
+	return idx
+}
+
+// BestCellIn returns the index of the cell that maximizes f within the
+// constraint rectangle r (the starting cell of a constrained top-k search,
+// Figure 12). The rectangle is clamped to the unit workspace.
+func (g *Grid) BestCellIn(f geom.ScoringFunction, r geom.Rect) int {
+	idx := 0
+	for i := 0; i < g.dims; i++ {
+		var x float64
+		if f.Direction(i) == geom.Increasing {
+			x = math.Min(1, math.Max(0, r.Hi[i]))
+		} else {
+			x = math.Min(1, math.Max(0, r.Lo[i]))
+		}
+		idx += g.coordOf(x) * g.stride[i]
+	}
+	return idx
+}
+
+// Insert adds t to its covering cell.
+func (g *Grid) Insert(t *stream.Tuple) {
+	c := &g.cells[g.IndexOf(t.Vec)]
+	if g.mode == Random {
+		if c.hash == nil {
+			c.hash = make(map[uint64]*stream.Tuple, 4)
+		}
+		c.hash[t.ID] = t
+	} else {
+		c.buf = append(c.buf, t)
+	}
+	g.points++
+}
+
+// Remove deletes t from its covering cell, reporting whether it was found.
+// In FIFO mode the expiring tuple is, by construction, at the head of its
+// cell's list, so the common case is O(1); a linear fallback keeps the
+// structure correct if callers remove out of order.
+func (g *Grid) Remove(t *stream.Tuple) bool {
+	c := &g.cells[g.IndexOf(t.Vec)]
+	if g.mode == Random {
+		if _, ok := c.hash[t.ID]; !ok {
+			return false
+		}
+		delete(c.hash, t.ID)
+		g.points--
+		return true
+	}
+	live := c.buf[c.head:]
+	if len(live) == 0 {
+		return false
+	}
+	if live[0] == t {
+		c.buf[c.head] = nil
+		c.head++
+		if c.head > len(c.buf)/2 && c.head > 16 {
+			n := copy(c.buf, c.buf[c.head:])
+			for i := n; i < len(c.buf); i++ {
+				c.buf[i] = nil
+			}
+			c.buf = c.buf[:n]
+			c.head = 0
+		}
+		g.points--
+		return true
+	}
+	for i, p := range live {
+		if p == t {
+			copy(live[i:], live[i+1:])
+			c.buf[len(c.buf)-1] = nil
+			c.buf = c.buf[:len(c.buf)-1]
+			g.points--
+			return true
+		}
+	}
+	return false
+}
+
+// PointsDo calls fn for every tuple in cell idx until fn returns false.
+func (g *Grid) PointsDo(idx int, fn func(*stream.Tuple) bool) {
+	c := &g.cells[idx]
+	if g.mode == Random {
+		for _, t := range c.hash {
+			if !fn(t) {
+				return
+			}
+		}
+		return
+	}
+	for _, t := range c.buf[c.head:] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// CellLen returns the number of tuples in cell idx.
+func (g *Grid) CellLen(idx int) int {
+	c := &g.cells[idx]
+	if g.mode == Random {
+		return len(c.hash)
+	}
+	return len(c.buf) - c.head
+}
+
+// AddInfluence records query q in the influence list of cell idx.
+func (g *Grid) AddInfluence(idx int, q QueryID) {
+	c := &g.cells[idx]
+	if c.infl == nil {
+		c.infl = make(map[QueryID]struct{}, 2)
+	}
+	c.infl[q] = struct{}{}
+}
+
+// RemoveInfluence deletes query q from the influence list of cell idx,
+// reporting whether an entry existed.
+func (g *Grid) RemoveInfluence(idx int, q QueryID) bool {
+	c := &g.cells[idx]
+	if _, ok := c.infl[q]; !ok {
+		return false
+	}
+	delete(c.infl, q)
+	return true
+}
+
+// HasInfluence reports whether query q is in the influence list of cell
+// idx.
+func (g *Grid) HasInfluence(idx int, q QueryID) bool {
+	_, ok := g.cells[idx].infl[q]
+	return ok
+}
+
+// InfluenceDo calls fn for every query in the influence list of cell idx
+// until fn returns false. Callers must not mutate the list during
+// iteration; the engine collects affected queries first and processes them
+// after.
+func (g *Grid) InfluenceDo(idx int, fn func(QueryID) bool) {
+	for q := range g.cells[idx].infl {
+		if !fn(q) {
+			return
+		}
+	}
+}
+
+// InfluenceLen returns the influence-list cardinality of cell idx.
+func (g *Grid) InfluenceLen(idx int) int { return len(g.cells[idx].infl) }
+
+// TotalInfluenceEntries sums influence-list cardinalities over all cells —
+// the O(Q*C) bookkeeping term of the space analysis (Section 6).
+func (g *Grid) TotalInfluenceEntries() int {
+	total := 0
+	for i := range g.cells {
+		total += len(g.cells[i].infl)
+	}
+	return total
+}
+
+// MemoryBytes estimates the index footprint: the cell directory, the point
+// lists (pointers), the influence-list entries, and the tuple payloads
+// (id + d float64 attributes + seq + timestamp), mirroring the
+// O(N*(d+1) + Q*C) terms of Section 6.
+func (g *Grid) MemoryBytes() int64 {
+	const (
+		ptrSize       = 8
+		cellOverhead  = int64(64) // deque header + head + two map pointers
+		inflEntrySize = int64(16) // hash entry incl. bucket overhead
+		hashEntrySize = int64(24) // id->tuple entry incl. bucket overhead
+	)
+	total := int64(len(g.cells)) * cellOverhead
+	for i := range g.cells {
+		c := &g.cells[i]
+		if g.mode == Random {
+			total += int64(len(c.hash)) * hashEntrySize
+		} else {
+			total += int64(cap(c.buf)) * ptrSize
+		}
+		total += int64(len(c.infl)) * inflEntrySize
+	}
+	// Tuple payloads: ID + Seq + TS + vector header and data.
+	tupleSize := int64(8+8+8+24) + int64(g.dims)*8
+	total += int64(g.points) * tupleSize
+	return total
+}

@@ -1,0 +1,420 @@
+package harness
+
+import (
+	"fmt"
+
+	"topkmon/internal/analytic"
+	"topkmon/internal/stream"
+)
+
+// Defaults returns the paper's default configuration (Table 1) scaled
+// linearly: N and Q shrink with scale (bounded below so the system stays
+// meaningful), r stays at 1% of N per cycle, and the simulation runs 100
+// cycles at full scale, 20 below.
+func Defaults(scale float64, seed int64) Config {
+	n := int(1e6 * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	q := int(1000 * scale)
+	if q < 4 {
+		q = 4
+	}
+	cycles := 20
+	if scale >= 1 {
+		cycles = 100
+	}
+	return Config{
+		Algo:   AlgoTMA,
+		Dist:   stream.IND,
+		Func:   stream.FuncLinear,
+		Dims:   4,
+		N:      n,
+		R:      maxInt(n/100, 20),
+		Q:      q,
+		K:      20,
+		Cycles: cycles,
+		Seed:   seed,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Experiment regenerates one table or figure of the evaluation.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run produces the experiment's tables at the given workload scale.
+	Run func(scale float64, seed int64) ([]Table, error)
+}
+
+type sweepPoint struct {
+	label string
+	mut   func(Config) Config
+}
+
+// runMatrix executes base mutated by every (point, algo) pair and formats
+// one table whose rows are points and columns are algorithms.
+func runMatrix(title, xlabel string, base Config, points []sweepPoint, algos []Algo, metric func(Result) string) (Table, error) {
+	t := Table{Title: title, XLabel: xlabel}
+	for _, a := range algos {
+		t.Cols = append(t.Cols, a.String())
+	}
+	for _, p := range points {
+		row := Row{X: p.label}
+		for _, a := range algos {
+			cfg := p.mut(base)
+			cfg.Algo = a
+			cfg.Label = p.label
+			res, err := Run(cfg)
+			if err != nil {
+				return t, fmt.Errorf("%s [%s %s]: %w", title, p.label, a, err)
+			}
+			row.Cells = append(row.Cells, metric(res))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func cpuMetric(r Result) string   { return FormatDuration(r.RunTime) }
+func spaceMetric(r Result) string { return FormatMB(r.SpaceBytes) }
+
+var allAlgos = []Algo{AlgoTSL, AlgoTMA, AlgoSMA}
+var gridAlgos = []Algo{AlgoTMA, AlgoSMA}
+
+func bothDists(scale float64, seed int64, title, xlabel string, points []sweepPoint, algos []Algo, metric func(Result) string) ([]Table, error) {
+	var out []Table
+	for _, dist := range []stream.Distribution{stream.IND, stream.ANT} {
+		base := Defaults(scale, seed)
+		base.Dist = dist
+		tb, err := runMatrix(fmt.Sprintf("%s (%s)", title, dist), xlabel, base, points, algos, metric)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+// Experiments returns the full registry: one entry per figure/table of
+// Section 8, plus the kmax tuning remark and a model-vs-measured ablation.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "fig14",
+			Title: "Figure 14: performance vs grid granularity (IND, TMA & SMA)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				base := Defaults(scale, seed)
+				var points []sweepPoint
+				for res := 5; res <= 15; res++ {
+					res := res
+					// The paper sweeps 5^4..15^4 cells at N=1M; keep the
+					// points-per-cell ratio at smaller scales by shrinking
+					// the resolution proportionally in total cell count.
+					points = append(points, sweepPoint{
+						label: fmt.Sprintf("%d^4", res),
+						mut: func(c Config) Config {
+							target := res * res * res * res
+							if scale < 1 {
+								target = int(float64(target) * float64(c.N) / 1e6)
+								if target < 16 {
+									target = 16
+								}
+							}
+							c.TargetCells = target
+							return c
+						},
+					})
+				}
+				timeTbl, err := runMatrix("Figure 14a: CPU time vs grid size (IND)", "cells", base, points, gridAlgos, cpuMetric)
+				if err != nil {
+					return nil, err
+				}
+				spaceTbl, err := runMatrix("Figure 14b: space vs grid size (IND)", "cells", base, points, gridAlgos, spaceMetric)
+				if err != nil {
+					return nil, err
+				}
+				return []Table{timeTbl, spaceTbl}, nil
+			},
+		},
+		{
+			ID:    "fig15",
+			Title: "Figure 15: CPU time vs dimensionality (linear functions)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				return bothDists(scale, seed, "Figure 15: CPU time vs d", "d", dimPoints(), allAlgos, cpuMetric)
+			},
+		},
+		{
+			ID:    "fig16",
+			Title: "Figure 16: CPU time vs data cardinality N (r = N/100)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				var points []sweepPoint
+				for _, mul := range []int{1, 2, 3, 4, 5} {
+					mul := mul
+					points = append(points, sweepPoint{
+						label: fmt.Sprintf("%dx", mul),
+						mut: func(c Config) Config {
+							c.N *= mul
+							c.R = maxInt(c.N/100, 20)
+							c.TargetCells = 0 // re-derive for the larger N
+							return c
+						},
+					})
+				}
+				return bothDists(scale, seed, "Figure 16: CPU time vs N", "N", points, allAlgos, cpuMetric)
+			},
+		},
+		{
+			ID:    "fig17",
+			Title: "Figure 17: CPU time vs arrival rate r",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				var points []sweepPoint
+				// The paper's rates are 0.1%..10% of N per cycle.
+				for _, pct := range []float64{0.1, 0.5, 1, 5, 10} {
+					pct := pct
+					points = append(points, sweepPoint{
+						label: fmt.Sprintf("%.1f%%", pct),
+						mut: func(c Config) Config {
+							c.R = maxInt(int(float64(c.N)*pct/100), 5)
+							return c
+						},
+					})
+				}
+				return bothDists(scale, seed, "Figure 17: CPU time vs r", "r/N", points, allAlgos, cpuMetric)
+			},
+		},
+		{
+			ID:    "fig18",
+			Title: "Figure 18: CPU time vs query cardinality Q",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				var points []sweepPoint
+				for _, frac := range []float64{0.1, 0.5, 1, 2, 5} {
+					frac := frac
+					points = append(points, sweepPoint{
+						label: fmt.Sprintf("%gx", frac),
+						mut: func(c Config) Config {
+							c.Q = maxInt(int(float64(c.Q)*frac), 2)
+							return c
+						},
+					})
+				}
+				return bothDists(scale, seed, "Figure 18: CPU time vs Q", "Q", points, allAlgos, cpuMetric)
+			},
+		},
+		{
+			ID:    "fig19",
+			Title: "Figure 19: CPU time vs result cardinality k",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				return bothDists(scale, seed, "Figure 19: CPU time vs k", "k", kPoints(), allAlgos, cpuMetric)
+			},
+		},
+		{
+			ID:    "fig20",
+			Title: "Figure 20: space requirements vs k",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				return bothDists(scale, seed, "Figure 20: space vs k", "k", kPoints(), allAlgos, spaceMetric)
+			},
+		},
+		{
+			ID:    "table2",
+			Title: "Table 2: average view/skyband size per query",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				tbl := Table{
+					Title:  "Table 2: average view (TSL) / skyband (SMA) size per query",
+					XLabel: "k",
+					Cols:   []string{"TSL IND", "SMA IND", "TSL ANT", "SMA ANT"},
+				}
+				for _, k := range []int{1, 5, 10, 20, 50, 100} {
+					row := Row{X: fmt.Sprintf("%d", k)}
+					for _, dist := range []stream.Distribution{stream.IND, stream.ANT} {
+						for _, algo := range []Algo{AlgoTSL, AlgoSMA} {
+							cfg := Defaults(scale, seed)
+							cfg.Dist = dist
+							cfg.Algo = algo
+							cfg.K = k
+							res, err := Run(cfg)
+							if err != nil {
+								return nil, err
+							}
+							row.Cells = append(row.Cells, fmt.Sprintf("%.1f", res.AvgAuxSize))
+						}
+					}
+					// Reorder to TSL-IND, SMA-IND, TSL-ANT, SMA-ANT (already).
+					tbl.Rows = append(tbl.Rows, row)
+				}
+				return []Table{tbl}, nil
+			},
+		},
+		{
+			ID:    "fig21",
+			Title: "Figure 21: CPU time vs d for non-linear functions",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				var out []Table
+				for _, fk := range []stream.FunctionKind{stream.FuncProduct, stream.FuncQuadratic} {
+					for _, dist := range []stream.Distribution{stream.IND, stream.ANT} {
+						base := Defaults(scale, seed)
+						base.Dist = dist
+						base.Func = fk
+						tbl, err := runMatrix(
+							fmt.Sprintf("Figure 21: CPU time vs d, f=%s (%s)", fk, dist),
+							"d", base, dimPoints(), allAlgos, cpuMetric)
+						if err != nil {
+							return nil, err
+						}
+						out = append(out, tbl)
+					}
+				}
+				return out, nil
+			},
+		},
+		{
+			ID:    "kmax",
+			Title: "kmax tuning for TSL (Section 8 remark)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				base := Defaults(scale, seed)
+				var points []sweepPoint
+				for _, km := range []int{20, 25, 30, 40, 60, 100} {
+					km := km
+					points = append(points, sweepPoint{
+						label: fmt.Sprintf("%d", km),
+						mut: func(c Config) Config {
+							c.KMax = km
+							return c
+						},
+					})
+				}
+				tbl, err := runMatrix("TSL CPU time vs kmax (k=20, IND)", "kmax", base, points, []Algo{AlgoTSL}, cpuMetric)
+				if err != nil {
+					return nil, err
+				}
+				return []Table{tbl}, nil
+			},
+		},
+		{
+			ID:    "model",
+			Title: "Ablation: measured TMA/SMA ratio vs the Section 6 model",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				tbl := Table{
+					Title:  "Ablation: TMA/SMA CPU ratio, measured vs model",
+					XLabel: "k",
+					Cols:   []string{"measured", "model", "TMA recomputes", "SMA recomputes"},
+				}
+				for _, k := range []int{1, 10, 20, 50, 100} {
+					cfg := Defaults(scale, seed)
+					cfg.K = k
+					cfg.Algo = AlgoTMA
+					tma, err := Run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					cfg.Algo = AlgoSMA
+					sma, err := Run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					measured := float64(tma.RunTime) / float64(sma.RunTime)
+					res := 12.0
+					if cfg.GridRes == 0 {
+						res = 12 // model at the paper's tuned grid
+					}
+					p := analytic.Params{
+						N: float64(cfg.N), R: float64(cfg.R), Q: float64(cfg.Q),
+						K: float64(k), D: float64(cfg.Dims), Delta: 1 / res,
+					}
+					model := p.TMATime() / p.SMATime()
+					tbl.Rows = append(tbl.Rows, Row{
+						X: fmt.Sprintf("%d", k),
+						Cells: []string{
+							fmt.Sprintf("%.2f", measured),
+							fmt.Sprintf("%.2f", model),
+							fmt.Sprintf("%d", tma.Recomputes),
+							fmt.Sprintf("%d", sma.Recomputes),
+						},
+					})
+				}
+				return []Table{tbl}, nil
+			},
+		},
+		{
+			ID:    "order",
+			Title: "Ablation: Pins-before-Pdel vs deletions-first processing (Figure 8)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				tbl := Table{
+					Title:  "Ablation: processing order (TMA, IND)",
+					XLabel: "k",
+					Cols:   []string{"Pins first (paper)", "Pdel first", "recomputes (paper)", "recomputes (inverted)"},
+				}
+				for _, k := range []int{10, 20, 50} {
+					cfg := Defaults(scale, seed)
+					cfg.Algo = AlgoTMA
+					cfg.K = k
+					paper, err := Run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					cfg.DeletionsFirst = true
+					inverted, err := Run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					tbl.Rows = append(tbl.Rows, Row{
+						X: fmt.Sprintf("%d", k),
+						Cells: []string{
+							FormatDuration(paper.RunTime),
+							FormatDuration(inverted.RunTime),
+							fmt.Sprintf("%d", paper.Recomputes),
+							fmt.Sprintf("%d", inverted.Recomputes),
+						},
+					})
+				}
+				return []Table{tbl}, nil
+			},
+		},
+	}
+}
+
+// Experiment looks up an experiment by id.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+func dimPoints() []sweepPoint {
+	var points []sweepPoint
+	for _, d := range []int{2, 3, 4, 5, 6} {
+		d := d
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("%d", d),
+			mut: func(c Config) Config {
+				c.Dims = d
+				return c
+			},
+		})
+	}
+	return points
+}
+
+func kPoints() []sweepPoint {
+	var points []sweepPoint
+	for _, k := range []int{1, 5, 10, 20, 50, 100} {
+		k := k
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("%d", k),
+			mut: func(c Config) Config {
+				c.K = k
+				return c
+			},
+		})
+	}
+	return points
+}

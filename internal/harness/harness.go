@@ -1,0 +1,239 @@
+// Package harness runs the paper's experiments: it builds monitors (TSL,
+// TMA or SMA), generates workloads per Section 8 (IND/ANT streams, random
+// query sets, count-based windows with r arrivals per cycle), measures CPU
+// time and space, and renders the tables behind every figure of the
+// evaluation.
+//
+// Configurations scale linearly from the paper's defaults (Table 1:
+// d=4, N=1M, r=10K, Q=1K, k=20) so the same sweeps run as quick CI
+// benchmarks at small scale and as full reproductions offline.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"topkmon/internal/core"
+	"topkmon/internal/stream"
+	"topkmon/internal/tsl"
+	"topkmon/internal/window"
+)
+
+// Algo identifies one of the three compared algorithms.
+type Algo int
+
+// Algorithms under comparison.
+const (
+	AlgoTSL Algo = iota
+	AlgoTMA
+	AlgoSMA
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case AlgoTSL:
+		return "TSL"
+	case AlgoTMA:
+		return "TMA"
+	case AlgoSMA:
+		return "SMA"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// ParseAlgo converts a name to an Algo.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "TSL", "tsl":
+		return AlgoTSL, nil
+	case "TMA", "tma":
+		return AlgoTMA, nil
+	case "SMA", "sma":
+		return AlgoSMA, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown algorithm %q", s)
+	}
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// Label annotates the run in reports (e.g. "d=4").
+	Label string
+	Algo  Algo
+	Dist  stream.Distribution
+	Func  stream.FunctionKind
+	// Dims, N (window size), R (arrivals per cycle), Q (queries), K.
+	Dims int
+	N    int
+	R    int
+	Q    int
+	K    int
+	// Cycles is the number of measured processing cycles (the paper's
+	// "simulation length", 100 timestamps at full scale).
+	Cycles int
+	// GridRes fixes the per-axis resolution (Figure 14); zero derives it
+	// from TargetCells.
+	GridRes int
+	// TargetCells approximates the total grid size when GridRes is zero;
+	// zero keeps the points-per-cell density of the paper's tuned grid.
+	TargetCells int
+	// KMax overrides the TSL view capacity (zero = tuned default).
+	KMax int
+	// DeletionsFirst inverts the paper's Pins-before-Pdel processing order
+	// (grid algorithms only) — the ordering ablation of Figure 8.
+	DeletionsFirst bool
+	Seed           int64
+}
+
+// withDefaults fills derived fields.
+func (c Config) withDefaults() Config {
+	if c.Cycles == 0 {
+		c.Cycles = 20
+	}
+	if c.TargetCells == 0 && c.GridRes == 0 {
+		// The paper tunes to 12^4 cells for N=1M: ~48 tuples per cell.
+		c.TargetCells = c.N / 48
+		if c.TargetCells < 16 {
+			c.TargetCells = 16
+		}
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Dims <= 0:
+		return fmt.Errorf("harness: dims=%d", c.Dims)
+	case c.N <= 0:
+		return fmt.Errorf("harness: N=%d", c.N)
+	case c.R <= 0:
+		return fmt.Errorf("harness: R=%d", c.R)
+	case c.Q <= 0:
+		return fmt.Errorf("harness: Q=%d", c.Q)
+	case c.K <= 0:
+		return fmt.Errorf("harness: K=%d", c.K)
+	}
+	return nil
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	Config Config
+	// InitTime covers query registration (the initial top-k computations).
+	InitTime time.Duration
+	// RunTime covers the measured processing cycles.
+	RunTime time.Duration
+	// SpaceBytes is the monitor footprint at the end of the run.
+	SpaceBytes int64
+	// Recomputes / Refills count from-scratch computations during
+	// maintenance (engine recomputations or TSL view refills).
+	Recomputes int64
+	// AvgAuxSize is the average skyband size (SMA) or view size (TSL) per
+	// query per cycle — Table 2. Zero for TMA.
+	AvgAuxSize float64
+	// CellsProcessed counts de-heaped cells (grid algorithms).
+	CellsProcessed int64
+}
+
+// PerCycle returns the average maintenance time per processing cycle.
+func (r Result) PerCycle() time.Duration {
+	if r.Config.Cycles == 0 {
+		return 0
+	}
+	return r.RunTime / time.Duration(r.Config.Cycles)
+}
+
+// NewMonitor builds the monitor for a config, pre-fills the window with N
+// tuples, and registers the Q queries. It returns the monitor, the stream
+// generator (positioned after the fill), and the next timestamp to use.
+func NewMonitor(cfg Config) (core.Monitor, *stream.Generator, int64, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	var mon core.Monitor
+	switch cfg.Algo {
+	case AlgoTSL:
+		opts := tsl.Options{Dims: cfg.Dims, Window: window.Count(cfg.N)}
+		if cfg.KMax > 0 {
+			opts.KMax = func(int) int { return cfg.KMax }
+		}
+		m, err := tsl.New(opts)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		mon = m
+	case AlgoTMA, AlgoSMA:
+		e, err := core.NewEngine(core.Options{
+			Dims:           cfg.Dims,
+			Window:         window.Count(cfg.N),
+			GridRes:        cfg.GridRes,
+			TargetCells:    cfg.TargetCells,
+			DeletionsFirst: cfg.DeletionsFirst,
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		mon = e
+	default:
+		return nil, nil, 0, fmt.Errorf("harness: unknown algorithm %v", cfg.Algo)
+	}
+
+	gen := stream.NewGenerator(cfg.Dist, cfg.Dims, cfg.Seed)
+	// Fill the window at ts=0, before queries exist, so registration sees
+	// the steady-state data volume.
+	if _, err := mon.Step(0, gen.Batch(cfg.N, 0)); err != nil {
+		return nil, nil, 0, err
+	}
+	policy := core.TMA
+	if cfg.Algo == AlgoSMA {
+		policy = core.SMA
+	}
+	qg := stream.NewQueryGenerator(cfg.Func, cfg.Dims, cfg.Seed+1)
+	for i := 0; i < cfg.Q; i++ {
+		spec := core.QuerySpec{F: qg.Next(), K: cfg.K, Policy: policy}
+		if _, err := mon.Register(spec); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return mon, gen, 1, nil
+}
+
+// Run executes one full experiment run and collects measurements.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{Config: cfg}
+
+	t0 := time.Now()
+	mon, gen, ts, err := NewMonitor(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.InitTime = time.Since(t0)
+
+	t1 := time.Now()
+	for c := 0; c < cfg.Cycles; c++ {
+		if _, err := mon.Step(ts, gen.Batch(cfg.R, ts)); err != nil {
+			return res, err
+		}
+		ts++
+	}
+	res.RunTime = time.Since(t1)
+	res.SpaceBytes = mon.MemoryBytes()
+
+	switch m := mon.(type) {
+	case *core.Engine:
+		s := m.Stats()
+		res.Recomputes = s.Recomputes
+		res.CellsProcessed = s.CellsProcessed
+		res.AvgAuxSize = s.AvgSkybandSize()
+	case *tsl.Monitor:
+		s := m.Stats()
+		res.Recomputes = s.Refills
+		res.AvgAuxSize = s.AvgViewSize()
+	}
+	return res, nil
+}

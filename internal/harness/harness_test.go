@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"topkmon/internal/core"
+	"topkmon/internal/stream"
+)
+
+// tinyConfig keeps harness tests fast.
+func tinyConfig(algo Algo) Config {
+	return Config{
+		Algo:   algo,
+		Dist:   stream.IND,
+		Func:   stream.FuncLinear,
+		Dims:   2,
+		N:      2000,
+		R:      20,
+		Q:      4,
+		K:      5,
+		Cycles: 5,
+		Seed:   1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dims: 0, N: 10, R: 1, Q: 1, K: 1},
+		{Dims: 2, N: 0, R: 1, Q: 1, K: 1},
+		{Dims: 2, N: 10, R: 0, Q: 1, K: 1},
+		{Dims: 2, N: 10, R: 1, Q: 0, K: 1},
+		{Dims: 2, N: 10, R: 1, Q: 1, K: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if err := tinyConfig(AlgoTMA).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestAlgoParsing(t *testing.T) {
+	for s, want := range map[string]Algo{"TSL": AlgoTSL, "tma": AlgoTMA, "SMA": AlgoSMA} {
+		got, err := ParseAlgo(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgo(%q)=%v,%v", s, got, err)
+		}
+	}
+	if _, err := ParseAlgo("abc"); err == nil {
+		t.Errorf("unknown algo must fail")
+	}
+	if AlgoTSL.String() != "TSL" || Algo(9).String() == "" {
+		t.Errorf("algo strings")
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []Algo{AlgoTSL, AlgoTMA, AlgoSMA} {
+		res, err := Run(tinyConfig(algo))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.RunTime <= 0 {
+			t.Errorf("%v: no runtime measured", algo)
+		}
+		if res.SpaceBytes <= 0 {
+			t.Errorf("%v: no space measured", algo)
+		}
+		if res.PerCycle() <= 0 {
+			t.Errorf("%v: per-cycle time", algo)
+		}
+		if algo != AlgoTMA && res.AvgAuxSize < float64(tinyConfig(algo).K) {
+			t.Errorf("%v: aux size %.1f below k", algo, res.AvgAuxSize)
+		}
+	}
+}
+
+func TestNewMonitorRegistersQueries(t *testing.T) {
+	cfg := tinyConfig(AlgoSMA)
+	mon, gen, ts, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 1 {
+		t.Fatalf("next ts=%d", ts)
+	}
+	// Query ids 0..Q-1 must exist with full results.
+	for id := 0; id < cfg.Q; id++ {
+		res, err := mon.Result(core.QueryID(id))
+		if err != nil {
+			t.Fatalf("query %d: %v", id, err)
+		}
+		if len(res) != cfg.K {
+			t.Fatalf("query %d has %d results want %d", id, len(res), cfg.K)
+		}
+	}
+	if _, err := mon.Step(ts, gen.Batch(cfg.R, ts)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsScaling(t *testing.T) {
+	full := Defaults(1, 0)
+	if full.N != 1e6 || full.R != 1e4 || full.Q != 1000 || full.K != 20 || full.Dims != 4 || full.Cycles != 100 {
+		t.Fatalf("full-scale defaults wrong: %+v", full)
+	}
+	small := Defaults(0.01, 0)
+	if small.N != 10000 || small.R != 100 || small.Q != 10 || small.Cycles != 20 {
+		t.Fatalf("scaled defaults wrong: %+v", small)
+	}
+	floor := Defaults(0.000001, 0)
+	if floor.N < 2000 || floor.Q < 4 || floor.R < 20 {
+		t.Fatalf("floors not applied: %+v", floor)
+	}
+}
+
+func TestKMaxOverride(t *testing.T) {
+	cfg := tinyConfig(AlgoTSL)
+	cfg.KMax = 7
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgAuxSize > 7.01 {
+		t.Fatalf("view exceeded kmax override: %.2f", res.AvgAuxSize)
+	}
+}
+
+func TestGridResOverride(t *testing.T) {
+	cfg := tinyConfig(AlgoTMA)
+	cfg.GridRes = 3
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		XLabel: "k",
+		Cols:   []string{"TMA", "SMA"},
+		Rows: []Row{
+			{X: "1", Cells: []string{"1.0ms", "0.5ms"}},
+			{X: "100", Cells: []string{"9.0ms", "2,5ms"}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "TMA", "SMA", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.Contains(csv, "k,TMA,SMA") {
+		t.Errorf("csv header missing: %s", csv)
+	}
+	if !strings.Contains(csv, `"2,5ms"`) {
+		t.Errorf("csv escaping missing: %s", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "0",
+		500 * time.Nanosecond:   "0.5us",
+		2 * time.Millisecond:    "2.00ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v)=%q want %q", d, got, want)
+		}
+	}
+	if got := FormatMB(3 << 20); got != "3.00MB" {
+		t.Errorf("FormatMB=%q", got)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment: %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table2", "kmax", "model", "order"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, err := ExperimentByID("fig15"); err != nil {
+		t.Errorf("lookup failed: %v", err)
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Errorf("unknown lookup must fail")
+	}
+}
+
+// TestExperimentsSmoke runs every experiment at a microscopic scale to make
+// sure each sweep executes end to end and produces sane tables.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(0.0005, 7)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 || len(tbl.Cols) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tbl.Title)
+				}
+				for _, r := range tbl.Rows {
+					if len(r.Cells) != len(tbl.Cols) {
+						t.Errorf("%s: row %q has %d cells want %d", e.ID, r.X, len(r.Cells), len(tbl.Cols))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHeadlineClaim verifies the paper's central experimental finding at a
+// small scale: SMA is at least as fast as TMA, and both grid algorithms
+// beat TSL.
+func TestHeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison test is slow")
+	}
+	base := Defaults(0.01, 3)
+	base.Cycles = 10
+	times := map[Algo]time.Duration{}
+	for _, algo := range allAlgos {
+		cfg := base
+		cfg.Algo = algo
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[algo] = res.RunTime
+	}
+	if times[AlgoTMA] > times[AlgoTSL] {
+		t.Errorf("TMA (%v) slower than TSL (%v)", times[AlgoTMA], times[AlgoTSL])
+	}
+	if times[AlgoSMA] > times[AlgoTSL] {
+		t.Errorf("SMA (%v) slower than TSL (%v)", times[AlgoSMA], times[AlgoTSL])
+	}
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment: one row per sweep value, one column per
+// algorithm (or metric).
+type Table struct {
+	Title  string
+	XLabel string
+	Cols   []string
+	Rows   []Row
+}
+
+// Row is one sweep point.
+type Row struct {
+	X     string
+	Cells []string
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Cols)+1)
+	widths[0] = len(t.XLabel)
+	for i, c := range t.Cols {
+		widths[i+1] = len(c)
+	}
+	for _, r := range t.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+		for i, c := range r.Cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	line := func(x string, cells []string) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  %-*s", widths[0], x)
+		for i, c := range cells {
+			w := 0
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			fmt.Fprintf(&b, "  %*s", w, c)
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.XLabel, t.Cols)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(r.X, r.Cells)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values.
+func (t Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, 0, len(t.Cols)+1)
+	cols = append(cols, esc(t.XLabel))
+	for _, c := range t.Cols {
+		cols = append(cols, esc(c))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, 0, len(r.Cells)+1)
+		cells = append(cells, esc(r.X))
+		for _, c := range r.Cells {
+			cells = append(cells, esc(c))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatDuration renders a duration with experiment-friendly precision.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fus", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// FormatMB renders a byte count in megabytes.
+func FormatMB(bytes int64) string {
+	return fmt.Sprintf("%.2fMB", float64(bytes)/(1<<20))
+}

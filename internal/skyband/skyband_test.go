@@ -1,0 +1,368 @@
+package skyband
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+)
+
+func mk(seq uint64, score float64) (*stream.Tuple, float64) {
+	return &stream.Tuple{ID: seq, Seq: seq, Vec: geom.Vector{score}}, score
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("k=0 must panic")
+		}
+	}()
+	New(0)
+}
+
+// TestPaperFigure10 replays the example of Figure 10: at time 0 the
+// 2-skyband is {p2,p3,p5,p7}; when p9 arrives (highest score, latest
+// expiry) the counters of p5,p3,p7 increase and p3,p7 are evicted, leaving
+// {p2,p9,p5} with the new top-2 = {p2,p9}.
+func TestPaperFigure10(t *testing.T) {
+	s := New(2)
+	// Scores follow the figure's vertical ordering (p2 > p3 > p5 > p7) and
+	// the arrival order (= expiration order) is p3, p2, p7, p5: p2 arrives
+	// after p3 (giving p3 a counter of 1) and p5 arrives after p7 (giving
+	// p7 a counter of 1).
+	p3 := Entry{T: &stream.Tuple{ID: 3, Seq: 1}, Score: 0.8}
+	p2 := Entry{T: &stream.Tuple{ID: 2, Seq: 2}, Score: 0.9}
+	p7 := Entry{T: &stream.Tuple{ID: 7, Seq: 3}, Score: 0.6}
+	p5 := Entry{T: &stream.Tuple{ID: 5, Seq: 4}, Score: 0.7}
+	// Rebuild input in descending score order.
+	s.Rebuild([]Entry{p2, p3, p5, p7})
+	if s.Len() != 4 {
+		t.Fatalf("initial skyband len=%d want 4", s.Len())
+	}
+	// DCs from the figure: p2:0, p3:1 (p2 expires later and scores higher),
+	// p5:0, p7:1 (p5 dominates it).
+	wantDC := map[uint64]int{2: 0, 3: 1, 5: 0, 7: 1}
+	for _, e := range s.Entries() {
+		if e.DC != wantDC[e.T.ID] {
+			t.Fatalf("p%d DC=%d want %d", e.T.ID, e.DC, wantDC[e.T.ID])
+		}
+	}
+	top := s.TopK(nil)
+	if top[0].T.ID != 2 || top[1].T.ID != 3 {
+		t.Fatalf("initial top-2 wrong: %v", top)
+	}
+
+	// p9 arrives: score between p2 and p3, latest expiry.
+	p9 := &stream.Tuple{ID: 9, Seq: 5}
+	evicted := s.Insert(p9, 0.85)
+	if evicted != 2 {
+		t.Fatalf("evicted=%d want 2 (p3 and p7)", evicted)
+	}
+	if s.Len() != 3 || !s.Contains(2) || !s.Contains(9) || !s.Contains(5) {
+		t.Fatalf("skyband after p9: %v", s.Entries())
+	}
+	top = s.TopK(nil)
+	if top[0].T.ID != 2 || top[1].T.ID != 9 {
+		t.Fatalf("top-2 after p9: %v", top)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// p2 expires at time 5: the new top-2 is {p9, p5}.
+	if !s.Remove(2) {
+		t.Fatalf("remove p2 failed")
+	}
+	top = s.TopK(nil)
+	if len(top) != 2 || top[0].T.ID != 9 || top[1].T.ID != 5 {
+		t.Fatalf("top-2 after p2 expiry: %v", top)
+	}
+}
+
+func TestKthScore(t *testing.T) {
+	s := New(3)
+	if _, ok := s.KthScore(); ok {
+		t.Fatalf("kth score on underfull skyband")
+	}
+	for i := uint64(0); i < 3; i++ {
+		tu, sc := mk(i, float64(i))
+		s.Insert(tu, sc)
+	}
+	got, ok := s.KthScore()
+	if !ok || got != 0 {
+		t.Fatalf("kth=%g,%v want 0", got, ok)
+	}
+}
+
+func TestInsertDuplicatePanics(t *testing.T) {
+	s := New(2)
+	tu, sc := mk(1, 0.5)
+	s.Insert(tu, sc)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate insert must panic")
+		}
+	}()
+	s.Insert(tu, sc)
+}
+
+func TestRebuildRejectsUnsortedInput(t *testing.T) {
+	s := New(2)
+	a := Entry{T: &stream.Tuple{ID: 1, Seq: 1}, Score: 0.1}
+	b := Entry{T: &stream.Tuple{ID: 2, Seq: 2}, Score: 0.9}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unsorted rebuild must panic")
+		}
+	}()
+	s.Rebuild([]Entry{a, b})
+}
+
+func TestRebuildDropsOverdominated(t *testing.T) {
+	// Three newer, better tuples dominate the last one; with k=2 it must
+	// not survive a rebuild even if the caller passes it in.
+	s := New(2)
+	in := []Entry{
+		{T: &stream.Tuple{ID: 4, Seq: 4}, Score: 0.9},
+		{T: &stream.Tuple{ID: 3, Seq: 3}, Score: 0.8},
+		{T: &stream.Tuple{ID: 2, Seq: 2}, Score: 0.7},
+		{T: &stream.Tuple{ID: 1, Seq: 1}, Score: 0.6}, // DC would be 3
+	}
+	s.Rebuild(in)
+	if s.Contains(1) || s.Contains(2) {
+		t.Fatalf("over-dominated entries survived rebuild: %v", s.Entries())
+	}
+	if s.Len() != 2 || !s.Contains(4) || !s.Contains(3) {
+		t.Fatalf("len=%d entries=%v", s.Len(), s.Entries())
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	s := New(2)
+	tu, sc := mk(1, 0.5)
+	s.Insert(tu, sc)
+	if s.Remove(99) {
+		t.Fatalf("removing absent id succeeded")
+	}
+	if !s.Remove(1) || s.Remove(1) {
+		t.Fatalf("remove semantics wrong")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len=%d", s.Len())
+	}
+}
+
+func TestEqualScoresUseArrivalOrder(t *testing.T) {
+	// Later arrival with an equal score dominates: with k=1 the earlier one
+	// must be evicted on insert.
+	s := New(1)
+	early, sc := mk(1, 0.5)
+	s.Insert(early, sc)
+	late := &stream.Tuple{ID: 2, Seq: 2}
+	if evicted := s.Insert(late, 0.5); evicted != 1 {
+		t.Fatalf("evicted=%d want 1", evicted)
+	}
+	if s.Contains(1) || !s.Contains(2) {
+		t.Fatalf("wrong survivor")
+	}
+}
+
+// bruteSkyband computes the k-skyband of the admitted tuples by the O(n^2)
+// definition: p survives iff fewer than k admitted tuples dominate it.
+func bruteSkyband(entries []Entry, k int) map[uint64]int {
+	out := make(map[uint64]int)
+	for _, p := range entries {
+		dc := 0
+		for _, q := range entries {
+			if stream.Dominates(q.Score, q.T.Seq, p.Score, p.T.Seq) {
+				dc++
+			}
+		}
+		if dc < k {
+			out[p.T.ID] = dc
+		}
+	}
+	return out
+}
+
+// TestDifferentialAgainstBruteForce drives a long random insert/expire
+// mix and compares the incremental skyband (entries and counters) with the
+// brute-force definition applied to the currently admitted, valid tuples.
+func TestDifferentialAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, k := range []int{1, 2, 3, 8} {
+		s := New(k)
+		var admitted []Entry // valid tuples that were admitted, arrival order
+		seq := uint64(0)
+		for step := 0; step < 3000; step++ {
+			if rng.Intn(4) != 0 || len(admitted) == 0 {
+				tu := &stream.Tuple{ID: seq, Seq: seq}
+				score := float64(rng.Intn(50)) / 50 // coarse grid forces score ties
+				s.Insert(tu, score)
+				admitted = append(admitted, Entry{T: tu, Score: score})
+				seq++
+			} else {
+				// FIFO expiry of the oldest admitted tuple.
+				oldest := admitted[0]
+				admitted = admitted[1:]
+				want := s.Contains(oldest.T.ID)
+				if got := s.Remove(oldest.T.ID); got != want {
+					t.Fatalf("k=%d: Remove(%d)=%v inconsistent", k, oldest.T.ID, got)
+				}
+			}
+			if step%100 == 0 {
+				if err := s.checkInvariants(); err != nil {
+					t.Fatalf("k=%d step %d: %v", k, step, err)
+				}
+				want := bruteSkyband(admitted, k)
+				if len(want) != s.Len() {
+					t.Fatalf("k=%d step %d: skyband size %d want %d", k, step, s.Len(), len(want))
+				}
+				for _, e := range s.Entries() {
+					wdc, ok := want[e.T.ID]
+					if !ok {
+						t.Fatalf("k=%d step %d: tuple %d should not be in skyband", k, step, e.T.ID)
+					}
+					if wdc != e.DC {
+						t.Fatalf("k=%d step %d: tuple %d DC=%d want %d", k, step, e.T.ID, e.DC, wdc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKMatchesSortedAdmitted: the first k skyband entries must equal the
+// k best admitted valid tuples under the total order.
+func TestTopKMatchesSortedAdmitted(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const k = 5
+	s := New(k)
+	var admitted []Entry
+	seq := uint64(0)
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(3) != 0 || len(admitted) == 0 {
+			tu := &stream.Tuple{ID: seq, Seq: seq}
+			score := rng.Float64()
+			s.Insert(tu, score)
+			admitted = append(admitted, Entry{T: tu, Score: score})
+			seq++
+		} else {
+			oldest := admitted[0]
+			admitted = admitted[1:]
+			s.Remove(oldest.T.ID)
+		}
+		if step%50 != 0 {
+			continue
+		}
+		sorted := append([]Entry(nil), admitted...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return stream.Better(sorted[i].Score, sorted[i].T.Seq, sorted[j].Score, sorted[j].T.Seq)
+		})
+		n := k
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		top := s.TopK(nil)
+		if len(top) != n {
+			t.Fatalf("step %d: top len=%d want %d", step, len(top), n)
+		}
+		for i := 0; i < n; i++ {
+			if top[i].T.ID != sorted[i].T.ID {
+				t.Fatalf("step %d: top[%d]=%d want %d", step, i, top[i].T.ID, sorted[i].T.ID)
+			}
+		}
+	}
+}
+
+// TestUniformChurnSizeStaysNearK reproduces the analytical observation of
+// Section 6 / Table 2: with SMA's admission filter (only arrivals scoring
+// at least the kth score of the last from-scratch computation enter the
+// skyband), the skyband stays close to k entries under uniform churn.
+func TestUniformChurnSizeStaysNearK(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	const (
+		k = 20
+		n = 500
+	)
+	type rec struct {
+		t     *stream.Tuple
+		score float64
+	}
+	s := New(k)
+	var fifo []rec // the valid window, arrival order
+	seq := uint64(0)
+	topScore := 0.0 // warm-up: admit everything until the window fills
+	rebuild := func() {
+		sorted := append([]rec(nil), fifo...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return stream.Better(sorted[i].score, sorted[i].t.Seq, sorted[j].score, sorted[j].t.Seq)
+		})
+		if len(sorted) > k {
+			sorted = sorted[:k]
+		}
+		in := make([]Entry, len(sorted))
+		for i, r := range sorted {
+			in[i] = Entry{T: r.t, Score: r.score}
+		}
+		s.Rebuild(in)
+		if kth, ok := s.KthScore(); ok {
+			topScore = kth
+		}
+	}
+	var sizeSum, samples, rebuilds int
+	for step := 0; step < 20000; step++ {
+		tu := &stream.Tuple{ID: seq, Seq: seq}
+		score := rng.Float64()
+		fifo = append(fifo, rec{tu, score})
+		seq++
+		if score >= topScore {
+			s.Insert(tu, score)
+		}
+		if len(fifo) > n {
+			old := fifo[0]
+			fifo = fifo[1:]
+			s.Remove(old.t.ID)
+		}
+		if step == n {
+			rebuild() // "query registration": initial top-k computation
+		} else if s.Len() < k && len(fifo) >= k {
+			rebuild()
+			rebuilds++
+		}
+		if step > 2*n {
+			sizeSum += s.Len()
+			samples++
+		}
+	}
+	avg := float64(sizeSum) / float64(samples)
+	// Table 2 reports 21.6 average skyband entries for k=20.
+	if avg < float64(k)-1 || avg > float64(2*k) {
+		t.Fatalf("average skyband size %.1f implausible for k=%d", avg, k)
+	}
+	// Section 6 argues SMA (almost) never recomputes under uniform churn;
+	// allow a handful beyond the initial fill.
+	if rebuilds > 200 {
+		t.Fatalf("too many from-scratch rebuilds: %d", rebuilds)
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	s := New(20)
+	var fifo []*stream.Tuple
+	seq := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tu := &stream.Tuple{ID: seq, Seq: seq}
+		s.Insert(tu, rng.Float64())
+		fifo = append(fifo, tu)
+		seq++
+		if len(fifo) > 200 {
+			s.Remove(fifo[0].ID)
+			fifo = fifo[1:]
+		}
+	}
+}

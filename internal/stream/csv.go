@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"topkmon/internal/geom"
+)
+
+// CSVReader decodes tuples from CSV for trace replay. The expected layout
+// is one tuple per record:
+//
+//	ts,x1,x2,...,xd
+//
+// with an optional leading header row (detected automatically when the
+// first field of the first record is not numeric). Timestamps must be
+// non-decreasing; attributes must lie in [0,1]. Sequence numbers and ids
+// are assigned in reading order, preserving the FIFO expiration the
+// sliding-window model requires.
+type CSVReader struct {
+	r       *csv.Reader
+	dims    int
+	nextID  uint64
+	lastTS  int64
+	started bool
+	line    int
+	// pending buffers the first tuple of the following batch between
+	// NextBatch calls.
+	pending *Tuple
+}
+
+// NewCSVReader wraps r as a tuple source with the given dimensionality.
+func NewCSVReader(r io.Reader, dims int) (*CSVReader, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("stream: csv reader needs positive dims, got %d", dims)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = dims + 1
+	cr.ReuseRecord = true
+	return &CSVReader{r: cr, dims: dims}, nil
+}
+
+// Next decodes one tuple. It returns io.EOF at the end of the input.
+func (c *CSVReader) Next() (*Tuple, error) {
+	for {
+		rec, err := c.r.Read()
+		if err != nil {
+			return nil, err
+		}
+		c.line++
+		if c.line == 1 {
+			// Skip a header row if the first field is not numeric.
+			if _, err := strconv.ParseInt(rec[0], 10, 64); err != nil {
+				continue
+			}
+		}
+		ts, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad timestamp %q: %v", c.line, rec[0], err)
+		}
+		if c.started && ts < c.lastTS {
+			return nil, fmt.Errorf("stream: line %d: timestamp %d out of order (last %d)", c.line, ts, c.lastTS)
+		}
+		vec := make(geom.Vector, c.dims)
+		for i := 0; i < c.dims; i++ {
+			x, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d: bad attribute %q: %v", c.line, rec[i+1], err)
+			}
+			if x < 0 || x > 1 {
+				return nil, fmt.Errorf("stream: line %d: attribute %g outside [0,1]", c.line, x)
+			}
+			vec[i] = x
+		}
+		t := &Tuple{ID: c.nextID, Seq: c.nextID, TS: ts, Vec: vec}
+		c.nextID++
+		c.lastTS = ts
+		c.started = true
+		return t, nil
+	}
+}
+
+// NextBatch reads every tuple sharing the next timestamp — one processing
+// cycle's arrivals. It returns the batch and its timestamp, or io.EOF when
+// the trace is exhausted.
+func (c *CSVReader) NextBatch() ([]*Tuple, int64, error) {
+	first, err := c.Next()
+	if err != nil {
+		if c.pending != nil {
+			batch := []*Tuple{c.pending}
+			c.pending = nil
+			return batch, batch[0].TS, nil
+		}
+		return nil, 0, err
+	}
+	if c.pending != nil && c.pending.TS != first.TS {
+		batch := []*Tuple{c.pending}
+		c.pending = first
+		return batch, batch[0].TS, nil
+	}
+	batch := []*Tuple{}
+	if c.pending != nil {
+		batch = append(batch, c.pending)
+		c.pending = nil
+	}
+	batch = append(batch, first)
+	for {
+		t, err := c.Next()
+		if err == io.EOF {
+			return batch, batch[0].TS, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if t.TS != batch[0].TS {
+			c.pending = t
+			return batch, batch[0].TS, nil
+		}
+		batch = append(batch, t)
+	}
+}
+
+// WriteCSV encodes tuples as "ts,x1,...,xd" records with a header row.
+func WriteCSV(w io.Writer, tuples []*Tuple, dims int) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, dims+1)
+	header[0] = "ts"
+	for i := 0; i < dims; i++ {
+		header[i+1] = fmt.Sprintf("x%d", i+1)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, dims+1)
+	for _, t := range tuples {
+		if len(t.Vec) != dims {
+			return fmt.Errorf("stream: tuple %d has %d attributes, want %d", t.ID, len(t.Vec), dims)
+		}
+		rec[0] = strconv.FormatInt(t.TS, 10)
+		for i, x := range t.Vec {
+			rec[i+1] = strconv.FormatFloat(x, 'f', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	gen := NewGenerator(IND, 3, 60)
+	var tuples []*Tuple
+	for ts := int64(0); ts < 5; ts++ {
+		tuples = append(tuples, gen.Batch(4, ts)...)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tuples, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewCSVReader(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range tuples {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if got.TS != want.TS || !got.Vec.Equal(want.Vec) {
+			t.Fatalf("tuple %d: got %v want %v", i, got, want)
+		}
+		if got.Seq != uint64(i) {
+			t.Fatalf("tuple %d: seq %d", i, got.Seq)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestCSVReaderHeaderOptional(t *testing.T) {
+	withHeader := "ts,x1,x2\n0,0.1,0.2\n1,0.3,0.4\n"
+	withoutHeader := "0,0.1,0.2\n1,0.3,0.4\n"
+	for name, in := range map[string]string{"header": withHeader, "bare": withoutHeader} {
+		r, err := NewCSVReader(strings.NewReader(in), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for {
+			tu, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if tu.Vec[0] != 0.1 && tu.Vec[0] != 0.3 {
+				t.Fatalf("%s: bad value %v", name, tu.Vec)
+			}
+			count++
+		}
+		if count != 2 {
+			t.Fatalf("%s: read %d tuples", name, count)
+		}
+	}
+}
+
+func TestCSVReaderErrors(t *testing.T) {
+	if _, err := NewCSVReader(strings.NewReader(""), 0); err == nil {
+		t.Fatalf("dims=0 must fail")
+	}
+	cases := map[string]string{
+		"bad ts":        "zz,0.1,0.2\nxx,0.1,0.2\n", // second row still non-numeric
+		"bad attr":      "0,0.1,oops\n",
+		"out of range":  "0,0.1,1.5\n",
+		"negative":      "0,-0.1,0.5\n",
+		"time reversal": "5,0.1,0.2\n3,0.1,0.2\n",
+		"short row":     "0,0.1\n",
+	}
+	for name, in := range cases {
+		r, err := NewCSVReader(strings.NewReader(in), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got error
+		for {
+			_, got = r.Next()
+			if got != nil {
+				break
+			}
+		}
+		if got == io.EOF {
+			t.Errorf("%s: error swallowed", name)
+		}
+	}
+}
+
+func TestCSVNextBatchGroupsByTimestamp(t *testing.T) {
+	in := "0,0.1,0.1\n0,0.2,0.2\n0,0.3,0.3\n2,0.4,0.4\n3,0.5,0.5\n3,0.6,0.6\n"
+	r, err := NewCSVReader(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSizes := []struct {
+		ts   int64
+		size int
+	}{{0, 3}, {2, 1}, {3, 2}}
+	for _, w := range wantSizes {
+		batch, ts, err := r.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts != w.ts || len(batch) != w.size {
+			t.Fatalf("batch ts=%d size=%d want ts=%d size=%d", ts, len(batch), w.ts, w.size)
+		}
+		for _, tu := range batch {
+			if tu.TS != ts {
+				t.Fatalf("tuple ts %d inside batch ts %d", tu.TS, ts)
+			}
+		}
+	}
+	if _, _, err := r.NextBatch(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestCSVWriteRejectsDimsMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	bad := []*Tuple{{ID: 1, Vec: []float64{0.5}}}
+	if err := WriteCSV(&buf, bad, 2); err == nil {
+		t.Fatalf("dims mismatch must fail")
+	}
+}

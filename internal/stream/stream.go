@@ -1,0 +1,293 @@
+// Package stream defines the tuple model of the append-only data stream and
+// the synthetic workload generators used in the paper's evaluation
+// (Section 8): independent (IND) and anti-correlated (ANT) attribute
+// distributions, plus a generator of random monitoring queries.
+//
+// Tuples carry a global arrival sequence number. In both count-based and
+// time-based sliding windows the expiration order equals the arrival order
+// (footnote 4 of the paper), so Seq doubles as the expiration order, which
+// is what the k-skyband reduction of Section 3.1 operates on.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"topkmon/internal/geom"
+)
+
+// Tuple is one stream record: a unique identifier, d attribute values in
+// the unit workspace, a global arrival sequence number, and the arrival
+// timestamp (used by time-based windows).
+type Tuple struct {
+	ID  uint64
+	Vec geom.Vector
+	Seq uint64
+	TS  int64
+}
+
+// String renders the tuple for logs.
+func (t *Tuple) String() string {
+	return fmt.Sprintf("p%d%s@%d", t.ID, t.Vec, t.TS)
+}
+
+// Better reports whether the tuple with (score1, seq1) strictly precedes the
+// tuple with (score2, seq2) in the total preference order used throughout
+// the repository: higher score first; on equal scores the later arrival
+// wins, because it expires later and is therefore preferable at every
+// instant both are valid. This total order makes TMA, SMA, TSL and the
+// brute-force oracle produce identical results even with duplicate scores.
+func Better(score1 float64, seq1 uint64, score2 float64, seq2 uint64) bool {
+	if score1 != score2 {
+		return score1 > score2
+	}
+	return seq1 > seq2
+}
+
+// Dominates reports whether a tuple with (score1, seq1) dominates one with
+// (score2, seq2) in the score-time space of Section 3.1: it arrived later
+// (hence expires later) and is preferable under the total order. A tuple is
+// evicted from a k-skyband once k such tuples have arrived after it.
+func Dominates(score1 float64, seq1 uint64, score2 float64, seq2 uint64) bool {
+	return seq1 > seq2 && Better(score1, seq1, score2, seq2)
+}
+
+// Distribution identifies a synthetic attribute distribution.
+type Distribution int
+
+// Supported distributions.
+const (
+	// IND draws every attribute independently and uniformly from [0,1].
+	IND Distribution = iota
+	// ANT draws anti-correlated attributes: points concentrate around the
+	// hyperplane sum(x_i) = d/2, and a tuple good in one dimension tends to
+	// be bad in the others (Börzsönyi et al.'s generator).
+	ANT
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case IND:
+		return "IND"
+	case ANT:
+		return "ANT"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution converts a string such as "IND" or "ant" to a
+// Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "IND", "ind", "uniform":
+		return IND, nil
+	case "ANT", "ant", "anticorrelated", "anti":
+		return ANT, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown distribution %q", s)
+	}
+}
+
+// Generator produces an endless stream of tuples with a given distribution
+// and dimensionality. It is deterministic for a fixed seed.
+type Generator struct {
+	dims    int
+	dist    Distribution
+	rng     *rand.Rand
+	nextID  uint64
+	nextSeq uint64
+}
+
+// NewGenerator returns a tuple generator. dims must be positive.
+func NewGenerator(dist Distribution, dims int, seed int64) *Generator {
+	if dims <= 0 {
+		panic(fmt.Sprintf("stream: dims must be positive, got %d", dims))
+	}
+	return &Generator{dims: dims, dist: dist, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Dims returns the dimensionality of generated tuples.
+func (g *Generator) Dims() int { return g.dims }
+
+// Next produces the next tuple, stamping it with the given arrival
+// timestamp.
+func (g *Generator) Next(ts int64) *Tuple {
+	t := &Tuple{ID: g.nextID, Seq: g.nextSeq, TS: ts, Vec: g.Vec()}
+	g.nextID++
+	g.nextSeq++
+	return t
+}
+
+// Batch produces n tuples sharing the arrival timestamp ts — one processing
+// cycle's worth of arrivals at rate r = n.
+func (g *Generator) Batch(n int, ts int64) []*Tuple {
+	out := make([]*Tuple, n)
+	for i := range out {
+		out[i] = g.Next(ts)
+	}
+	return out
+}
+
+// Vec draws one attribute vector from the configured distribution.
+func (g *Generator) Vec() geom.Vector {
+	switch g.dist {
+	case ANT:
+		return antVec(g.rng, g.dims)
+	default:
+		return indVec(g.rng, g.dims)
+	}
+}
+
+func indVec(rng *rand.Rand, d int) geom.Vector {
+	v := make(geom.Vector, d)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+// antVec samples an anti-correlated point following Börzsönyi et al.: the
+// per-tuple mean quality is drawn from a normal distribution tightly
+// centered at 0.5, then attribute mass is repeatedly shifted between random
+// dimension pairs. The result concentrates near the anti-diagonal
+// hyperplane sum(x_i) = d/2 with negatively correlated attributes. For d=1
+// it degenerates to the clamped normal itself.
+func antVec(rng *rand.Rand, d int) geom.Vector {
+	const meanStd = 0.07 // tight concentration around the hyperplane
+	m := 0.5 + rng.NormFloat64()*meanStd
+	m = math.Min(1, math.Max(0, m))
+	v := make(geom.Vector, d)
+	for i := range v {
+		v[i] = m
+	}
+	if d == 1 {
+		return v
+	}
+	// Shift mass between random pairs; each shift keeps the sum constant
+	// and stays inside [0,1] on both coordinates. A few rounds per
+	// dimension suffice to spread points across the hyperplane.
+	for round := 0; round < 4*d; round++ {
+		i := rng.Intn(d)
+		j := rng.Intn(d - 1)
+		if j >= i {
+			j++
+		}
+		// delta in [-lo, hi] keeps v[i]+delta and v[j]-delta in [0,1].
+		lo := math.Min(v[i], 1-v[j])
+		hi := math.Min(1-v[i], v[j])
+		delta := -lo + rng.Float64()*(lo+hi)
+		v[i] += delta
+		v[j] -= delta
+	}
+	for i := range v {
+		// Guard against floating-point drift outside the workspace.
+		v[i] = math.Min(1, math.Max(0, v[i]))
+	}
+	return v
+}
+
+// FunctionKind identifies the scoring-function family of generated queries.
+type FunctionKind int
+
+// Function families used in the evaluation.
+const (
+	// FuncLinear generates f(p) = sum a_i * p.x_i with a_i uniform in [0,1]
+	// (the default workload of Section 8).
+	FuncLinear FunctionKind = iota
+	// FuncProduct generates f(p) = prod (a_i + p.x_i) with a_i in [0,1]
+	// (Figure 21 a,b).
+	FuncProduct
+	// FuncQuadratic generates f(p) = sum a_i * p.x_i^2 with a_i in [0,1]
+	// (Figure 21 c,d).
+	FuncQuadratic
+	// FuncMixed generates linear functions with coefficients in [-1,1], so
+	// roughly half the dimensions are decreasingly monotone (Figure 7a).
+	FuncMixed
+)
+
+// String implements fmt.Stringer.
+func (k FunctionKind) String() string {
+	switch k {
+	case FuncLinear:
+		return "linear"
+	case FuncProduct:
+		return "product"
+	case FuncQuadratic:
+		return "quadratic"
+	case FuncMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("FunctionKind(%d)", int(k))
+	}
+}
+
+// ParseFunctionKind converts a string name to a FunctionKind.
+func ParseFunctionKind(s string) (FunctionKind, error) {
+	switch s {
+	case "linear":
+		return FuncLinear, nil
+	case "product":
+		return FuncProduct, nil
+	case "quadratic":
+		return FuncQuadratic, nil
+	case "mixed":
+		return FuncMixed, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown function kind %q", s)
+	}
+}
+
+// QueryGenerator produces random scoring functions of a fixed family, as in
+// the experimental setup of Section 8.
+type QueryGenerator struct {
+	dims int
+	kind FunctionKind
+	rng  *rand.Rand
+}
+
+// NewQueryGenerator returns a deterministic query workload generator.
+func NewQueryGenerator(kind FunctionKind, dims int, seed int64) *QueryGenerator {
+	if dims <= 0 {
+		panic(fmt.Sprintf("stream: dims must be positive, got %d", dims))
+	}
+	return &QueryGenerator{dims: dims, kind: kind, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws one scoring function.
+func (qg *QueryGenerator) Next() geom.ScoringFunction {
+	coef := make([]float64, qg.dims)
+	switch qg.kind {
+	case FuncProduct:
+		for i := range coef {
+			coef[i] = qg.rng.Float64()
+		}
+		return geom.NewProduct(coef...)
+	case FuncQuadratic:
+		for i := range coef {
+			coef[i] = qg.rng.Float64()
+		}
+		return geom.NewQuadratic(coef...)
+	case FuncMixed:
+		for i := range coef {
+			coef[i] = qg.rng.Float64()*2 - 1
+		}
+		return geom.NewLinear(coef...)
+	default:
+		for i := range coef {
+			coef[i] = qg.rng.Float64()
+		}
+		return geom.NewLinear(coef...)
+	}
+}
+
+// NextN draws n scoring functions.
+func (qg *QueryGenerator) NextN(n int) []geom.ScoringFunction {
+	out := make([]geom.ScoringFunction, n)
+	for i := range out {
+		out[i] = qg.Next()
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"topkmon/internal/geom"
+)
+
+func TestTotalOrderBetter(t *testing.T) {
+	cases := []struct {
+		s1   float64
+		q1   uint64
+		s2   float64
+		q2   uint64
+		want bool
+	}{
+		{1.0, 0, 0.5, 9, true},  // higher score wins regardless of age
+		{0.5, 9, 1.0, 0, false}, // lower score loses
+		{0.7, 5, 0.7, 3, true},  // tie: later arrival wins
+		{0.7, 3, 0.7, 5, false}, // tie: earlier arrival loses
+		{0.7, 4, 0.7, 4, false}, // identical is not strictly better
+	}
+	for _, c := range cases {
+		if got := Better(c.s1, c.q1, c.s2, c.q2); got != c.want {
+			t.Errorf("Better(%g,%d,%g,%d)=%v want %v", c.s1, c.q1, c.s2, c.q2, got, c.want)
+		}
+	}
+}
+
+func TestTotalOrderIsStrictAndTotal(t *testing.T) {
+	type key struct {
+		s float64
+		q uint64
+	}
+	prop := func(aScore, bScore float64, aSeq, bSeq uint64) bool {
+		a := key{aScore, aSeq}
+		b := key{bScore, bSeq}
+		ab := Better(a.s, a.q, b.s, b.q)
+		ba := Better(b.s, b.q, a.s, a.q)
+		if a == b {
+			return !ab && !ba // irreflexive
+		}
+		return ab != ba // total: exactly one direction holds
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	// p9 of Figure 10(a): arrives later with the highest score, so it
+	// dominates every lower-scored valid tuple, but nothing dominates it.
+	if !Dominates(0.9, 9, 0.5, 3) {
+		t.Fatalf("later + better must dominate")
+	}
+	if Dominates(0.5, 3, 0.9, 9) {
+		t.Fatalf("earlier + worse must not dominate")
+	}
+	if Dominates(0.9, 3, 0.5, 9) {
+		t.Fatalf("earlier arrival never dominates, even with a better score")
+	}
+	if !Dominates(0.5, 9, 0.5, 3) {
+		t.Fatalf("equal score, later arrival dominates under the total order")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(IND, 3, 42)
+	b := NewGenerator(IND, 3, 42)
+	for i := 0; i < 100; i++ {
+		ta, tb := a.Next(int64(i)), b.Next(int64(i))
+		if !ta.Vec.Equal(tb.Vec) || ta.ID != tb.ID || ta.Seq != tb.Seq {
+			t.Fatalf("generators with equal seeds diverged at %d", i)
+		}
+	}
+	c := NewGenerator(IND, 3, 43)
+	if a.Next(0).Vec.Equal(c.Next(0).Vec) {
+		t.Fatalf("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestGeneratorSequenceNumbers(t *testing.T) {
+	g := NewGenerator(IND, 2, 1)
+	batch := g.Batch(10, 5)
+	for i, tu := range batch {
+		if tu.Seq != uint64(i) || tu.ID != uint64(i) {
+			t.Fatalf("tuple %d has seq=%d id=%d", i, tu.Seq, tu.ID)
+		}
+		if tu.TS != 5 {
+			t.Fatalf("timestamp not stamped")
+		}
+	}
+	next := g.Next(6)
+	if next.Seq != 10 {
+		t.Fatalf("sequence must continue across batches, got %d", next.Seq)
+	}
+}
+
+func TestINDRangeAndUniformity(t *testing.T) {
+	g := NewGenerator(IND, 4, 7)
+	const n = 20000
+	sum := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		v := g.Vec()
+		for d, x := range v {
+			if x < 0 || x > 1 {
+				t.Fatalf("attribute out of range: %g", x)
+			}
+			sum[d] += x
+		}
+	}
+	for d, s := range sum {
+		if mean := s / n; math.Abs(mean-0.5) > 0.02 {
+			t.Errorf("dimension %d mean %.3f, want ~0.5", d, mean)
+		}
+	}
+}
+
+func TestANTRangeAndConcentration(t *testing.T) {
+	g := NewGenerator(ANT, 4, 11)
+	const n = 20000
+	var sumOfSums, sumOfSumsSq float64
+	for i := 0; i < n; i++ {
+		v := g.Vec()
+		s := 0.0
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				t.Fatalf("attribute out of range: %g", x)
+			}
+			s += x
+		}
+		sumOfSums += s
+		sumOfSumsSq += s * s
+	}
+	mean := sumOfSums / n
+	variance := sumOfSumsSq/n - mean*mean
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Errorf("mean coordinate sum %.3f, want ~d/2=2", mean)
+	}
+	// Independent uniforms would have Var(sum)=d/12=0.333; ANT must be far
+	// more concentrated around the hyperplane.
+	if variance > 0.15 {
+		t.Errorf("coordinate-sum variance %.3f too large for ANT", variance)
+	}
+}
+
+func TestANTNegativeCorrelation(t *testing.T) {
+	g := NewGenerator(ANT, 2, 13)
+	const n = 20000
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		v := g.Vec()
+		x, y := v[0], v[1]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	r := cov / math.Sqrt(vx*vy)
+	if r > -0.5 {
+		t.Errorf("ANT d=2 Pearson correlation %.3f, want strongly negative", r)
+	}
+}
+
+func TestANTOneDimensional(t *testing.T) {
+	g := NewGenerator(ANT, 1, 17)
+	for i := 0; i < 1000; i++ {
+		v := g.Vec()
+		if len(v) != 1 || v[0] < 0 || v[0] > 1 {
+			t.Fatalf("bad 1-d ANT vector %v", v)
+		}
+	}
+}
+
+func TestDistributionParsing(t *testing.T) {
+	for s, want := range map[string]Distribution{"IND": IND, "ant": ANT, "uniform": IND} {
+		got, err := ParseDistribution(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDistribution(%q)=%v,%v", s, got, err)
+		}
+	}
+	if _, err := ParseDistribution("zipf"); err == nil {
+		t.Errorf("unknown distribution must error")
+	}
+	if IND.String() != "IND" || ANT.String() != "ANT" {
+		t.Errorf("stringers broken")
+	}
+	if Distribution(9).String() == "" {
+		t.Errorf("unknown distribution must still render")
+	}
+}
+
+func TestQueryGeneratorFamilies(t *testing.T) {
+	cases := []struct {
+		kind FunctionKind
+		typ  string
+	}{
+		{FuncLinear, "*geom.Linear"},
+		{FuncProduct, "*geom.Product"},
+		{FuncQuadratic, "*geom.Quadratic"},
+		{FuncMixed, "*geom.Linear"},
+	}
+	for _, c := range cases {
+		qg := NewQueryGenerator(c.kind, 3, 19)
+		fns := qg.NextN(20)
+		if len(fns) != 20 {
+			t.Fatalf("NextN returned %d", len(fns))
+		}
+		for _, f := range fns {
+			if f.Dims() != 3 {
+				t.Fatalf("%v: dims=%d", c.kind, f.Dims())
+			}
+		}
+	}
+}
+
+func TestQueryGeneratorLinearWeightsInRange(t *testing.T) {
+	qg := NewQueryGenerator(FuncLinear, 5, 23)
+	for i := 0; i < 50; i++ {
+		f := qg.Next().(*geom.Linear)
+		for _, w := range f.Weights() {
+			if w < 0 || w > 1 {
+				t.Fatalf("linear weight %g outside [0,1]", w)
+			}
+		}
+	}
+}
+
+func TestQueryGeneratorMixedHasBothDirections(t *testing.T) {
+	qg := NewQueryGenerator(FuncMixed, 4, 29)
+	inc, dec := false, false
+	for i := 0; i < 50; i++ {
+		f := qg.Next()
+		for d := 0; d < f.Dims(); d++ {
+			switch f.Direction(d) {
+			case geom.Increasing:
+				inc = true
+			case geom.Decreasing:
+				dec = true
+			}
+		}
+	}
+	if !inc || !dec {
+		t.Fatalf("mixed workload should produce both directions (inc=%v dec=%v)", inc, dec)
+	}
+}
+
+func TestFunctionKindParsing(t *testing.T) {
+	for s, want := range map[string]FunctionKind{
+		"linear": FuncLinear, "product": FuncProduct,
+		"quadratic": FuncQuadratic, "mixed": FuncMixed,
+	} {
+		got, err := ParseFunctionKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFunctionKind(%q)=%v,%v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("round trip %q -> %q", s, got.String())
+		}
+	}
+	if _, err := ParseFunctionKind("cubic"); err == nil {
+		t.Errorf("unknown kind must error")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := &Tuple{ID: 3, Vec: geom.Vector{0.5, 0.25}, TS: 7}
+	if tu.String() == "" {
+		t.Fatalf("empty tuple string")
+	}
+}
+
+func TestBadConstructors(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"generator": func() { NewGenerator(IND, 0, 1) },
+		"querygen":  func() { NewQueryGenerator(FuncLinear, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic for non-positive dims", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

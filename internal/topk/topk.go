@@ -1,0 +1,281 @@
+// Package topk implements the top-k computation module of Figure 6: a
+// best-first search over grid cells in descending maxscore order that
+// processes exactly the cells intersecting the query's influence region.
+//
+// The search starts from the cell maximizing the scoring function (the
+// top-right corner cell of Figure 5 for functions increasing on both
+// axes), and after processing a cell en-heaps its "worse" neighbor along
+// every axis — the generalization to arbitrary per-dimension monotonicity
+// and dimensionality described with Figure 7. It terminates when the best
+// unprocessed cell cannot contain a tuple preferable to the current kth
+// result.
+//
+// Two variants extend the module per Section 7: constrained top-k queries
+// restrict the search (and the point filter) to a constraint rectangle
+// (Figure 12), and threshold queries collect every tuple scoring above a
+// user threshold using a plain list instead of a heap, since the visiting
+// order does not matter.
+package topk
+
+import (
+	"math"
+
+	"topkmon/internal/container/bheap"
+	"topkmon/internal/geom"
+	"topkmon/internal/grid"
+	"topkmon/internal/stream"
+)
+
+// Entry is one result tuple with its score under the query's function.
+type Entry struct {
+	T     *stream.Tuple
+	Score float64
+}
+
+// Request describes one top-k computation.
+type Request struct {
+	// F is the monotone preference function.
+	F geom.ScoringFunction
+	// K is the number of results to retrieve.
+	K int
+	// Constraint optionally restricts the query to tuples inside a
+	// rectangle (constrained top-k, Section 7). Nil means unconstrained.
+	Constraint *geom.Rect
+}
+
+// Result is the outcome of a top-k computation.
+type Result struct {
+	// Top holds up to K entries in descending total order.
+	Top []Entry
+	// Processed lists the de-heaped cells — the cells intersecting the
+	// influence region, in which the caller must register the query's
+	// influence-list entries (Figure 6 line 13).
+	Processed []int
+	// Frontier lists the cells remaining in the heap at termination: they
+	// were en-heaped although their maxscore fell at or below the kth
+	// score. They seed the influence-list pruning walk of Figure 9
+	// (lines 14-21).
+	Frontier []int
+}
+
+type cellEntry struct {
+	idx      int
+	maxscore float64
+}
+
+// Searcher runs top-k computations against a grid. It owns reusable
+// scratch state (heap, visited stamps, rectangle buffers), so it is not
+// safe for concurrent use; the engine runs computations sequentially,
+// matching the paper's single-server model.
+type Searcher struct {
+	g       *grid.Grid
+	heap    *bheap.Heap[cellEntry]
+	visited []uint32
+	gen     uint32
+	// scratch geometry buffers
+	cellRect geom.Rect
+	clipped  geom.Rect
+	corner   geom.Vector
+	// CellsProcessed accumulates the number of de-heaped cells across
+	// computations; used by the experiment harness.
+	CellsProcessed int64
+}
+
+// NewSearcher returns a searcher bound to g.
+func NewSearcher(g *grid.Grid) *Searcher {
+	d := g.Dims()
+	return &Searcher{
+		g:        g,
+		heap:     bheap.NewWithCapacity[cellEntry](func(a, b cellEntry) bool { return a.maxscore > b.maxscore }, 64),
+		visited:  make([]uint32, g.NumCells()),
+		cellRect: geom.Rect{Lo: make(geom.Vector, d), Hi: make(geom.Vector, d)},
+		clipped:  geom.Rect{Lo: make(geom.Vector, d), Hi: make(geom.Vector, d)},
+		corner:   make(geom.Vector, d),
+	}
+}
+
+// Grid returns the searcher's grid.
+func (s *Searcher) Grid() *grid.Grid { return s.g }
+
+func (s *Searcher) nextGen() {
+	s.gen++
+	if s.gen == 0 { // stamp wrap-around: reset the array once per 2^32 runs
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// maxScoreOf computes maxscore of cell idx under f, clipped to the
+// constraint when present. ok is false when the cell does not intersect
+// the constraint.
+func (s *Searcher) maxScoreOf(idx int, f geom.ScoringFunction, constraint *geom.Rect) (float64, bool) {
+	s.g.RectInto(idx, &s.cellRect)
+	r := &s.cellRect
+	if constraint != nil {
+		if !s.cellRect.IntersectInto(*constraint, &s.clipped) {
+			return 0, false
+		}
+		r = &s.clipped
+	}
+	geom.BestCornerInto(f, *r, s.corner)
+	return f.Score(s.corner), true
+}
+
+// TopK runs the computation module for req and returns the result entries
+// together with the processed and frontier cell sets.
+func (s *Searcher) TopK(req Request) Result {
+	if req.K <= 0 {
+		panic("topk: K must be positive")
+	}
+	s.nextGen()
+	s.heap.Reset()
+
+	var res Result
+	top := newTopList(req.K)
+
+	start := s.g.BestCell(req.F)
+	if req.Constraint != nil {
+		start = s.g.BestCellIn(req.F, *req.Constraint)
+	}
+	if ms, ok := s.maxScoreOf(start, req.F, req.Constraint); ok {
+		s.heap.Push(cellEntry{start, ms})
+		s.visited[start] = s.gen
+	}
+
+	for {
+		next, ok := s.heap.Peek()
+		if !ok {
+			break
+		}
+		// Termination: the best unprocessed cell cannot contain a tuple
+		// preferable to the current kth result. We stop on strictly
+		// smaller maxscore (not <=) so that a tuple tying the kth score
+		// but arriving later — preferable under the total order — is
+		// never missed.
+		if kth, full := top.kth(); full && next.maxscore < kth {
+			break
+		}
+		s.heap.Pop()
+		s.CellsProcessed++
+		res.Processed = append(res.Processed, next.idx)
+
+		s.g.PointsDo(next.idx, func(t *stream.Tuple) bool {
+			if req.Constraint != nil && !req.Constraint.Contains(t.Vec) {
+				return true
+			}
+			top.offer(t, req.F.Score(t.Vec))
+			return true
+		})
+
+		for dim := 0; dim < s.g.Dims(); dim++ {
+			n, ok := s.g.StepWorse(next.idx, dim, req.F.Direction(dim))
+			if !ok || s.visited[n] == s.gen {
+				continue
+			}
+			s.visited[n] = s.gen
+			if ms, ok := s.maxScoreOf(n, req.F, req.Constraint); ok {
+				s.heap.Push(cellEntry{n, ms})
+			}
+		}
+	}
+
+	for _, e := range s.heap.Items() {
+		res.Frontier = append(res.Frontier, e.idx)
+	}
+	res.Top = top.entries
+	return res
+}
+
+// Threshold collects every tuple with score strictly above the threshold,
+// visiting cells from the best corner with a plain list (Section 7: the
+// visiting order does not matter for threshold queries). It returns the
+// matching entries (unordered) and the set of processed cells, which is
+// exactly the set of cells whose maxscore exceeds the threshold — the
+// query's influence region.
+func (s *Searcher) Threshold(f geom.ScoringFunction, threshold float64, constraint *geom.Rect) ([]Entry, []int) {
+	s.nextGen()
+	var entries []Entry
+	var processed []int
+
+	start := s.g.BestCell(f)
+	if constraint != nil {
+		start = s.g.BestCellIn(f, *constraint)
+	}
+	queue := []int{start}
+	s.visited[start] = s.gen
+	for len(queue) > 0 {
+		idx := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		ms, ok := s.maxScoreOf(idx, f, constraint)
+		if !ok || ms <= threshold {
+			continue
+		}
+		s.CellsProcessed++
+		processed = append(processed, idx)
+		s.g.PointsDo(idx, func(t *stream.Tuple) bool {
+			if constraint != nil && !constraint.Contains(t.Vec) {
+				return true
+			}
+			if sc := f.Score(t.Vec); sc > threshold {
+				entries = append(entries, Entry{T: t, Score: sc})
+			}
+			return true
+		})
+		for dim := 0; dim < s.g.Dims(); dim++ {
+			n, ok := s.g.StepWorse(idx, dim, f.Direction(dim))
+			if !ok || s.visited[n] == s.gen {
+				continue
+			}
+			s.visited[n] = s.gen
+			queue = append(queue, n)
+		}
+	}
+	return entries, processed
+}
+
+// topList maintains the best-k candidates in descending total order during
+// a search (the red-black-tree q.top_list of the analysis; a bounded
+// sorted slice has the same O(log k) search and is faster at the paper's
+// k <= 100 because of locality).
+type topList struct {
+	k       int
+	entries []Entry
+}
+
+func newTopList(k int) *topList {
+	return &topList{k: k, entries: make([]Entry, 0, k)}
+}
+
+// kth returns the current kth score; full is false while fewer than k
+// candidates have been seen (in which case every tuple qualifies).
+func (tl *topList) kth() (float64, bool) {
+	if len(tl.entries) < tl.k {
+		return math.Inf(-1), false
+	}
+	return tl.entries[tl.k-1].Score, true
+}
+
+func (tl *topList) offer(t *stream.Tuple, score float64) {
+	if len(tl.entries) == tl.k {
+		last := tl.entries[tl.k-1]
+		if !stream.Better(score, t.Seq, last.Score, last.T.Seq) {
+			return
+		}
+	}
+	lo, hi := 0, len(tl.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if stream.Better(tl.entries[mid].Score, tl.entries[mid].T.Seq, score, t.Seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if len(tl.entries) < tl.k {
+		tl.entries = append(tl.entries, Entry{})
+	}
+	copy(tl.entries[lo+1:], tl.entries[lo:])
+	tl.entries[lo] = Entry{T: t, Score: score}
+}

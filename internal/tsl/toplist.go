@@ -1,0 +1,51 @@
+package tsl
+
+import (
+	"math"
+
+	"topkmon/internal/core"
+	"topkmon/internal/stream"
+)
+
+// boundedTop maintains the best-m candidates in descending total order
+// during a TA run.
+type boundedTop struct {
+	m       int
+	entries []core.Entry
+}
+
+func newBoundedTop(m int) *boundedTop {
+	return &boundedTop{m: m, entries: make([]core.Entry, 0, m)}
+}
+
+// kth returns the current m-th best score; full is false while fewer than
+// m candidates have been collected.
+func (b *boundedTop) kth() (float64, bool) {
+	if len(b.entries) < b.m {
+		return math.Inf(-1), false
+	}
+	return b.entries[b.m-1].Score, true
+}
+
+func (b *boundedTop) offer(t *stream.Tuple, score float64) {
+	if len(b.entries) == b.m {
+		last := b.entries[b.m-1]
+		if !stream.Better(score, t.Seq, last.Score, last.T.Seq) {
+			return
+		}
+	}
+	lo, hi := 0, len(b.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if stream.Better(b.entries[mid].Score, b.entries[mid].T.Seq, score, t.Seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if len(b.entries) < b.m {
+		b.entries = append(b.entries, core.Entry{})
+	}
+	copy(b.entries[lo+1:], b.entries[lo:])
+	b.entries[lo] = core.Entry{T: t, Score: score}
+}

@@ -1,0 +1,118 @@
+package tsl
+
+import (
+	"math/rand"
+	"testing"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+	"topkmon/internal/validate"
+	"topkmon/internal/window"
+)
+
+// TestTSLLifecycleStress drives a long randomized session against the
+// baseline: query churn, bursty rates (including empty cycles), ANT data
+// and per-cycle differential checks — the TSL counterpart of the engine's
+// lifecycle stress test.
+func TestTSLLifecycleStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	m := mustMonitor(t, Options{Dims: 3, Window: window.Count(300)})
+	gen := stream.NewGenerator(stream.ANT, 3, 92)
+	qg := stream.NewQueryGenerator(stream.FuncLinear, 3, 93)
+
+	type liveQuery struct {
+		id   core.QueryID
+		spec core.QuerySpec
+	}
+	var live []liveQuery
+	var valid []*stream.Tuple
+
+	registerRandom := func() {
+		spec := core.QuerySpec{F: qg.Next(), K: 1 + rng.Intn(15)}
+		id, err := m.Register(spec)
+		if err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		live = append(live, liveQuery{id, spec})
+	}
+	for i := 0; i < 5; i++ {
+		registerRandom()
+	}
+
+	for ts := 0; ts < 120; ts++ {
+		rate := rng.Intn(15)
+		batch := gen.Batch(rate, int64(ts))
+		if _, err := m.Step(int64(ts), batch); err != nil {
+			t.Fatalf("ts=%d: %v", ts, err)
+		}
+		valid = append(valid, batch...)
+		if len(valid) > 300 {
+			valid = valid[len(valid)-300:]
+		}
+		if rng.Intn(6) == 0 && len(live) > 2 {
+			i := rng.Intn(len(live))
+			if err := m.Unregister(live[i].id); err != nil {
+				t.Fatalf("unregister: %v", err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if rng.Intn(6) == 0 {
+			registerRandom()
+		}
+		for _, q := range live {
+			got, err := m.Result(q.id)
+			if err != nil {
+				t.Fatalf("ts=%d query %d: %v", ts, q.id, err)
+			}
+			want := validate.TopK(valid, q.spec.F, q.spec.K, nil)
+			if len(got) != len(want) {
+				t.Fatalf("ts=%d query %d: %d results want %d", ts, q.id, len(got), len(want))
+			}
+			for j := range want {
+				if got[j].T.ID != want[j].T.ID {
+					t.Fatalf("ts=%d query %d rank %d: p%d want p%d", ts, q.id, j, got[j].T.ID, want[j].T.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestTSLDuplicateCoordinates floods the lists with identical attribute
+// values, exercising the (value, id) composite ordering of the sorted
+// lists and the total-order tie-breaking of TA.
+func TestTSLDuplicateCoordinates(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(40)})
+	id, err := m.Register(core.QuerySpec{F: geomLinear11(), K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq uint64
+	var valid []*stream.Tuple
+	for ts := 0; ts < 15; ts++ {
+		batch := make([]*stream.Tuple, 8)
+		for i := range batch {
+			batch[i] = &stream.Tuple{ID: seq, Seq: seq, TS: int64(ts), Vec: []float64{0.5, 0.5}}
+			seq++
+		}
+		if _, err := m.Step(int64(ts), batch); err != nil {
+			t.Fatal(err)
+		}
+		valid = append(valid, batch...)
+		if len(valid) > 40 {
+			valid = valid[len(valid)-40:]
+		}
+		got, _ := m.Result(id)
+		want := validate.TopK(valid, geomLinear11(), 5, nil)
+		if len(got) != len(want) {
+			t.Fatalf("ts=%d: %d results want %d", ts, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].T.ID != want[j].T.ID {
+				t.Fatalf("ts=%d rank %d: p%d want p%d (tie-break broken)", ts, j, got[j].T.ID, want[j].T.ID)
+			}
+		}
+	}
+}
+
+func geomLinear11() *geom.Linear { return geom.NewLinear(1, 1) }

@@ -1,0 +1,377 @@
+package tsl
+
+import (
+	"math/rand"
+	"testing"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+	"topkmon/internal/validate"
+	"topkmon/internal/window"
+)
+
+func mustMonitor(t *testing.T, opts Options) *Monitor {
+	t.Helper()
+	m, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Dims: 0, Window: window.Count(10)}); err == nil {
+		t.Errorf("dims=0 must fail")
+	}
+	if _, err := New(Options{Dims: 2, Window: window.Count(0)}); err == nil {
+		t.Errorf("bad window must fail")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(50)})
+	thr := 1.0
+	r := geom.Rect{Lo: geom.Vector{0, 0}, Hi: geom.Vector{1, 1}}
+	bad := []core.QuerySpec{
+		{F: nil, K: 5},
+		{F: geom.NewLinear(1), K: 5},
+		{F: geom.NewLinear(1, 1), K: 0},
+		{F: geom.NewLinear(1, 1), K: 5, Constraint: &r},
+		{F: geom.NewLinear(1, 1), Threshold: &thr},
+	}
+	for i, spec := range bad {
+		if _, err := m.Register(spec); err == nil {
+			t.Errorf("case %d must be rejected", i)
+		}
+	}
+	if err := m.Unregister(99); err == nil {
+		t.Errorf("unknown unregister must fail")
+	}
+	if _, err := m.Result(99); err == nil {
+		t.Errorf("unknown result must fail")
+	}
+}
+
+func TestDefaultKMaxMatchesPaperTuning(t *testing.T) {
+	// Section 8: optimal kmax (4, 10, 20, 30, 70, 120) for
+	// k = (1, 5, 10, 20, 50, 100).
+	want := map[int]int{1: 4, 5: 10, 10: 20, 20: 30, 50: 70, 100: 120}
+	for k, km := range want {
+		if got := DefaultKMax(k); got != km {
+			t.Errorf("DefaultKMax(%d)=%d want %d", k, got, km)
+		}
+	}
+	// Interpolation stays sane elsewhere.
+	for _, k := range []int{2, 3, 7, 15, 33, 64, 200} {
+		if got := DefaultKMax(k); got <= k {
+			t.Errorf("DefaultKMax(%d)=%d not above k", k, got)
+		}
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(10)})
+	gen := stream.NewGenerator(stream.IND, 2, 1)
+	if _, err := m.Step(5, gen.Batch(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(4, nil); err == nil {
+		t.Errorf("time regression must fail")
+	}
+	tup := gen.Next(6)
+	if _, err := m.Step(7, []*stream.Tuple{tup}); err == nil {
+		t.Errorf("mis-stamped arrival must fail")
+	}
+	a := gen.Next(8)
+	b := &stream.Tuple{ID: 999, Seq: a.Seq, TS: 8, Vec: geom.Vector{0.5, 0.5}}
+	if _, err := m.Step(8, []*stream.Tuple{a, b}); err == nil {
+		t.Errorf("non-increasing sequence must fail")
+	}
+}
+
+// TestTAMatchesOracle exercises the TA module in isolation over random
+// windows and function families, including mixed monotonicity.
+func TestTAMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	kinds := []stream.FunctionKind{stream.FuncLinear, stream.FuncProduct, stream.FuncQuadratic, stream.FuncMixed}
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(4)
+		m := mustMonitor(t, Options{Dims: d, Window: window.Count(1000)})
+		gen := stream.NewGenerator(stream.IND, d, int64(trial))
+		n := rng.Intn(300)
+		batch := gen.Batch(n, 0)
+		if _, err := m.Step(0, batch); err != nil {
+			t.Fatal(err)
+		}
+		f := stream.NewQueryGenerator(kinds[trial%len(kinds)], d, int64(trial)).Next()
+		kmax := 1 + rng.Intn(30)
+		got := m.topKMax(f, kmax)
+		want := validate.TopK(batch, f, kmax, nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (d=%d n=%d kmax=%d): %d entries want %d", trial, d, n, kmax, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].T.ID != want[i].T.ID {
+				t.Fatalf("trial %d: rank %d p%d want p%d", trial, i, got[i].T.ID, want[i].T.ID)
+			}
+		}
+	}
+}
+
+// TestTAEarlyTermination: with a window much larger than kmax, TA must not
+// scan everything (the point of the threshold bound).
+func TestTAEarlyTermination(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(5000)})
+	gen := stream.NewGenerator(stream.IND, 2, 2)
+	if _, err := m.Step(0, gen.Batch(5000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats().SortedAccesses
+	m.topKMax(geom.NewLinear(1, 1), 10)
+	accesses := m.Stats().SortedAccesses - before
+	if accesses >= 2*5000 {
+		t.Fatalf("TA scanned the whole lists: %d accesses", accesses)
+	}
+}
+
+// TestViewMaintenanceMatchesOracle is the TSL differential test: every
+// query result equals the brute-force top-k at every cycle.
+func TestViewMaintenanceMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 8; trial++ {
+		d := 1 + rng.Intn(3)
+		n := 60 + rng.Intn(100)
+		m := mustMonitor(t, Options{Dims: d, Window: window.Count(n)})
+		qg := stream.NewQueryGenerator(stream.FuncLinear, d, int64(trial))
+		type q struct {
+			id   core.QueryID
+			spec core.QuerySpec
+		}
+		var qs []q
+		for i := 0; i < 3; i++ {
+			spec := core.QuerySpec{F: qg.Next(), K: 1 + rng.Intn(8)}
+			id, err := m.Register(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs = append(qs, q{id, spec})
+		}
+		gen := stream.NewGenerator(stream.IND, d, int64(trial*3))
+		var valid []*stream.Tuple
+		for ts := 0; ts < 40; ts++ {
+			batch := gen.Batch(5+rng.Intn(8), int64(ts))
+			if _, err := m.Step(int64(ts), batch); err != nil {
+				t.Fatal(err)
+			}
+			valid = append(valid, batch...)
+			if len(valid) > n {
+				valid = valid[len(valid)-n:]
+			}
+			for _, qq := range qs {
+				got, err := m.Result(qq.id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := validate.TopK(valid, qq.spec.F, qq.spec.K, nil)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d ts=%d q%d: %d results want %d", trial, ts, qq.id, len(got), len(want))
+				}
+				for j := range want {
+					if got[j].T.ID != want[j].T.ID {
+						t.Fatalf("trial %d ts=%d q%d rank %d: p%d want p%d",
+							trial, ts, qq.id, j, got[j].T.ID, want[j].T.ID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTSLAgainstGridEngine: the baseline and the grid engine must produce
+// identical results on identical streams (they implement the same query
+// semantics).
+func TestTSLAgainstGridEngine(t *testing.T) {
+	f := geom.NewLinear(1.2, 0.7)
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(150)})
+	idT, err := m.Register(core.QuerySpec{F: f, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(core.Options{Dims: 2, Window: window.Count(150), TargetCells: 144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idE, err := eng.Register(core.QuerySpec{F: f, K: 10, Policy: core.SMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := stream.NewGenerator(stream.IND, 2, 5)
+	g2 := stream.NewGenerator(stream.IND, 2, 5)
+	for ts := 0; ts < 60; ts++ {
+		if _, err := m.Step(int64(ts), g1.Batch(10, int64(ts))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Step(int64(ts), g2.Batch(10, int64(ts))); err != nil {
+			t.Fatal(err)
+		}
+		r1, _ := m.Result(idT)
+		r2, _ := eng.Result(idE)
+		if len(r1) != len(r2) {
+			t.Fatalf("ts=%d: lengths %d vs %d", ts, len(r1), len(r2))
+		}
+		for i := range r1 {
+			if r1[i].T.ID != r2[i].T.ID {
+				t.Fatalf("ts=%d rank %d: TSL p%d vs engine p%d", ts, i, r1[i].T.ID, r2[i].T.ID)
+			}
+		}
+	}
+}
+
+// TestRefillOnUnderflow forces the kmax refill path: tiny window churn with
+// high k so view members expire constantly.
+func TestRefillOnUnderflow(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(30)})
+	id, err := m.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewGenerator(stream.IND, 2, 9)
+	var valid []*stream.Tuple
+	for ts := 0; ts < 50; ts++ {
+		batch := gen.Batch(15, int64(ts)) // replace half the window each cycle
+		if _, err := m.Step(int64(ts), batch); err != nil {
+			t.Fatal(err)
+		}
+		valid = append(valid, batch...)
+		if len(valid) > 30 {
+			valid = valid[len(valid)-30:]
+		}
+		got, _ := m.Result(id)
+		want := validate.TopK(valid, geom.NewLinear(1, 1), 10, nil)
+		for j := range want {
+			if got[j].T.ID != want[j].T.ID {
+				t.Fatalf("ts=%d rank %d: p%d want p%d", ts, j, got[j].T.ID, want[j].T.ID)
+			}
+		}
+	}
+	if m.Stats().Refills == 0 {
+		t.Fatalf("expected refills under heavy churn")
+	}
+}
+
+// TestWarmupCompleteView: while the window holds fewer tuples than k, the
+// view is "complete" and must report everything without refilling.
+func TestWarmupCompleteView(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(1000)})
+	id, err := m.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewGenerator(stream.IND, 2, 10)
+	total := 0
+	for ts := 0; ts < 6; ts++ {
+		if _, err := m.Step(int64(ts), gen.Batch(7, int64(ts))); err != nil {
+			t.Fatal(err)
+		}
+		total += 7
+		got, _ := m.Result(id)
+		want := total
+		if want > 50 {
+			want = 50
+		}
+		if len(got) != want {
+			t.Fatalf("ts=%d: %d results want %d", ts, len(got), want)
+		}
+	}
+}
+
+func TestUpdateDeltas(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(80)})
+	id, err := m.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewGenerator(stream.IND, 2, 11)
+	shadow := map[uint64]bool{}
+	res, _ := m.Result(id)
+	for _, en := range res {
+		shadow[en.T.ID] = true
+	}
+	for ts := 0; ts < 40; ts++ {
+		updates, err := m.Step(int64(ts), gen.Batch(8, int64(ts)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range updates {
+			if u.Query != id {
+				t.Fatalf("unexpected query id %d", u.Query)
+			}
+			for _, en := range u.Removed {
+				if !shadow[en.T.ID] {
+					t.Fatalf("removed p%d not in shadow", en.T.ID)
+				}
+				delete(shadow, en.T.ID)
+			}
+			for _, en := range u.Added {
+				if shadow[en.T.ID] {
+					t.Fatalf("added p%d already in shadow", en.T.ID)
+				}
+				shadow[en.T.ID] = true
+			}
+		}
+		res, _ := m.Result(id)
+		if len(res) != len(shadow) {
+			t.Fatalf("ts=%d: shadow %d vs result %d", ts, len(shadow), len(res))
+		}
+	}
+}
+
+func TestStatsAndMemory(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 3, Window: window.Count(100)})
+	if _, err := m.Register(core.QuerySpec{F: geom.NewLinear(1, 1, 1), K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewGenerator(stream.IND, 3, 12)
+	before := m.MemoryBytes()
+	for ts := 0; ts < 20; ts++ {
+		if _, err := m.Step(int64(ts), gen.Batch(10, int64(ts))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.Arrivals != 200 || s.Expirations != 100 {
+		t.Fatalf("arrivals=%d expirations=%d", s.Arrivals, s.Expirations)
+	}
+	if s.InitialComputations != 1 {
+		t.Fatalf("initial=%d", s.InitialComputations)
+	}
+	if s.ViewSamples != 20 || s.AvgViewSize() <= 0 {
+		t.Fatalf("view sampling broken: %+v", s)
+	}
+	if m.MemoryBytes() <= before {
+		t.Fatalf("memory must grow with content")
+	}
+	if m.NumPoints() != 100 {
+		t.Fatalf("points=%d", m.NumPoints())
+	}
+}
+
+func TestUnregisterStopsMaintenance(t *testing.T) {
+	m := mustMonitor(t, Options{Dims: 2, Window: window.Count(50)})
+	id, _ := m.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 5})
+	gen := stream.NewGenerator(stream.IND, 2, 13)
+	if _, err := m.Step(0, gen.Batch(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unregister(id); err != nil {
+		t.Fatal(err)
+	}
+	updates, err := m.Step(1, gen.Batch(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 0 {
+		t.Fatalf("updates for unregistered query: %v", updates)
+	}
+}

@@ -1,0 +1,127 @@
+// Package validate provides brute-force reference implementations
+// ("oracles") of every query type in the system. They scan all valid
+// tuples with no indexing and are used by the differential test suites to
+// check TMA, SMA, TSL and the top-k computation module against the
+// definitions, timestamp by timestamp.
+package validate
+
+import (
+	"sort"
+
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+)
+
+// Entry is a scored tuple. It mirrors the entry shape of the real
+// implementations without importing them, so the oracle stays
+// dependency-free and usable from every test suite.
+type Entry struct {
+	T     *stream.Tuple
+	Score float64
+}
+
+// TopK returns the k best valid tuples under f in descending total order,
+// optionally restricted to a constraint rectangle. O(n log n).
+func TopK(points []*stream.Tuple, f geom.ScoringFunction, k int, constraint *geom.Rect) []Entry {
+	entries := make([]Entry, 0, len(points))
+	for _, t := range points {
+		if constraint != nil && !constraint.Contains(t.Vec) {
+			continue
+		}
+		entries = append(entries, Entry{T: t, Score: f.Score(t.Vec)})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return stream.Better(entries[i].Score, entries[i].T.Seq, entries[j].Score, entries[j].T.Seq)
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// Threshold returns every valid tuple with score strictly above the
+// threshold, in descending total order.
+func Threshold(points []*stream.Tuple, f geom.ScoringFunction, threshold float64, constraint *geom.Rect) []Entry {
+	var entries []Entry
+	for _, t := range points {
+		if constraint != nil && !constraint.Contains(t.Vec) {
+			continue
+		}
+		if sc := f.Score(t.Vec); sc > threshold {
+			entries = append(entries, Entry{T: t, Score: sc})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return stream.Better(entries[i].Score, entries[i].T.Seq, entries[j].Score, entries[j].T.Seq)
+	})
+	return entries
+}
+
+// SkybandEntry is a tuple with its dominance counter in score-time space.
+type SkybandEntry struct {
+	T     *stream.Tuple
+	Score float64
+	DC    int
+}
+
+// KSkyband computes the k-skyband of the valid tuples in score-time space
+// by the O(n^2) definition: a tuple survives iff fewer than k valid tuples
+// dominate it (arrive after it and are preferable under the total order).
+// Entries are returned in descending total order.
+func KSkyband(points []*stream.Tuple, f geom.ScoringFunction, k int) []SkybandEntry {
+	scored := make([]SkybandEntry, len(points))
+	for i, t := range points {
+		scored[i] = SkybandEntry{T: t, Score: f.Score(t.Vec)}
+	}
+	var out []SkybandEntry
+	for i := range scored {
+		p := scored[i]
+		dc := 0
+		for j := range scored {
+			q := scored[j]
+			if stream.Dominates(q.Score, q.T.Seq, p.Score, p.T.Seq) {
+				dc++
+			}
+		}
+		if dc < k {
+			p.DC = dc
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return stream.Better(out[i].Score, out[i].T.Seq, out[j].Score, out[j].T.Seq)
+	})
+	return out
+}
+
+// InfluenceCells returns the set of grid-cell indices a correct
+// implementation must have registered for a query whose influence region is
+// {p : score(p) >= topScore} (intersected with the constraint region, if
+// any): every cell whose (clipped) maxscore is at least topScore. cells is
+// the total number of cells and rectOf yields cell rectangles.
+func InfluenceCells(numCells int, rectOf func(int) geom.Rect, f geom.ScoringFunction, topScore float64, constraint *geom.Rect) map[int]bool {
+	out := make(map[int]bool)
+	for idx := 0; idx < numCells; idx++ {
+		r := rectOf(idx)
+		if constraint != nil {
+			clipped, ok := r.Intersect(*constraint)
+			if !ok {
+				continue
+			}
+			r = clipped
+		}
+		if geom.MaxScore(f, r) >= topScore {
+			out[idx] = true
+		}
+	}
+	return out
+}
+
+// IDs extracts the tuple ids of a result list, preserving order.
+func IDs(entries []Entry) []uint64 {
+	out := make([]uint64, len(entries))
+	for i, e := range entries {
+		out[i] = e.T.ID
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+)
+
+func mkPoints(n int, seed int64) []*stream.Tuple {
+	gen := stream.NewGenerator(stream.IND, 2, seed)
+	return gen.Batch(n, 0)
+}
+
+func TestTopKOrderingAndBounds(t *testing.T) {
+	pts := mkPoints(50, 1)
+	f := geom.NewLinear(1, 2)
+	top := TopK(pts, f, 10, nil)
+	if len(top) != 10 {
+		t.Fatalf("len=%d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		prev, cur := top[i-1], top[i]
+		if !stream.Better(prev.Score, prev.T.Seq, cur.Score, cur.T.Seq) {
+			t.Fatalf("entries %d and %d out of order", i-1, i)
+		}
+	}
+	// Every non-result tuple must be no better than the kth.
+	kth := top[len(top)-1]
+	inTop := map[uint64]bool{}
+	for _, e := range top {
+		inTop[e.T.ID] = true
+	}
+	for _, p := range pts {
+		if inTop[p.ID] {
+			continue
+		}
+		s := f.Score(p.Vec)
+		if stream.Better(s, p.Seq, kth.Score, kth.T.Seq) {
+			t.Fatalf("non-result tuple %d beats the kth", p.ID)
+		}
+	}
+	// k larger than the population returns everything.
+	if got := TopK(pts, f, 1000, nil); len(got) != len(pts) {
+		t.Fatalf("overlarge k returned %d", len(got))
+	}
+}
+
+func TestTopKConstraint(t *testing.T) {
+	pts := mkPoints(80, 2)
+	r := geom.Rect{Lo: geom.Vector{0.2, 0.2}, Hi: geom.Vector{0.6, 0.6}}
+	top := TopK(pts, geom.NewLinear(1, 1), 5, &r)
+	for _, e := range top {
+		if !r.Contains(e.T.Vec) {
+			t.Fatalf("result outside constraint: %v", e.T.Vec)
+		}
+	}
+}
+
+func TestThresholdSemantics(t *testing.T) {
+	pts := mkPoints(60, 3)
+	f := geom.NewLinear(1, 1)
+	got := Threshold(pts, f, 1.5, nil)
+	count := 0
+	for _, p := range pts {
+		if f.Score(p.Vec) > 1.5 {
+			count++
+		}
+	}
+	if len(got) != count {
+		t.Fatalf("threshold returned %d want %d", len(got), count)
+	}
+	for _, e := range got {
+		if e.Score <= 1.5 {
+			t.Fatalf("entry at %g not above threshold", e.Score)
+		}
+	}
+}
+
+func TestKSkybandDefinition(t *testing.T) {
+	pts := mkPoints(40, 4)
+	f := geom.NewLinear(1, 1)
+	sky := KSkyband(pts, f, 2)
+	inSky := map[uint64]bool{}
+	for _, e := range sky {
+		inSky[e.T.ID] = true
+		if e.DC >= 2 {
+			t.Fatalf("skyband member with DC=%d", e.DC)
+		}
+	}
+	// Check the definition on every tuple.
+	for _, p := range pts {
+		sp := f.Score(p.Vec)
+		dc := 0
+		for _, q := range pts {
+			if stream.Dominates(f.Score(q.Vec), q.Seq, sp, p.Seq) {
+				dc++
+			}
+		}
+		if (dc < 2) != inSky[p.ID] {
+			t.Fatalf("tuple %d: dc=%d inSky=%v", p.ID, dc, inSky[p.ID])
+		}
+	}
+}
+
+func TestInfluenceCells(t *testing.T) {
+	// A 2x2 grid over the unit square with f = x1 + x2 and topScore 1.0:
+	// the top-right cell (maxscore 2) and the two middle cells (maxscore
+	// 1.5) and even the bottom-left (maxscore 1.0, >= threshold) qualify.
+	rects := []geom.Rect{
+		{Lo: geom.Vector{0, 0}, Hi: geom.Vector{0.5, 0.5}},
+		{Lo: geom.Vector{0.5, 0}, Hi: geom.Vector{1, 0.5}},
+		{Lo: geom.Vector{0, 0.5}, Hi: geom.Vector{0.5, 1}},
+		{Lo: geom.Vector{0.5, 0.5}, Hi: geom.Vector{1, 1}},
+	}
+	cells := InfluenceCells(4, func(i int) geom.Rect { return rects[i] }, geom.NewLinear(1, 1), 1.0, nil)
+	if len(cells) != 4 {
+		t.Fatalf("cells=%v", cells)
+	}
+	cells = InfluenceCells(4, func(i int) geom.Rect { return rects[i] }, geom.NewLinear(1, 1), 1.2, nil)
+	if len(cells) != 3 || cells[0] {
+		t.Fatalf("cells=%v", cells)
+	}
+	// With a constraint strictly inside the left half (not touching the
+	// x=0.5 boundary), only the left cells qualify.
+	r := geom.Rect{Lo: geom.Vector{0, 0}, Hi: geom.Vector{0.4, 1}}
+	cells = InfluenceCells(4, func(i int) geom.Rect { return rects[i] }, geom.NewLinear(1, 1), 0, &r)
+	if len(cells) != 2 || cells[1] || cells[3] {
+		t.Fatalf("constrained cells=%v", cells)
+	}
+}
+
+func TestIDs(t *testing.T) {
+	pts := mkPoints(5, 5)
+	top := TopK(pts, geom.NewLinear(1, 1), 3, nil)
+	ids := IDs(top)
+	if len(ids) != 3 {
+		t.Fatalf("ids=%v", ids)
+	}
+	for i, e := range top {
+		if ids[i] != e.T.ID {
+			t.Fatalf("ids order broken")
+		}
+	}
+}
+
+func TestOracleStability(t *testing.T) {
+	// The oracle must be deterministic under input permutation (the total
+	// order has no ties to break arbitrarily).
+	pts := mkPoints(30, 6)
+	f := geom.NewLinear(0.3, 0.7)
+	want := IDs(TopK(pts, f, 8, nil))
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]*stream.Tuple(nil), pts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := IDs(TopK(shuffled, f, 8, nil))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("oracle unstable under permutation")
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package window implements the sliding windows of the paper's stream
+// model: a count-based window W containing the N most recent tuples, and a
+// time-based window containing every tuple that arrived within a fixed time
+// span covering the most recent timestamps (Section 1).
+//
+// In both variants, tuples expire in first-in-first-out order — the property
+// that TMA's valid-record list and SMA's skyband reduction both rely on
+// (footnote 4). The window therefore stores the valid records in a single
+// FIFO list: arrivals are appended at the tail and expirations pop from the
+// head (Figure 4).
+package window
+
+import (
+	"fmt"
+
+	"topkmon/internal/stream"
+)
+
+// Kind distinguishes the two window variants.
+type Kind int
+
+// Window kinds.
+const (
+	// CountBased keeps the N most recent tuples.
+	CountBased Kind = iota
+	// TimeBased keeps tuples whose age is strictly less than the span.
+	TimeBased
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CountBased:
+		return "count"
+	case TimeBased:
+		return "time"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes a sliding window.
+type Spec struct {
+	Kind Kind
+	// N is the capacity of a count-based window.
+	N int
+	// Span is the length of a time-based window: a tuple with arrival
+	// timestamp TS is valid at time now iff now - TS < Span.
+	Span int64
+}
+
+// Count returns the spec of a count-based window holding the n most recent
+// tuples.
+func Count(n int) Spec { return Spec{Kind: CountBased, N: n} }
+
+// Time returns the spec of a time-based window with the given span.
+func Time(span int64) Spec { return Spec{Kind: TimeBased, Span: span} }
+
+// Validate checks that the spec parameters are usable.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case CountBased:
+		if s.N <= 0 {
+			return fmt.Errorf("window: count-based window needs positive N, got %d", s.N)
+		}
+	case TimeBased:
+		if s.Span <= 0 {
+			return fmt.Errorf("window: time-based window needs positive span, got %d", s.Span)
+		}
+	default:
+		return fmt.Errorf("window: unknown kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	if s.Kind == CountBased {
+		return fmt.Sprintf("count(N=%d)", s.N)
+	}
+	return fmt.Sprintf("time(span=%d)", s.Span)
+}
+
+// Window is the FIFO list of valid records. The zero value is not usable;
+// construct with New.
+type Window struct {
+	spec Spec
+	// buf is a deque: live elements occupy buf[head:]. The prefix is
+	// compacted away once it outgrows the live part, keeping amortized O(1)
+	// pushes and pops without unbounded growth.
+	buf  []*stream.Tuple
+	head int
+}
+
+// New returns an empty window. It panics on an invalid spec — windows are
+// constructed from validated engine options.
+func New(spec Spec) *Window {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Window{spec: spec}
+}
+
+// Spec returns the window's specification.
+func (w *Window) Spec() Spec { return w.spec }
+
+// Len returns the number of valid tuples.
+func (w *Window) Len() int { return len(w.buf) - w.head }
+
+// Push appends an arriving tuple at the tail of the window. Tuples must be
+// pushed in non-decreasing timestamp order; Push panics otherwise, because
+// out-of-order arrivals would break the FIFO expiration the monitoring
+// algorithms depend on.
+func (w *Window) Push(t *stream.Tuple) {
+	if n := w.Len(); n > 0 {
+		if last := w.buf[len(w.buf)-1]; t.TS < last.TS || t.Seq <= last.Seq {
+			panic(fmt.Sprintf("window: out-of-order push: %v after %v", t, last))
+		}
+	}
+	w.buf = append(w.buf, t)
+}
+
+// Oldest returns the head of the FIFO list (the next tuple to expire), or
+// nil when the window is empty.
+func (w *Window) Oldest() *stream.Tuple {
+	if w.Len() == 0 {
+		return nil
+	}
+	return w.buf[w.head]
+}
+
+// Expire pops and returns the tuples that fall out of the window at time
+// now, in expiration (arrival) order. For a count-based window these are
+// the oldest tuples beyond capacity N; for a time-based window, those with
+// now - TS >= Span.
+func (w *Window) Expire(now int64) []*stream.Tuple {
+	var out []*stream.Tuple
+	switch w.spec.Kind {
+	case CountBased:
+		for w.Len() > w.spec.N {
+			out = append(out, w.pop())
+		}
+	case TimeBased:
+		for w.Len() > 0 && now-w.buf[w.head].TS >= w.spec.Span {
+			out = append(out, w.pop())
+		}
+	}
+	return out
+}
+
+// Each calls fn for every valid tuple in arrival order, stopping early if
+// fn returns false.
+func (w *Window) Each(fn func(*stream.Tuple) bool) {
+	for _, t := range w.buf[w.head:] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the valid tuples in arrival order. The slice is freshly
+// allocated; used by tests and the brute-force oracle.
+func (w *Window) Snapshot() []*stream.Tuple {
+	out := make([]*stream.Tuple, w.Len())
+	copy(out, w.buf[w.head:])
+	return out
+}
+
+func (w *Window) pop() *stream.Tuple {
+	t := w.buf[w.head]
+	w.buf[w.head] = nil // release the reference
+	w.head++
+	// Compact once the dead prefix dominates, so memory stays proportional
+	// to the live window.
+	if w.head > len(w.buf)/2 && w.head > 32 {
+		n := copy(w.buf, w.buf[w.head:])
+		for i := n; i < len(w.buf); i++ {
+			w.buf[i] = nil
+		}
+		w.buf = w.buf[:n]
+		w.head = 0
+	}
+	return t
+}
+
+// MemoryBytes estimates the footprint of the window's bookkeeping (the
+// pointer list only; tuple payloads are accounted by the grid, which also
+// references them). It mirrors the O(N) "list of valid points" term of the
+// space analysis in Section 6.
+func (w *Window) MemoryBytes() int64 {
+	const ptrSize = 8
+	return int64(cap(w.buf)) * ptrSize
+}

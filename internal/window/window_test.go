@@ -1,0 +1,260 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+)
+
+func mkTuple(seq uint64, ts int64) *stream.Tuple {
+	return &stream.Tuple{ID: seq, Seq: seq, TS: ts, Vec: geom.Vector{0.5}}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := Count(10).Validate(); err != nil {
+		t.Fatalf("valid count spec rejected: %v", err)
+	}
+	if err := Time(5).Validate(); err != nil {
+		t.Fatalf("valid time spec rejected: %v", err)
+	}
+	for _, bad := range []Spec{Count(0), Count(-1), Time(0), {Kind: Kind(9), N: 1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %v should be invalid", bad)
+		}
+	}
+}
+
+func TestSpecStrings(t *testing.T) {
+	if Count(5).String() == "" || Time(7).String() == "" {
+		t.Fatalf("empty spec string")
+	}
+	if CountBased.String() != "count" || TimeBased.String() != "time" {
+		t.Fatalf("kind strings wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Fatalf("unknown kind must render")
+	}
+}
+
+func TestNewPanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	New(Count(0))
+}
+
+func TestCountWindowFIFO(t *testing.T) {
+	w := New(Count(3))
+	for i := uint64(0); i < 5; i++ {
+		w.Push(mkTuple(i, int64(i)))
+	}
+	expired := w.Expire(4)
+	if len(expired) != 2 {
+		t.Fatalf("expired %d tuples, want 2", len(expired))
+	}
+	if expired[0].Seq != 0 || expired[1].Seq != 1 {
+		t.Fatalf("expiration out of FIFO order: %v", expired)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len=%d want 3", w.Len())
+	}
+	if w.Oldest().Seq != 2 {
+		t.Fatalf("oldest=%d want 2", w.Oldest().Seq)
+	}
+}
+
+func TestCountWindowNoExpiryUnderCapacity(t *testing.T) {
+	w := New(Count(10))
+	w.Push(mkTuple(0, 0))
+	if got := w.Expire(0); len(got) != 0 {
+		t.Fatalf("unexpected expirations: %v", got)
+	}
+}
+
+func TestTimeWindowExpiry(t *testing.T) {
+	w := New(Time(3)) // valid while now - TS < 3
+	for i := uint64(0); i < 5; i++ {
+		w.Push(mkTuple(i, int64(i)))
+	}
+	// At now=4: tuples with TS <= 1 expire.
+	expired := w.Expire(4)
+	if len(expired) != 2 || expired[0].TS != 0 || expired[1].TS != 1 {
+		t.Fatalf("expired=%v", expired)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len=%d", w.Len())
+	}
+	// Nothing more at the same instant.
+	if got := w.Expire(4); len(got) != 0 {
+		t.Fatalf("double expiry: %v", got)
+	}
+	// All gone far in the future.
+	if got := w.Expire(100); len(got) != 3 {
+		t.Fatalf("future expiry got %d", len(got))
+	}
+	if w.Oldest() != nil {
+		t.Fatalf("oldest on empty window must be nil")
+	}
+}
+
+func TestTimeWindowBoundary(t *testing.T) {
+	w := New(Time(5))
+	w.Push(mkTuple(0, 10))
+	if got := w.Expire(14); len(got) != 0 {
+		t.Fatalf("tuple expired one tick early")
+	}
+	if got := w.Expire(15); len(got) != 1 {
+		t.Fatalf("tuple must expire exactly when age reaches span")
+	}
+}
+
+func TestPushOrderEnforced(t *testing.T) {
+	w := New(Count(10))
+	w.Push(mkTuple(5, 5))
+	for _, bad := range []*stream.Tuple{mkTuple(4, 6), mkTuple(6, 4), mkTuple(5, 5)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("push of %v should panic", bad)
+				}
+			}()
+			w.Push(bad)
+		}()
+	}
+}
+
+func TestEachAndSnapshot(t *testing.T) {
+	w := New(Count(5))
+	for i := uint64(0); i < 5; i++ {
+		w.Push(mkTuple(i, int64(i)))
+	}
+	var seen []uint64
+	w.Each(func(tu *stream.Tuple) bool {
+		seen = append(seen, tu.Seq)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 || seen[0] != 0 {
+		t.Fatalf("each early stop: %v", seen)
+	}
+	snap := w.Snapshot()
+	if len(snap) != 5 || snap[4].Seq != 4 {
+		t.Fatalf("snapshot=%v", snap)
+	}
+	snap[0] = nil // snapshot must be independent
+	if w.Oldest() == nil {
+		t.Fatalf("snapshot aliases internal storage")
+	}
+}
+
+// TestSteadyStateChurn mimics the paper's processing cycles: r arrivals and
+// r expirations per timestamp, with size and FIFO invariants checked.
+func TestSteadyStateChurn(t *testing.T) {
+	const (
+		n = 500
+		r = 50
+	)
+	w := New(Count(n))
+	seq := uint64(0)
+	for ts := int64(0); ts < 100; ts++ {
+		for i := 0; i < r; i++ {
+			w.Push(mkTuple(seq, ts))
+			seq++
+		}
+		expired := w.Expire(ts)
+		if ts < int64(n/r) {
+			if len(expired) != 0 && w.Len() != n {
+				t.Fatalf("premature expiry at warm-up ts=%d", ts)
+			}
+		} else if len(expired) != r {
+			t.Fatalf("ts=%d: expired %d want %d", ts, len(expired), r)
+		}
+		for i := 1; i < len(expired); i++ {
+			if expired[i].Seq != expired[i-1].Seq+1 {
+				t.Fatalf("non-contiguous expiration at ts=%d", ts)
+			}
+		}
+		if w.Len() > n {
+			t.Fatalf("window overflow: %d", w.Len())
+		}
+	}
+}
+
+// TestCompactionKeepsMemoryBounded pushes and expires far more tuples than
+// the capacity; the backing buffer must not grow without bound.
+func TestCompactionKeepsMemoryBounded(t *testing.T) {
+	w := New(Count(64))
+	seq := uint64(0)
+	for ts := int64(0); ts < 10000; ts++ {
+		w.Push(mkTuple(seq, ts))
+		seq++
+		w.Expire(ts)
+	}
+	if w.Len() != 64 {
+		t.Fatalf("len=%d", w.Len())
+	}
+	if w.MemoryBytes() > 64*8*8 { // generous: 8x the live size
+		t.Fatalf("backing buffer grew unboundedly: %d bytes", w.MemoryBytes())
+	}
+	// Contents must still be the most recent 64, in order.
+	snap := w.Snapshot()
+	for i, tu := range snap {
+		if tu.Seq != seq-64+uint64(i) {
+			t.Fatalf("content corrupted at %d: seq=%d", i, tu.Seq)
+		}
+	}
+}
+
+// TestRandomizedAgainstReference drives both window kinds against a naive
+// reference implementation.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		var spec Spec
+		if trial%2 == 0 {
+			spec = Count(1 + rng.Intn(100))
+		} else {
+			spec = Time(int64(1 + rng.Intn(20)))
+		}
+		w := New(spec)
+		var ref []*stream.Tuple
+		seq := uint64(0)
+		for ts := int64(0); ts < 200; ts++ {
+			arrivals := rng.Intn(5)
+			for i := 0; i < arrivals; i++ {
+				tu := mkTuple(seq, ts)
+				seq++
+				w.Push(tu)
+				ref = append(ref, tu)
+			}
+			expired := w.Expire(ts)
+			// Reference semantics.
+			var refExpired []*stream.Tuple
+			if spec.Kind == CountBased {
+				for len(ref) > spec.N {
+					refExpired = append(refExpired, ref[0])
+					ref = ref[1:]
+				}
+			} else {
+				for len(ref) > 0 && ts-ref[0].TS >= spec.Span {
+					refExpired = append(refExpired, ref[0])
+					ref = ref[1:]
+				}
+			}
+			if len(expired) != len(refExpired) {
+				t.Fatalf("%v ts=%d: expired %d want %d", spec, ts, len(expired), len(refExpired))
+			}
+			for i := range expired {
+				if expired[i] != refExpired[i] {
+					t.Fatalf("%v ts=%d: expiration mismatch at %d", spec, ts, i)
+				}
+			}
+			if w.Len() != len(ref) {
+				t.Fatalf("%v ts=%d: len %d want %d", spec, ts, w.Len(), len(ref))
+			}
+		}
+	}
+}
