@@ -54,6 +54,9 @@ func runCycles(b *testing.B, cfg harness.Config) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(mon.MemoryBytes())/(1<<20), "space-MB")
+	if c, ok := mon.(core.StreamMonitor); ok {
+		_ = c.Close()
+	}
 }
 
 var benchAlgos = []harness.Algo{harness.AlgoTSL, harness.AlgoTMA, harness.AlgoSMA}
@@ -228,6 +231,24 @@ func BenchmarkTable2AuxSize(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkShardedStep measures per-cycle throughput of the sharded
+// concurrent engine as the shard count grows, on a query-heavy workload
+// (Q=64 SMA queries — the regime sharding targets, since per-query
+// maintenance dominates and is split across shards while index upkeep is
+// replicated). shards=1 is the single-engine reference. Parallel speedup
+// requires GOMAXPROCS > 1; on a single-core host the sweep instead
+// measures the broadcast overhead.
+func BenchmarkShardedStep(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := benchBase()
+			cfg.Q = 64
+			cfg.Shards = shards
+			runCycles(b, cfg)
+		})
 	}
 }
 

@@ -1,9 +1,11 @@
-// Command datagen dumps synthetic IND/ANT datasets as CSV for plotting —
-// the scatter plots of Figure 13.
+// Command datagen dumps synthetic IND/ANT datasets as CSV: plain points
+// for plotting (the scatter plots of Figure 13), or — with -rate — a
+// timestamped "ts,x1,...,xd" stream trace in the format cmd/replay reads.
 //
-// Example:
+// Examples:
 //
 //	datagen -dist ANT -d 2 -n 10000 > ant.csv
+//	datagen -d 2 -n 5000 -rate 100 | replay -d 2 -n 1000 -query "k=3;w=1,2"
 package main
 
 import (
@@ -22,6 +24,7 @@ func main() {
 		dimsFlag = flag.Int("d", 2, "dimensionality")
 		nFlag    = flag.Int("n", 10000, "number of points")
 		seedFlag = flag.Int64("seed", 1, "generator seed")
+		rateFlag = flag.Int("rate", 0, "tuples per timestamp; >0 emits a ts,x1,...,xd trace for cmd/replay")
 		outFlag  = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -48,6 +51,22 @@ func main() {
 	}
 	w := bufio.NewWriter(out)
 	defer w.Flush()
+
+	if *rateFlag > 0 {
+		gen := stream.NewGenerator(dist, *dimsFlag, *seedFlag)
+		cw := stream.NewCSVWriter(w, *dimsFlag)
+		for i := 0; i < *nFlag; i++ {
+			if err := cw.Write(gen.Next(int64(i / *rateFlag))); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := cw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	for i := 0; i < *dimsFlag; i++ {
 		if i > 0 {

@@ -23,10 +23,7 @@ import (
 	"strconv"
 	"strings"
 
-	"topkmon/internal/core"
-	"topkmon/internal/geom"
-	"topkmon/internal/stream"
-	"topkmon/internal/window"
+	"topkmon/pkg/topkmon"
 )
 
 type querySpecs []string
@@ -36,12 +33,13 @@ func (q *querySpecs) Set(s string) error { *q = append(*q, s); return nil }
 
 func main() {
 	var (
-		dimsFlag  = flag.Int("d", 2, "trace dimensionality")
-		nFlag     = flag.Int("n", 10000, "count-based window size")
-		spanFlag  = flag.Int64("span", 0, "time-based window span (overrides -n when positive)")
-		inFlag    = flag.String("i", "", "trace file (default stdin)")
-		everyFlag = flag.Int64("print-every", 1, "print results every this many cycles")
-		queries   querySpecs
+		dimsFlag   = flag.Int("d", 2, "trace dimensionality")
+		nFlag      = flag.Int("n", 10000, "count-based window size")
+		spanFlag   = flag.Int64("span", 0, "time-based window span (overrides -n when positive)")
+		inFlag     = flag.String("i", "", "trace file (default stdin)")
+		everyFlag  = flag.Int64("print-every", 1, "print results every this many cycles")
+		shardsFlag = flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
+		queries    querySpecs
 	)
 	flag.Var(&queries, "query", "query spec 'k=K;w=w1,...,wd[;policy=TMA|SMA]' or 'threshold=T;w=...' (repeatable)")
 	flag.Parse()
@@ -60,28 +58,29 @@ func main() {
 		in = f
 	}
 
-	spec := window.Count(*nFlag)
+	windowOpt := topkmon.WithCountWindow(*nFlag)
 	if *spanFlag > 0 {
-		spec = window.Time(*spanFlag)
+		windowOpt = topkmon.WithTimeWindow(*spanFlag)
 	}
-	engine, err := core.NewEngine(core.Options{Dims: *dimsFlag, Window: spec})
+	mon, err := topkmon.New(*dimsFlag, windowOpt, topkmon.WithShards(*shardsFlag))
 	if err != nil {
 		fatal(err)
 	}
-	var ids []core.QueryID
+	defer mon.Close()
+	var ids []topkmon.QueryID
 	for _, qs := range queries {
 		spec, err := parseQuery(qs, *dimsFlag)
 		if err != nil {
 			fatal(fmt.Errorf("query %q: %w", qs, err))
 		}
-		id, err := engine.Register(spec)
+		id, err := mon.Register(spec)
 		if err != nil {
 			fatal(err)
 		}
 		ids = append(ids, id)
 	}
 
-	reader, err := stream.NewCSVReader(in, *dimsFlag)
+	reader, err := topkmon.NewCSVReader(in, *dimsFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,13 +93,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := engine.Step(ts, batch); err != nil {
+		if _, err := mon.Step(ts, batch); err != nil {
 			fatal(err)
 		}
 		cycles++
 		if cycles%*everyFlag == 0 {
 			for _, id := range ids {
-				res, err := engine.Result(id)
+				res, err := mon.Result(id)
 				if err != nil {
 					fatal(err)
 				}
@@ -112,14 +111,14 @@ func main() {
 			}
 		}
 	}
-	s := engine.Stats()
+	s := mon.Stats()
 	fmt.Printf("replayed %d cycles, %d arrivals, %d expirations, %d recomputations\n",
 		cycles, s.Arrivals, s.Expirations, s.Recomputes)
 }
 
 // parseQuery decodes the compact "k=K;w=...;policy=..." spec syntax.
-func parseQuery(s string, dims int) (core.QuerySpec, error) {
-	spec := core.QuerySpec{Policy: core.SMA}
+func parseQuery(s string, dims int) (topkmon.QuerySpec, error) {
+	spec := topkmon.QuerySpec{Policy: topkmon.SMA}
 	var weights []float64
 	for _, part := range strings.Split(s, ";") {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
@@ -140,7 +139,7 @@ func parseQuery(s string, dims int) (core.QuerySpec, error) {
 			}
 			spec.Threshold = &t
 		case "policy":
-			p, err := core.ParsePolicy(val)
+			p, err := topkmon.ParsePolicy(val)
 			if err != nil {
 				return spec, err
 			}
@@ -160,7 +159,7 @@ func parseQuery(s string, dims int) (core.QuerySpec, error) {
 	if len(weights) != dims {
 		return spec, fmt.Errorf("need %d weights, got %d", dims, len(weights))
 	}
-	spec.F = geom.NewLinear(weights...)
+	spec.F = topkmon.Linear(weights...)
 	return spec, nil
 }
 

@@ -30,6 +30,7 @@ func main() {
 		cellsFlag  = flag.Int("cells", 0, "target total grid cells (0 = auto-tune)")
 		resFlag    = flag.Int("res", 0, "cells per axis (overrides -cells)")
 		kmaxFlag   = flag.Int("kmax", 0, "TSL view capacity (0 = tuned default)")
+		shardsFlag = flag.Int("shards", 1, "engine shards (grid algorithms; >1 runs the concurrent sharded engine)")
 		seedFlag   = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -62,15 +63,20 @@ func main() {
 		TargetCells: *cellsFlag,
 		GridRes:     *resFlag,
 		KMax:        *kmaxFlag,
+		Shards:      *shardsFlag,
 		Seed:        *seedFlag,
+	}
+	if cfg.Shards > 1 && algo == harness.AlgoTSL {
+		fmt.Fprintln(os.Stderr, "topkmon: -shards applies to the grid algorithms only (TMA/SMA)")
+		os.Exit(2)
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	fmt.Printf("running %s on %s d=%d N=%d r=%d Q=%d k=%d func=%s cycles=%d\n",
-		algo, dist, cfg.Dims, cfg.N, cfg.R, cfg.Q, cfg.K, fk, cfg.Cycles)
+	fmt.Printf("running %s on %s d=%d N=%d r=%d Q=%d k=%d func=%s cycles=%d shards=%d\n",
+		algo, dist, cfg.Dims, cfg.N, cfg.R, cfg.Q, cfg.K, fk, cfg.Cycles, *shardsFlag)
 	res, err := harness.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,6 +1,6 @@
 // Package topkmon is a Go reproduction of "Continuous Monitoring of Top-k
 // Queries over Sliding Windows" (Mouratidis, Bakiras, Papadias — SIGMOD
-// 2006).
+// 2006), grown into a concurrent monitoring system.
 //
 // The library continuously evaluates many long-running top-k preference
 // queries over a sliding window of streaming multidimensional tuples. The
@@ -10,18 +10,36 @@
 // future results) — together with the TSL baseline (Fagin's threshold
 // algorithm plus materialized top-k views) the paper compares against.
 //
-// Packages:
+// Beyond the paper, the engine scales across cores: pkg/topkmon can run N
+// independent engine shards (queries hash-partitioned, stream batches
+// broadcast, per-shard update streams merged) with results provably
+// identical to the single engine on the same stream.
 //
-//	internal/core      the monitoring engine, TMA and SMA (start here)
+// Use pkg/topkmon — the public facade with functional options — as the
+// entry point:
+//
+//	mon, _ := topkmon.New(2, topkmon.WithCountWindow(10000), topkmon.WithShards(4))
+//	defer mon.Close()
+//	q, _ := mon.RegisterTopK(topkmon.Linear(1, 2), 5)
+//	updates, _ := mon.Step(ts, batch)
+//
+// Package layout:
+//
+//	pkg/topkmon        public API: Monitor facade, functional options, re-exports
+//	internal/core      the monitoring engine, TMA and SMA (the paper, start here)
+//	internal/shard     the sharded concurrent engine (N cores, same results)
 //	internal/tsl       the TSL baseline
 //	internal/geom      scoring functions and workspace geometry
 //	internal/grid      the grid index with influence lists
 //	internal/topk      the top-k computation module (best-first cell search)
 //	internal/skyband   k-skyband maintenance in score-time space
 //	internal/window    count-based and time-based sliding windows
-//	internal/stream    tuples and IND/ANT workload generators
+//	internal/stream    tuples, CSV traces, and IND/ANT workload generators
 //	internal/harness   experiment runner for every figure of the paper
 //
-// See the examples/ directory for runnable end-to-end programs and
-// EXPERIMENTS.md for the reproduction results.
+// Commands: cmd/topkmon (cost profile of one run), cmd/experiments (the
+// paper's figures plus a shard-scaling sweep), cmd/replay (monitor a
+// recorded trace), cmd/datagen (synthetic datasets and traces). All grid
+// commands accept -shards. See the examples/ directory for runnable
+// end-to-end programs and EXPERIMENTS.md for the reproduction results.
 package topkmon

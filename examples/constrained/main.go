@@ -11,45 +11,49 @@
 //
 // Run with:
 //
-//	go run ./examples/constrained
+//	go run ./examples/constrained [-shards N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"topkmon/internal/core"
-	"topkmon/internal/geom"
-	"topkmon/internal/stream"
-	"topkmon/internal/window"
+	"topkmon/pkg/topkmon"
 )
 
 func main() {
-	engine, err := core.NewEngine(core.Options{Dims: 2, Window: window.Count(5000)})
+	shards := flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
+	flag.Parse()
+
+	mon, err := topkmon.New(2,
+		topkmon.WithCountWindow(5000),
+		topkmon.WithShards(*shards),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer mon.Close()
 
-	heatIndex := geom.NewLinear(1, 0.4) // temperature-dominated score
+	heatIndex := topkmon.Linear(1, 0.4) // temperature-dominated score
 
-	global, err := engine.Register(core.QuerySpec{F: heatIndex, K: 3, Policy: core.SMA})
+	global, err := mon.Register(topkmon.QuerySpec{F: heatIndex, K: 3, Policy: topkmon.SMA})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Constrained query: same preference, but only readings with humidity
 	// in [0.4, 0.7] qualify.
-	region := geom.Rect{Lo: geom.Vector{0, 0.4}, Hi: geom.Vector{1, 0.7}}
-	constrained, err := engine.Register(core.QuerySpec{
-		F: heatIndex, K: 3, Policy: core.TMA, Constraint: &region,
+	region := topkmon.Rect{Lo: topkmon.Vector{0, 0.4}, Hi: topkmon.Vector{1, 0.7}}
+	constrained, err := mon.Register(topkmon.QuerySpec{
+		F: heatIndex, K: 3, Policy: topkmon.TMA, Constraint: &region,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	critical := 1.25
-	alarm, err := engine.Register(core.QuerySpec{F: heatIndex, Threshold: &critical})
+	alarm, err := mon.RegisterThreshold(heatIndex, 1.25)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,22 +61,22 @@ func main() {
 	rng := rand.New(rand.NewSource(17))
 	var nextID uint64
 	for ts := int64(0); ts < 20; ts++ {
-		batch := make([]*stream.Tuple, 0, 500)
+		batch := make([]*topkmon.Tuple, 0, 500)
 		for i := 0; i < 500; i++ {
 			temp := rng.Float64() * 0.9
 			if ts >= 12 && i < 5 {
 				temp = 0.95 + rng.Float64()*0.05 // heat wave readings
 			}
-			t := &stream.Tuple{
+			t := &topkmon.Tuple{
 				ID:  nextID,
 				Seq: nextID,
 				TS:  ts,
-				Vec: geom.Vector{temp, rng.Float64()},
+				Vec: topkmon.Vector{temp, rng.Float64()},
 			}
 			nextID++
 			batch = append(batch, t)
 		}
-		updates, err := engine.Step(ts, batch)
+		updates, err := mon.Step(ts, batch)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,8 +90,8 @@ func main() {
 			}
 		}
 		if ts%5 == 4 {
-			g, _ := engine.Result(global)
-			c, _ := engine.Result(constrained)
+			g, _ := mon.Result(global)
+			c, _ := mon.Result(constrained)
 			fmt.Printf("t=%2d  hottest overall:       %s\n", ts, fmtEntries(g))
 			fmt.Printf("t=%2d  hottest @ mid-humidity: %s\n", ts, fmtEntries(c))
 			for _, e := range c {
@@ -99,7 +103,7 @@ func main() {
 	}
 }
 
-func fmtEntries(entries []core.Entry) string {
+func fmtEntries(entries []topkmon.Entry) string {
 	out := ""
 	for i, e := range entries {
 		if i > 0 {

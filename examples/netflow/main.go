@@ -15,18 +15,16 @@
 //
 // Run with:
 //
-//	go run ./examples/netflow
+//	go run ./examples/netflow [-shards N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"topkmon/internal/core"
-	"topkmon/internal/geom"
-	"topkmon/internal/stream"
-	"topkmon/internal/window"
+	"topkmon/pkg/topkmon"
 )
 
 // flowMeta carries the non-indexed attributes of a flow record.
@@ -41,30 +39,29 @@ const (
 )
 
 func main() {
+	shards := flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
+	flag.Parse()
+
 	// Flow tuples are normalized to the unit workspace:
 	//   x1 = throughput (bytes/s, normalized)
 	//   x2 = packet count (normalized)
-	engine, err := core.NewEngine(core.Options{Dims: 2, Window: window.Count(windowSize)})
+	mon, err := topkmon.New(2,
+		topkmon.WithCountWindow(windowSize),
+		topkmon.WithShards(*shards),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer mon.Close()
 
 	// Query 1: top flows by throughput (increasing on x1 only).
-	ddosQ, err := engine.Register(core.QuerySpec{
-		F:      geom.NewLinear(1, 0),
-		K:      topK,
-		Policy: core.SMA,
-	})
+	ddosQ, err := mon.RegisterTopK(topkmon.Linear(1, 0), topK)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Query 2: flows with the fewest packets — a preference decreasing on
 	// x2 (negative weight), per Figure 7a.
-	wormQ, err := engine.Register(core.QuerySpec{
-		F:      geom.NewLinear(0, -1),
-		K:      topK,
-		Policy: core.SMA,
-	})
+	wormQ, err := mon.RegisterTopK(topkmon.Linear(0, -1), topK)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,12 +70,12 @@ func main() {
 	meta := make(map[uint64]flowMeta)
 	var nextID, nextSeq uint64
 
-	mkFlow := func(ts int64, throughput, packets float64, m flowMeta) *stream.Tuple {
-		t := &stream.Tuple{
+	mkFlow := func(ts int64, throughput, packets float64, m flowMeta) *topkmon.Tuple {
+		t := &topkmon.Tuple{
 			ID:  nextID,
 			Seq: nextSeq,
 			TS:  ts,
-			Vec: geom.Vector{clamp(throughput), clamp(packets)},
+			Vec: topkmon.Vector{clamp(throughput), clamp(packets)},
 		}
 		meta[t.ID] = m
 		nextID++
@@ -91,7 +88,7 @@ func main() {
 	}
 
 	for ts := int64(0); ts < 30; ts++ {
-		batch := make([]*stream.Tuple, 0, flowsPerSec)
+		batch := make([]*topkmon.Tuple, 0, flowsPerSec)
 		for i := 0; i < flowsPerSec; i++ {
 			// Background traffic: modest throughput, varied packet counts.
 			batch = append(batch, mkFlow(ts,
@@ -122,16 +119,16 @@ func main() {
 				))
 			}
 		}
-		if _, err := engine.Step(ts, batch); err != nil {
+		if _, err := mon.Step(ts, batch); err != nil {
 			log.Fatal(err)
 		}
 
 		// Security heuristics over the continuously maintained results.
-		if victim, share := dominantKey(engine, ddosQ, meta, func(m flowMeta) string { return m.dstIP }); share >= 0.5 {
+		if victim, share := dominantKey(mon, ddosQ, meta, func(m flowMeta) string { return m.dstIP }); share >= 0.5 {
 			fmt.Printf("t=%2d  DDoS alert: %.0f%% of the top-%d throughput flows target %s\n",
 				ts, share*100, topK, victim)
 		}
-		if scanner, share := dominantKey(engine, wormQ, meta, func(m flowMeta) string { return m.srcIP }); share >= 0.5 {
+		if scanner, share := dominantKey(mon, wormQ, meta, func(m flowMeta) string { return m.srcIP }); share >= 0.5 {
 			fmt.Printf("t=%2d  worm alert: %.0f%% of the top-%d min-packet flows originate from %s\n",
 				ts, share*100, topK, scanner)
 		}
@@ -146,8 +143,8 @@ func main() {
 
 // dominantKey returns the most frequent key among a query's current results
 // and its share of the result set.
-func dominantKey(e *core.Engine, q core.QueryID, meta map[uint64]flowMeta, key func(flowMeta) string) (string, float64) {
-	res, err := e.Result(q)
+func dominantKey(mon *topkmon.Monitor, q topkmon.QueryID, meta map[uint64]flowMeta, key func(flowMeta) string) (string, float64) {
+	res, err := mon.Result(q)
 	if err != nil || len(res) == 0 {
 		return "", 0
 	}

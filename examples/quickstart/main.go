@@ -1,51 +1,52 @@
 // Quickstart: the smallest end-to-end use of the monitoring engine.
 //
-// It creates an engine over a count-based window, registers one top-5
+// It creates a monitor over a count-based window, registers one top-5
 // query with the linear preference function f = x1 + 2*x2 (the running
 // example of the paper), streams random tuples through it, and prints the
-// result deltas the engine reports after each processing cycle.
+// result deltas the monitor reports after each processing cycle.
 //
 // Run with:
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart            # single engine
+//	go run ./examples/quickstart -shards 4  # sharded concurrent engine
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"topkmon/internal/core"
-	"topkmon/internal/geom"
-	"topkmon/internal/stream"
-	"topkmon/internal/window"
+	"topkmon/pkg/topkmon"
 )
 
 func main() {
+	shards := flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
+	flag.Parse()
+
 	// A 2-dimensional workspace; the window keeps the 500 most recent
-	// tuples; the grid resolution is tuned automatically.
-	engine, err := core.NewEngine(core.Options{
-		Dims:   2,
-		Window: window.Count(500),
-	})
+	// tuples; the grid resolution is tuned automatically. Results are
+	// identical at any shard count.
+	mon, err := topkmon.New(2,
+		topkmon.WithCountWindow(500),
+		topkmon.WithShards(*shards),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer mon.Close()
 
 	// Monitor the top-5 tuples under f(x) = x1 + 2*x2 with the skyband
-	// algorithm (SMA) — the paper's recommended policy.
-	qid, err := engine.Register(core.QuerySpec{
-		F:      geom.NewLinear(1, 2),
-		K:      5,
-		Policy: core.SMA,
-	})
+	// algorithm (SMA) — the paper's recommended policy and the monitor's
+	// default.
+	qid, err := mon.RegisterTopK(topkmon.Linear(1, 2), 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Stream 100 uniform tuples per cycle for 10 cycles.
-	gen := stream.NewGenerator(stream.IND, 2, 42)
+	gen := topkmon.NewGenerator(topkmon.IND, 2, 42)
 	for ts := int64(0); ts < 10; ts++ {
-		updates, err := engine.Step(ts, gen.Batch(100, ts))
+		updates, err := mon.Step(ts, gen.Batch(100, ts))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func main() {
 	}
 
 	// The full current result is always available, best first.
-	result, err := engine.Result(qid)
+	result, err := mon.Result(qid)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,19 +14,17 @@
 //
 // Run with:
 //
-//	go run ./examples/stocks
+//	go run ./examples/stocks [-shards N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 
-	"topkmon/internal/core"
-	"topkmon/internal/geom"
-	"topkmon/internal/stream"
-	"topkmon/internal/window"
+	"topkmon/pkg/topkmon"
 )
 
 const tickersPerCycle = 400
@@ -34,30 +32,31 @@ const tickersPerCycle = 400
 var symbols = []string{"ACME", "GLOBX", "INITECH", "UMBRL", "HOOLI", "STARK", "WAYNE", "TYRELL"}
 
 func main() {
-	engine, err := core.NewEngine(core.Options{
-		Dims:   3,
-		Window: window.Time(20), // ticks are valid for 20 time units
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	shards := flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
+	flag.Parse()
 
-	momo, err := engine.Register(core.QuerySpec{
-		F: geom.NewLinear(2, 1, 0), K: 5, Policy: core.SMA,
+	mon, err := topkmon.New(3,
+		topkmon.WithTimeWindow(20), // ticks are valid for 20 time units
+		topkmon.WithShards(*shards),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+
+	momo, err := mon.Register(topkmon.QuerySpec{
+		F: topkmon.Linear(2, 1, 0), K: 5, Policy: topkmon.SMA,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	quiet, err := engine.Register(core.QuerySpec{
-		F: geom.NewLinear(0.2, 1.5, -1.2), K: 5, Policy: core.SMA,
+	quiet, err := mon.Register(topkmon.QuerySpec{
+		F: topkmon.Linear(0.2, 1.5, -1.2), K: 5, Policy: topkmon.SMA,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	alertLevel := 2.6
-	spike, err := engine.Register(core.QuerySpec{
-		F: geom.NewLinear(2, 1, 0), Threshold: &alertLevel,
-	})
+	spike, err := mon.RegisterThreshold(topkmon.Linear(2, 1, 0), 2.6)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +66,7 @@ func main() {
 	var nextID uint64
 
 	for ts := int64(0); ts < 40; ts++ {
-		batch := make([]*stream.Tuple, 0, tickersPerCycle)
+		batch := make([]*topkmon.Tuple, 0, tickersPerCycle)
 		for i := 0; i < tickersPerCycle; i++ {
 			sym := symbols[rng.Intn(len(symbols))]
 			// Regime shift at t=25: HOOLI turns hot (high momentum+volume).
@@ -78,17 +77,17 @@ func main() {
 				momentum = 0.8 + rng.Float64()*0.2
 				volume = 0.7 + rng.Float64()*0.3
 			}
-			t := &stream.Tuple{
+			t := &topkmon.Tuple{
 				ID:  nextID,
 				Seq: nextID,
 				TS:  ts,
-				Vec: geom.Vector{momentum, volume, volatility},
+				Vec: topkmon.Vector{momentum, volume, volatility},
 			}
 			names[t.ID] = sym
 			nextID++
 			batch = append(batch, t)
 		}
-		updates, err := engine.Step(ts, batch)
+		updates, err := mon.Step(ts, batch)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -102,14 +101,14 @@ func main() {
 			}
 		}
 		if ts%10 == 9 {
-			fmt.Printf("t=%2d  momo screen:  %s\n", ts, describe(engine, momo, names))
-			fmt.Printf("t=%2d  quiet screen: %s\n", ts, describe(engine, quiet, names))
+			fmt.Printf("t=%2d  momo screen:  %s\n", ts, describe(mon, momo, names))
+			fmt.Printf("t=%2d  quiet screen: %s\n", ts, describe(mon, quiet, names))
 		}
 	}
 
 	// A momentum regime like HOOLI's should dominate the momo screen by the
 	// end of the run.
-	res, _ := engine.Result(momo)
+	res, _ := mon.Result(momo)
 	hooli := 0
 	for _, e := range res {
 		if names[e.T.ID] == "HOOLI" {
@@ -120,8 +119,8 @@ func main() {
 		hooli, len(res))
 }
 
-func describe(e *core.Engine, q core.QueryID, names map[uint64]string) string {
-	res, err := e.Result(q)
+func describe(mon *topkmon.Monitor, q topkmon.QueryID, names map[uint64]string) string {
+	res, err := mon.Result(q)
 	if err != nil {
 		return err.Error()
 	}

@@ -11,37 +11,40 @@
 //
 // Run with:
 //
-//	go run ./examples/updatestream
+//	go run ./examples/updatestream [-shards N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"topkmon/internal/core"
-	"topkmon/internal/geom"
-	"topkmon/internal/stream"
+	"topkmon/pkg/topkmon"
 )
 
 func main() {
-	engine, err := core.NewEngine(core.Options{
-		Dims: 2,                 // x1 = normalized price aggressiveness, x2 = order size
-		Mode: core.UpdateStream, // no window: orders live until deleted
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	shards := flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
+	flag.Parse()
 
-	aggressive, err := engine.Register(core.QuerySpec{
-		F: geom.NewLinear(2, 1), K: 5, Policy: core.TMA,
-	})
+	// x1 = normalized price aggressiveness, x2 = order size. No window:
+	// orders live until deleted. TMA is the only policy available under
+	// update streams, so it is the sensible default here.
+	mon, err := topkmon.New(2,
+		topkmon.WithStreamMode(topkmon.UpdateStream),
+		topkmon.WithPolicy(topkmon.TMA),
+		topkmon.WithShards(*shards),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	largest, err := engine.Register(core.QuerySpec{
-		F: geom.NewLinear(0, 1), K: 5, Policy: core.TMA,
-	})
+	defer mon.Close()
+
+	aggressive, err := mon.RegisterTopK(topkmon.Linear(2, 1), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	largest, err := mon.RegisterTopK(topkmon.Linear(0, 1), 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,13 +55,13 @@ func main() {
 
 	for ts := int64(0); ts < 30; ts++ {
 		// New orders.
-		arrivals := make([]*stream.Tuple, 0, 200)
+		arrivals := make([]*topkmon.Tuple, 0, 200)
 		for i := 0; i < 200; i++ {
-			t := &stream.Tuple{
+			t := &topkmon.Tuple{
 				ID:  nextID,
 				Seq: nextSeq,
 				TS:  ts,
-				Vec: geom.Vector{rng.Float64(), rng.Float64()},
+				Vec: topkmon.Vector{rng.Float64(), rng.Float64()},
 			}
 			nextID++
 			nextSeq++
@@ -74,22 +77,22 @@ func main() {
 			live[j] = live[len(live)-1]
 			live = live[:len(live)-1]
 		}
-		if _, err := engine.StepUpdate(ts, arrivals, deletions); err != nil {
+		if _, err := mon.StepUpdate(ts, arrivals, deletions); err != nil {
 			log.Fatal(err)
 		}
 		if ts%6 == 5 {
-			a, _ := engine.Result(aggressive)
-			l, _ := engine.Result(largest)
-			fmt.Printf("t=%2d  book=%-5d  most aggressive: %s\n", ts, engine.NumPoints(), fmtTop(a))
+			a, _ := mon.Result(aggressive)
+			l, _ := mon.Result(largest)
+			fmt.Printf("t=%2d  book=%-5d  most aggressive: %s\n", ts, mon.NumPoints(), fmtTop(a))
 			fmt.Printf("t=%2d             largest resting: %s\n", ts, fmtTop(l))
 		}
 	}
-	s := engine.Stats()
+	s := mon.Stats()
 	fmt.Printf("\nprocessed %d insertions and %d deletions; %d from-scratch recomputations\n",
 		s.Arrivals, s.Expirations, s.Recomputes)
 }
 
-func fmtTop(entries []core.Entry) string {
+func fmtTop(entries []topkmon.Entry) string {
 	out := ""
 	for i, e := range entries {
 		if i > 0 {

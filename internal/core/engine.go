@@ -61,7 +61,10 @@ type query struct {
 
 // Engine is the grid-based continuous monitoring engine. It is not safe
 // for concurrent use: the paper's model is a single server processing one
-// cycle at a time.
+// cycle at a time. Engines hold no process-global state, however, so any
+// number of them may run concurrently with each other — the property the
+// sharded monitor in internal/shard builds on (one engine per shard, one
+// goroutine per engine).
 type Engine struct {
 	opts Options
 	g    *grid.Grid
@@ -119,8 +122,14 @@ func NewEngine(opts Options) (*Engine, error) {
 	return e, nil
 }
 
+var _ StreamMonitor = (*Engine)(nil)
+
 // Grid exposes the underlying index (read-only use: tests, harness).
 func (e *Engine) Grid() *grid.Grid { return e.g }
+
+// Close implements StreamMonitor. The single engine owns no background
+// resources, so it is a no-op.
+func (e *Engine) Close() error { return nil }
 
 // Now returns the engine clock: the timestamp of the last processed cycle.
 func (e *Engine) Now() int64 { return e.now }

@@ -116,8 +116,9 @@ type Update struct {
 	Removed []Entry
 }
 
-// Monitor is the interface shared by the grid-based engine and the TSL
-// baseline, so the experiment harness can drive them uniformly.
+// Monitor is the interface shared by the grid-based engine, the sharded
+// engine and the TSL baseline, so the experiment harness can drive them
+// uniformly.
 type Monitor interface {
 	// Register installs a query, computes its initial result and returns
 	// its id.
@@ -133,6 +134,32 @@ type Monitor interface {
 	Result(id QueryID) ([]Entry, error)
 	// MemoryBytes estimates the monitor's total memory footprint.
 	MemoryBytes() int64
+}
+
+// StreamMonitor is the full engine surface: the uniform Monitor methods
+// plus the update-stream cycle, counter access, and lifecycle management.
+// Both the single *Engine and the sharded implementation in internal/shard
+// satisfy it, which is what lets pkg/topkmon swap one for the other behind
+// a single constructor.
+type StreamMonitor interface {
+	Monitor
+	// StepUpdate runs one processing cycle under the explicit-deletion
+	// stream model of Section 7 (UpdateStream mode only).
+	StepUpdate(now int64, arrivals []*stream.Tuple, deletions []uint64) ([]Update, error)
+	// Stats returns a snapshot of the monitor's counters. Sharded monitors
+	// aggregate across shards: stream-level counters (Arrivals,
+	// Expirations) are reported once, query-attributed counters are summed.
+	Stats() Stats
+	// NumPoints returns the number of valid tuples.
+	NumPoints() int
+	// NumQueries returns the number of registered queries.
+	NumQueries() int
+	// Now returns the timestamp of the last processed cycle.
+	Now() int64
+	// Close releases background resources (shard worker goroutines). It is
+	// a no-op for the single engine. The monitor must not be used after
+	// Close.
+	Close() error
 }
 
 // Options configures an Engine.

@@ -7,6 +7,11 @@ import (
 	"topkmon/internal/stream"
 )
 
+// DefaultShards is applied to every configuration Defaults produces (grid
+// algorithms only; TSL has no sharded implementation). cmd/experiments
+// sets it from its -shards flag so whole sweeps can run sharded.
+var DefaultShards int
+
 // Defaults returns the paper's default configuration (Table 1) scaled
 // linearly: N and Q shrink with scale (bounded below so the system stays
 // meaningful), r stays at 1% of N per cycle, and the simulation runs 100
@@ -34,6 +39,7 @@ func Defaults(scale float64, seed int64) Config {
 		Q:      q,
 		K:      20,
 		Cycles: cycles,
+		Shards: DefaultShards,
 		Seed:   seed,
 	}
 }
@@ -374,6 +380,32 @@ func Experiments() []Experiment {
 					})
 				}
 				return []Table{tbl}, nil
+			},
+		},
+		{
+			ID:    "shards",
+			Title: "Shard scaling: per-cycle cost and space vs shard count (beyond the paper)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				base := Defaults(scale, seed)
+				var points []sweepPoint
+				for _, n := range []int{1, 2, 4, 8} {
+					points = append(points, sweepPoint{
+						label: fmt.Sprintf("%d", n),
+						mut: func(c Config) Config {
+							c.Shards = n
+							return c
+						},
+					})
+				}
+				timeTbl, err := runMatrix("Shard scaling: CPU time vs shards (IND)", "shards", base, points, gridAlgos, cpuMetric)
+				if err != nil {
+					return nil, err
+				}
+				spaceTbl, err := runMatrix("Shard scaling: space vs shards (IND)", "shards", base, points, gridAlgos, spaceMetric)
+				if err != nil {
+					return nil, err
+				}
+				return []Table{timeTbl, spaceTbl}, nil
 			},
 		},
 	}

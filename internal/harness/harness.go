@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"topkmon/internal/core"
+	"topkmon/internal/shard"
 	"topkmon/internal/stream"
 	"topkmon/internal/tsl"
 	"topkmon/internal/window"
@@ -84,7 +85,11 @@ type Config struct {
 	// DeletionsFirst inverts the paper's Pins-before-Pdel processing order
 	// (grid algorithms only) — the ordering ablation of Figure 8.
 	DeletionsFirst bool
-	Seed           int64
+	// Shards runs the grid algorithms on the sharded concurrent engine
+	// with this many shards (0 or 1 = the paper's single engine). TSL has
+	// no sharded implementation.
+	Shards int
+	Seed   int64
 }
 
 // withDefaults fills derived fields.
@@ -167,17 +172,26 @@ func NewMonitor(cfg Config) (core.Monitor, *stream.Generator, int64, error) {
 		}
 		mon = m
 	case AlgoTMA, AlgoSMA:
-		e, err := core.NewEngine(core.Options{
+		opts := core.Options{
 			Dims:           cfg.Dims,
 			Window:         window.Count(cfg.N),
 			GridRes:        cfg.GridRes,
 			TargetCells:    cfg.TargetCells,
 			DeletionsFirst: cfg.DeletionsFirst,
-		})
-		if err != nil {
-			return nil, nil, 0, err
 		}
-		mon = e
+		if cfg.Shards > 1 {
+			s, err := shard.New(opts, cfg.Shards)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			mon = s
+		} else {
+			e, err := core.NewEngine(opts)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			mon = e
+		}
 	default:
 		return nil, nil, 0, fmt.Errorf("harness: unknown algorithm %v", cfg.Algo)
 	}
@@ -224,12 +238,16 @@ func Run(cfg Config) (Result, error) {
 	res.RunTime = time.Since(t1)
 	res.SpaceBytes = mon.MemoryBytes()
 
+	// The grid engines — single or sharded — share the core.Stats shape;
+	// the sharded monitor aggregates its per-shard counters before
+	// reporting, so the harness reads one interface either way.
 	switch m := mon.(type) {
-	case *core.Engine:
+	case core.StreamMonitor:
 		s := m.Stats()
 		res.Recomputes = s.Recomputes
 		res.CellsProcessed = s.CellsProcessed
 		res.AvgAuxSize = s.AvgSkybandSize()
+		_ = m.Close()
 	case *tsl.Monitor:
 		s := m.Stats()
 		res.Recomputes = s.Refills

@@ -1,0 +1,412 @@
+// Package shard runs N independent core.Engine instances behind the same
+// monitoring interface, turning the paper's single-server model into a
+// concurrent engine without changing any algorithmic result.
+//
+// The design follows the partition-and-merge pattern of distributed
+// sliding-window monitoring (Papapetrou et al.; Chan et al.): registered
+// queries are hash-partitioned across shards, while every processing
+// cycle's arrival/expiration batch is broadcast to all shards in parallel.
+// Each shard is a complete engine — its own grid index, window and query
+// table — owned by exactly one goroutine, so the core algorithms run
+// unmodified and unlocked. Because the per-query maintenance of TMA/SMA is
+// independent across queries, a query's result trajectory on its shard is
+// bit-identical to what the single engine would produce on the same
+// stream; the router only has to translate per-shard query ids back to
+// global ones and merge the per-shard update fan-in by query id. The
+// differential tests in shard_test.go verify this equivalence for every
+// policy, query type and stream mode.
+//
+// The trade-off is explicit: the tuple index is replicated per shard
+// (memory and ingest work scale with the shard count), in exchange for
+// query maintenance — the dominant cost at large Q, see Figure 18 — being
+// spread over as many cores as there are shards.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"topkmon/internal/core"
+	"topkmon/internal/stream"
+)
+
+// route locates a query: the shard that owns it and its id local to that
+// shard's engine.
+type route struct {
+	shard int
+	local core.QueryID
+}
+
+// Sharded is a concurrent monitor running one core.Engine per shard. It
+// implements core.StreamMonitor and, unlike the single engine, is safe for
+// concurrent use: Register, Unregister, Result and Stats may be called
+// while a cycle runs. Cycles themselves are serialized — Step/StepUpdate
+// model the arrival of one stream batch, which is inherently ordered.
+type Sharded struct {
+	workers []*worker
+
+	// mu guards the routing table.
+	mu     sync.Mutex
+	nextID core.QueryID
+	routes map[core.QueryID]route
+
+	// closeMu guards the worker channels' lifetime: every operation holds
+	// it for reading while it may send jobs, Close holds it for writing
+	// while closing the channels. closed is written under the write lock.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// stepMu serializes processing cycles.
+	stepMu sync.Mutex
+}
+
+var _ core.StreamMonitor = (*Sharded)(nil)
+
+// worker owns one engine. Every access to eng and localToGlobal happens on
+// the worker goroutine, which drains jobs sequentially — the channel is the
+// only synchronization the engine needs.
+type worker struct {
+	eng           *core.Engine
+	jobs          chan func()
+	stopped       chan struct{}
+	localToGlobal map[core.QueryID]core.QueryID
+}
+
+func (w *worker) loop() {
+	for job := range w.jobs {
+		job()
+	}
+	close(w.stopped)
+}
+
+// call runs fn on the worker goroutine and waits for it to finish.
+func (w *worker) call(fn func()) {
+	done := make(chan struct{})
+	w.jobs <- func() {
+		fn()
+		close(done)
+	}
+	<-done
+}
+
+// New builds a sharded monitor with n shards, each configured by opts.
+func New(opts core.Options, n int) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	s := &Sharded{
+		workers: make([]*worker, n),
+		routes:  make(map[core.QueryID]route),
+	}
+	for i := range s.workers {
+		eng, err := core.NewEngine(opts)
+		if err != nil {
+			for _, w := range s.workers[:i] {
+				close(w.jobs)
+			}
+			return nil, err
+		}
+		w := &worker{
+			eng:           eng,
+			jobs:          make(chan func()),
+			stopped:       make(chan struct{}),
+			localToGlobal: make(map[core.QueryID]core.QueryID),
+		}
+		s.workers[i] = w
+		go w.loop()
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.workers) }
+
+// shardOf hash-partitions a global query id (splitmix64 finalizer, so
+// sequential ids spread uniformly rather than striping).
+func shardOf(id core.QueryID, n int) int {
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// Register implements core.Monitor. Global query ids are assigned in
+// registration order (matching the single engine) and hash-routed to a
+// shard, whose engine computes the initial result.
+func (s *Sharded) Register(spec core.QuerySpec) (core.QueryID, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return 0, fmt.Errorf("shard: monitor is closed")
+	}
+	s.mu.Lock()
+	global := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	si := shardOf(global, len(s.workers))
+	w := s.workers[si]
+	var local core.QueryID
+	var err error
+	w.call(func() {
+		local, err = w.eng.Register(spec)
+		if err == nil {
+			w.localToGlobal[local] = global
+		}
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		// Best-effort rollback so rejected specs do not burn ids (keeps id
+		// assignment aligned with the single engine in serial use).
+		if s.nextID == global+1 {
+			s.nextID--
+		}
+		return 0, err
+	}
+	s.routes[global] = route{shard: si, local: local}
+	return global, nil
+}
+
+// Unregister implements core.Monitor.
+func (s *Sharded) Unregister(id core.QueryID) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("shard: monitor is closed")
+	}
+	s.mu.Lock()
+	r, ok := s.routes[id]
+	if ok {
+		delete(s.routes, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("shard: unknown query %d", id)
+	}
+	w := s.workers[r.shard]
+	var err error
+	w.call(func() {
+		delete(w.localToGlobal, r.local)
+		err = w.eng.Unregister(r.local)
+	})
+	return err
+}
+
+// Result implements core.Monitor.
+func (s *Sharded) Result(id core.QueryID) ([]core.Entry, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, fmt.Errorf("shard: monitor is closed")
+	}
+	s.mu.Lock()
+	r, ok := s.routes[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown query %d", id)
+	}
+	w := s.workers[r.shard]
+	var res []core.Entry
+	var err error
+	w.call(func() {
+		res, err = w.eng.Result(r.local)
+	})
+	return res, err
+}
+
+// Step implements core.Monitor: the arrival batch is broadcast to every
+// shard, the shards process the cycle in parallel, and the per-shard
+// update streams are merged by global query id.
+func (s *Sharded) Step(now int64, arrivals []*stream.Tuple) ([]core.Update, error) {
+	return s.cycle(func(e *core.Engine) ([]core.Update, error) {
+		return e.Step(now, arrivals)
+	})
+}
+
+// StepUpdate implements core.StreamMonitor for the explicit-deletion model.
+func (s *Sharded) StepUpdate(now int64, arrivals []*stream.Tuple, deletions []uint64) ([]core.Update, error) {
+	return s.cycle(func(e *core.Engine) ([]core.Update, error) {
+		return e.StepUpdate(now, arrivals, deletions)
+	})
+}
+
+// cycle broadcasts one processing cycle to all shards and merges the
+// fan-in. Shards only ever read the tuples, so sharing the batch slice
+// across goroutines is safe. On error the first failing shard's error is
+// returned; like the single engine, a mid-cycle validation failure leaves
+// the monitor in an undefined state.
+func (s *Sharded) cycle(step func(*core.Engine) ([]core.Update, error)) ([]core.Update, error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, fmt.Errorf("shard: monitor is closed")
+	}
+
+	type shardResult struct {
+		updates []core.Update
+		err     error
+	}
+	results := make([]shardResult, len(s.workers))
+	var wg sync.WaitGroup
+	wg.Add(len(s.workers))
+	for i, w := range s.workers {
+		w.jobs <- func() {
+			defer wg.Done()
+			updates, err := step(w.eng)
+			if err == nil {
+				// Translate shard-local query ids to global ones while still
+				// on the worker goroutine (localToGlobal is worker-owned).
+				for j := range updates {
+					updates[j].Query = w.localToGlobal[updates[j].Query]
+				}
+			}
+			results[i] = shardResult{updates, err}
+		}
+	}
+	wg.Wait()
+
+	total := 0
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		total += len(r.updates)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	merged := make([]core.Update, 0, total)
+	for _, r := range results {
+		merged = append(merged, r.updates...)
+	}
+	// Per-shard update lists are already ordered by global id (id
+	// assignment is monotone per shard), so this is a near-sorted sort of
+	// unique keys; it restores the single engine's global ordering.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Query < merged[j].Query })
+	return merged, nil
+}
+
+// Stats implements core.StreamMonitor, aggregating across shards: the
+// stream-level counters Arrivals and Expirations are identical on every
+// shard (the batch is broadcast) and reported once, while query-attributed
+// counters — influence events, recomputations, processed cells, skyband
+// samples, result updates — are summed, since each shard serves a disjoint
+// query subset.
+func (s *Sharded) Stats() core.Stats {
+	per := make([]core.Stats, len(s.workers))
+	s.broadcast(func(i int, e *core.Engine) {
+		per[i] = e.Stats()
+	})
+	agg := per[0]
+	for _, st := range per[1:] {
+		agg.InfluenceEvents += st.InfluenceEvents
+		agg.Recomputes += st.Recomputes
+		agg.InitialComputations += st.InitialComputations
+		agg.CellsProcessed += st.CellsProcessed
+		agg.SkybandSizeSum += st.SkybandSizeSum
+		agg.SkybandSamples += st.SkybandSamples
+		agg.ResultUpdates += st.ResultUpdates
+	}
+	return agg
+}
+
+// MemoryBytes implements core.Monitor: the sum over shards. The index
+// really is replicated per shard, so the total reflects the cost of the
+// parallelism honestly.
+func (s *Sharded) MemoryBytes() int64 {
+	var total int64
+	per := make([]int64, len(s.workers))
+	s.broadcast(func(i int, e *core.Engine) {
+		per[i] = e.MemoryBytes()
+	})
+	for _, b := range per {
+		total += b
+	}
+	return total
+}
+
+// NumPoints implements core.StreamMonitor. Every shard indexes the full
+// stream, so shard 0 is authoritative.
+func (s *Sharded) NumPoints() int {
+	var n int
+	s.callShard0(func(e *core.Engine) { n = e.NumPoints() })
+	return n
+}
+
+// NumQueries implements core.StreamMonitor: the global registration count.
+func (s *Sharded) NumQueries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.routes)
+}
+
+// Now implements core.StreamMonitor.
+func (s *Sharded) Now() int64 {
+	var now int64
+	s.callShard0(func(e *core.Engine) { now = e.Now() })
+	return now
+}
+
+// callShard0 runs fn against shard 0's engine, on its goroutine while the
+// monitor is open and synchronously once it is closed.
+func (s *Sharded) callShard0(fn func(e *core.Engine)) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	w := s.workers[0]
+	if s.closed {
+		fn(w.eng)
+		return
+	}
+	w.call(func() { fn(w.eng) })
+}
+
+// broadcast runs fn for every shard in parallel on the shards' own
+// goroutines and waits for all of them. Broadcasting against a closed
+// monitor runs fn synchronously against the (now quiescent) engines.
+func (s *Sharded) broadcast(fn func(i int, e *core.Engine)) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		for i, w := range s.workers {
+			fn(i, w.eng)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(s.workers))
+	for i, w := range s.workers {
+		w.jobs <- func() {
+			defer wg.Done()
+			fn(i, w.eng)
+		}
+	}
+	wg.Wait()
+}
+
+// Close implements core.StreamMonitor: it stops the worker goroutines and
+// waits for them to drain. After Close, mutating operations and cycles
+// (Register, Unregister, Step, StepUpdate, Result) return errors, while
+// the counter reads (Stats, MemoryBytes, NumPoints, NumQueries, Now) keep
+// working against the quiescent engines. Calling Close twice is safe.
+func (s *Sharded) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, w := range s.workers {
+		close(w.jobs)
+	}
+	for _, w := range s.workers {
+		<-w.stopped
+	}
+	return nil
+}

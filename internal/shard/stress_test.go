@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"topkmon/internal/core"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+// TestConcurrentChurnStress drives processing cycles while other
+// goroutines register, unregister, read results and sample counters — the
+// access pattern the single engine forbids and the sharded monitor exists
+// to serve. Run under -race this is the memory-safety proof; the
+// functional assertions are deliberately weak (counts, error-freedom)
+// because interleaving is nondeterministic.
+func TestConcurrentChurnStress(t *testing.T) {
+	const (
+		dims     = 3
+		shards   = 4
+		cycles   = 60
+		rate     = 80
+		churners = 3
+	)
+	sh, err := New(core.Options{Dims: dims, Window: window.Count(1500), TargetCells: 64}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	gen := stream.NewGenerator(stream.IND, dims, 5)
+	if _, err := sh.Step(0, gen.Batch(1500, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, churners+1)
+
+	// Churners: register a query, read its result a few times, drop it.
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			qg := stream.NewQueryGenerator(stream.FuncLinear, dims, seed)
+			rng := rand.New(rand.NewSource(seed))
+			var owned []core.QueryID
+			for !stop.Load() {
+				switch {
+				case len(owned) < 8:
+					id, err := sh.Register(core.QuerySpec{F: qg.Next(), K: 1 + rng.Intn(10), Policy: core.SMA})
+					if err != nil {
+						errc <- err
+						return
+					}
+					owned = append(owned, id)
+				case rng.Intn(2) == 0:
+					id := owned[rng.Intn(len(owned))]
+					if _, err := sh.Result(id); err != nil {
+						errc <- err
+						return
+					}
+					sh.Stats()
+				default:
+					j := rng.Intn(len(owned))
+					if err := sh.Unregister(owned[j]); err != nil {
+						errc <- err
+						return
+					}
+					owned = append(owned[:j], owned[j+1:]...)
+				}
+			}
+			for _, id := range owned {
+				if err := sh.Unregister(id); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(int64(100 + c))
+	}
+
+	// Driver: the stream never pauses while queries churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for ts := int64(1); ts <= cycles; ts++ {
+			if _, err := sh.Step(ts, gen.Batch(rate, ts)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if n := sh.NumQueries(); n != 0 {
+		t.Fatalf("expected all churned queries unregistered, %d left", n)
+	}
+	if got, want := sh.NumPoints(), 1500; got != want {
+		t.Fatalf("NumPoints = %d, want %d", got, want)
+	}
+}

@@ -122,30 +122,58 @@ func (c *CSVReader) NextBatch() ([]*Tuple, int64, error) {
 	}
 }
 
-// WriteCSV encodes tuples as "ts,x1,...,xd" records with a header row.
-func WriteCSV(w io.Writer, tuples []*Tuple, dims int) error {
-	cw := csv.NewWriter(w)
-	header := make([]string, dims+1)
-	header[0] = "ts"
-	for i := 0; i < dims; i++ {
-		header[i+1] = fmt.Sprintf("x%d", i+1)
-	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	rec := make([]string, dims+1)
-	for _, t := range tuples {
-		if len(t.Vec) != dims {
-			return fmt.Errorf("stream: tuple %d has %d attributes, want %d", t.ID, len(t.Vec), dims)
+// CSVWriter streams tuples as "ts,x1,...,xd" records, writing the header
+// row before the first tuple. Unlike WriteCSV it holds no tuple slice, so
+// arbitrarily long traces write in constant memory.
+type CSVWriter struct {
+	cw     *csv.Writer
+	dims   int
+	rec    []string
+	header bool
+}
+
+// NewCSVWriter returns a streaming trace writer for dims-dimensional
+// tuples.
+func NewCSVWriter(w io.Writer, dims int) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w), dims: dims, rec: make([]string, dims+1)}
+}
+
+// Write appends one tuple record (and, first, the header row).
+func (c *CSVWriter) Write(t *Tuple) error {
+	if !c.header {
+		c.header = true
+		header := make([]string, c.dims+1)
+		header[0] = "ts"
+		for i := 0; i < c.dims; i++ {
+			header[i+1] = fmt.Sprintf("x%d", i+1)
 		}
-		rec[0] = strconv.FormatInt(t.TS, 10)
-		for i, x := range t.Vec {
-			rec[i+1] = strconv.FormatFloat(x, 'f', -1, 64)
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := c.cw.Write(header); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	if len(t.Vec) != c.dims {
+		return fmt.Errorf("stream: tuple %d has %d attributes, want %d", t.ID, len(t.Vec), c.dims)
+	}
+	c.rec[0] = strconv.FormatInt(t.TS, 10)
+	for i, x := range t.Vec {
+		c.rec[i+1] = strconv.FormatFloat(x, 'f', -1, 64)
+	}
+	return c.cw.Write(c.rec)
+}
+
+// Flush writes buffered records through and reports any write error.
+func (c *CSVWriter) Flush() error {
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
+// WriteCSV encodes tuples as "ts,x1,...,xd" records with a header row.
+func WriteCSV(w io.Writer, tuples []*Tuple, dims int) error {
+	cw := NewCSVWriter(w, dims)
+	for _, t := range tuples {
+		if err := cw.Write(t); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
 }

@@ -1,0 +1,92 @@
+package topkmon
+
+import (
+	"fmt"
+
+	"topkmon/internal/core"
+	"topkmon/internal/window"
+)
+
+// Clock supplies the timestamp for clock-driven cycles (Tick/TickUpdate).
+type Clock interface {
+	// Now returns the current logical or wall time. Successive calls must
+	// be non-decreasing; the engine rejects time going backwards.
+	Now() int64
+}
+
+// ClockFunc adapts a plain function to the Clock interface.
+type ClockFunc func() int64
+
+// Now implements Clock.
+func (f ClockFunc) Now() int64 { return f() }
+
+// config collects the options New accepts.
+type config struct {
+	shards  int
+	policy  Policy
+	mode    StreamMode
+	clock   Clock
+	window  window.Spec
+	gridRes int
+	cells   int
+}
+
+// Option configures a Monitor.
+type Option func(*config)
+
+// WithShards sets the number of engine shards. With n > 1 the monitor runs
+// n independent engines (one goroutine each): queries are hash-partitioned
+// across them, every stream batch is broadcast to all of them, and the
+// per-shard update streams are merged — results are identical to the
+// single engine on the same stream. The default (and any n <= 1) is the
+// plain single-threaded engine.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithPolicy sets the default maintenance policy used by RegisterTopK.
+// Queries registered through Register carry their own policy in the spec.
+// The default is SMA, the paper's recommended algorithm.
+func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithStreamMode selects the stream model. The default is AppendOnly
+// (sliding window); UpdateStream enables explicit deletions via StepUpdate
+// and TickUpdate and needs no window.
+func WithStreamMode(m StreamMode) Option { return func(c *config) { c.mode = m } }
+
+// WithClock installs the clock that stamps Tick/TickUpdate cycles. The
+// default is a logical clock that advances by one per tick.
+func WithClock(clk Clock) Option { return func(c *config) { c.clock = clk } }
+
+// WithCountWindow monitors the n most recent tuples (count-based window).
+// AppendOnly mode requires exactly one of WithCountWindow or
+// WithTimeWindow.
+func WithCountWindow(n int) Option { return func(c *config) { c.window = window.Count(n) } }
+
+// WithTimeWindow monitors the tuples of the last span time units
+// (time-based window).
+func WithTimeWindow(span int64) Option { return func(c *config) { c.window = window.Time(span) } }
+
+// WithGridRes fixes the number of grid cells per axis, overriding the
+// tuned default.
+func WithGridRes(res int) Option { return func(c *config) { c.gridRes = res } }
+
+// WithTargetCells sets the approximate total grid cell count from which
+// the per-axis resolution is derived. The default is the paper's tuned
+// 12^4 cells.
+func WithTargetCells(n int) Option { return func(c *config) { c.cells = n } }
+
+// engineOptions translates the public configuration to core options.
+func (c *config) engineOptions(dims int) (core.Options, error) {
+	if dims <= 0 {
+		return core.Options{}, fmt.Errorf("topkmon: dims must be positive, got %d", dims)
+	}
+	if c.mode == AppendOnly && c.window == (window.Spec{}) {
+		return core.Options{}, fmt.Errorf("topkmon: append-only mode needs WithCountWindow or WithTimeWindow")
+	}
+	return core.Options{
+		Dims:        dims,
+		Window:      c.window,
+		Mode:        c.mode,
+		GridRes:     c.gridRes,
+		TargetCells: c.cells,
+	}, nil
+}

@@ -1,0 +1,177 @@
+// Package topkmon is the public interface to the continuous top-k
+// monitoring system: a facade over the paper-faithful single engine
+// (internal/core) and the sharded concurrent engine (internal/shard),
+// selected by functional options.
+//
+// Quickstart:
+//
+//	mon, err := topkmon.New(2,
+//		topkmon.WithCountWindow(10000),
+//		topkmon.WithShards(4),
+//	)
+//	defer mon.Close()
+//	q, err := mon.RegisterTopK(topkmon.Linear(1, 2), 5)
+//	updates, err := mon.Step(ts, batch) // or mon.Tick(batch)
+//
+// Sharding never changes results: the sharded monitor produces exactly the
+// updates of the single engine on the same stream, only faster on
+// multi-core hosts (and with replicated index memory).
+package topkmon
+
+import (
+	"sync"
+
+	"topkmon/internal/core"
+	"topkmon/internal/shard"
+)
+
+// Monitor is the public handle to a monitoring engine (single or sharded).
+// A sharded Monitor is safe for concurrent use; a single-engine Monitor
+// (the default) must be driven from one goroutine, like the paper's
+// server. Close releases shard workers; it is a no-op for single engines.
+type Monitor struct {
+	mon    core.StreamMonitor
+	policy Policy
+	shards int
+
+	// tickMu guards the clock-driven ingestion state.
+	tickMu sync.Mutex
+	clock  Clock
+	nextTS int64
+	seq    uint64
+}
+
+// New builds a monitor over a dims-dimensional workspace. AppendOnly mode
+// (the default) requires a window option; see the Option constructors for
+// everything else.
+func New(dims int, opts ...Option) (*Monitor, error) {
+	cfg := config{policy: SMA}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	engOpts, err := cfg.engineOptions(dims)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{policy: cfg.policy, clock: cfg.clock, shards: cfg.shards}
+	if cfg.shards > 1 {
+		sh, err := shard.New(engOpts, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+		m.mon = sh
+	} else {
+		m.shards = 1
+		eng, err := core.NewEngine(engOpts)
+		if err != nil {
+			return nil, err
+		}
+		m.mon = eng
+	}
+	return m, nil
+}
+
+// Shards returns the number of engine shards (1 for the single engine).
+func (m *Monitor) Shards() int { return m.shards }
+
+// Register installs a query described by a full spec and returns its id.
+func (m *Monitor) Register(spec QuerySpec) (QueryID, error) {
+	return m.mon.Register(spec)
+}
+
+// RegisterTopK installs a top-k query under the monitor's default policy
+// (see WithPolicy).
+func (m *Monitor) RegisterTopK(f ScoringFunction, k int) (QueryID, error) {
+	return m.mon.Register(QuerySpec{F: f, K: k, Policy: m.policy})
+}
+
+// RegisterThreshold installs a threshold query reporting every tuple whose
+// score strictly exceeds threshold.
+func (m *Monitor) RegisterThreshold(f ScoringFunction, threshold float64) (QueryID, error) {
+	return m.mon.Register(QuerySpec{F: f, Threshold: &threshold})
+}
+
+// Unregister removes a query and its bookkeeping.
+func (m *Monitor) Unregister(id QueryID) error { return m.mon.Unregister(id) }
+
+// Step runs one processing cycle at timestamp now (append-only mode):
+// arrivals enter the window, expired tuples leave it, and the result
+// deltas of the affected queries are returned ordered by query id.
+// Arrivals must be stamped with TS = now and strictly increasing Seq; use
+// Tick for automatic stamping.
+func (m *Monitor) Step(now int64, arrivals []*Tuple) ([]Update, error) {
+	return m.mon.Step(now, arrivals)
+}
+
+// StepUpdate runs one cycle under the explicit-deletion model
+// (UpdateStream mode): arrivals are inserted and the tuples named by
+// deletions are removed.
+func (m *Monitor) StepUpdate(now int64, arrivals []*Tuple, deletions []uint64) ([]Update, error) {
+	return m.mon.StepUpdate(now, arrivals, deletions)
+}
+
+// Tick runs one clock-driven cycle: the configured Clock (default: a
+// logical clock advancing one unit per tick) supplies the timestamp, and
+// the arrivals' TS and Seq fields are stamped in place. This is the
+// convenient ingestion path when the caller does not manage stream
+// bookkeeping itself. Ticks are serialized: stamping and the cycle run
+// under one lock, so concurrent Tick calls are safe (on a sharded
+// monitor) and never interleave timestamps out of order.
+func (m *Monitor) Tick(arrivals []*Tuple) ([]Update, error) {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	return m.mon.Step(m.stampLocked(arrivals), arrivals)
+}
+
+// TickUpdate is Tick for UpdateStream mode.
+func (m *Monitor) TickUpdate(arrivals []*Tuple, deletions []uint64) ([]Update, error) {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	return m.mon.StepUpdate(m.stampLocked(arrivals), arrivals, deletions)
+}
+
+// stampLocked assigns the cycle timestamp and sequence numbers for a tick.
+// Callers hold tickMu.
+func (m *Monitor) stampLocked(arrivals []*Tuple) int64 {
+	var now int64
+	if m.clock != nil {
+		now = m.clock.Now()
+	} else {
+		now = m.nextTS
+	}
+	if now >= m.nextTS {
+		m.nextTS = now + 1
+	}
+	for _, t := range arrivals {
+		t.TS = now
+		m.seq++
+		t.Seq = m.seq
+	}
+	return now
+}
+
+// Result returns the current result of a query, best first.
+func (m *Monitor) Result(id QueryID) ([]Entry, error) { return m.mon.Result(id) }
+
+// Stats returns a snapshot of the monitor counters. For sharded monitors
+// the stream-level counters (Arrivals, Expirations) are reported once and
+// the query-attributed counters are summed across shards.
+func (m *Monitor) Stats() Stats { return m.mon.Stats() }
+
+// MemoryBytes estimates the monitor's total memory footprint, summed over
+// shards (the index is replicated per shard).
+func (m *Monitor) MemoryBytes() int64 { return m.mon.MemoryBytes() }
+
+// NumPoints returns the number of valid tuples.
+func (m *Monitor) NumPoints() int { return m.mon.NumPoints() }
+
+// NumQueries returns the number of registered queries.
+func (m *Monitor) NumQueries() int { return m.mon.NumQueries() }
+
+// Now returns the timestamp of the last processed cycle.
+func (m *Monitor) Now() int64 { return m.mon.Now() }
+
+// Close stops the shard worker goroutines. The monitor must not be used
+// afterwards. Closing a single-engine monitor is a no-op; closing twice is
+// safe.
+func (m *Monitor) Close() error { return m.mon.Close() }
