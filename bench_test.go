@@ -38,7 +38,8 @@ func benchBase() harness.Config {
 }
 
 // runCycles drives b.N processing cycles against a pre-filled monitor and
-// reports the monitor's space footprint as a secondary metric.
+// reports the monitor's space footprint as a secondary metric (plus the
+// largest single shard's footprint for sharded monitors).
 func runCycles(b *testing.B, cfg harness.Config) {
 	b.Helper()
 	mon, gen, ts, err := harness.NewMonitor(cfg)
@@ -54,6 +55,15 @@ func runCycles(b *testing.B, cfg harness.Config) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(mon.MemoryBytes())/(1<<20), "space-MB")
+	if sh, ok := mon.(interface{ ShardMemoryBytes() []int64 }); ok {
+		var max int64
+		for _, bs := range sh.ShardMemoryBytes() {
+			if bs > max {
+				max = bs
+			}
+		}
+		b.ReportMetric(float64(max)/(1<<20), "shard-space-MB")
+	}
 	if c, ok := mon.(core.StreamMonitor); ok {
 		_ = c.Close()
 	}
@@ -240,15 +250,21 @@ func BenchmarkTable2AuxSize(b *testing.B) {
 // maintenance dominates and is split across shards while index upkeep is
 // replicated). shards=1 is the single-engine reference. Parallel speedup
 // requires GOMAXPROCS > 1; on a single-core host the sweep instead
-// measures the broadcast overhead.
+// measures the broadcast overhead. Both partitioning layouts run: under
+// query partitioning the shard-space-MB metric (largest single shard)
+// stays O(N) — the index is replicated — while under data partitioning it
+// drops to O(N/shards), the memory trade the partition layout exists for.
 func BenchmarkShardedStep(b *testing.B) {
-	for _, shards := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			cfg := benchBase()
-			cfg.Q = 64
-			cfg.Shards = shards
-			runCycles(b, cfg)
-		})
+	for _, part := range []string{"query-part", "data-part"} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", part, shards), func(b *testing.B) {
+				cfg := benchBase()
+				cfg.Q = 64
+				cfg.Shards = shards
+				cfg.DataPartition = part == "data-part"
+				runCycles(b, cfg)
+			})
+		}
 	}
 }
 

@@ -33,13 +33,14 @@ func (q *querySpecs) Set(s string) error { *q = append(*q, s); return nil }
 
 func main() {
 	var (
-		dimsFlag   = flag.Int("d", 2, "trace dimensionality")
-		nFlag      = flag.Int("n", 10000, "count-based window size")
-		spanFlag   = flag.Int64("span", 0, "time-based window span (overrides -n when positive)")
-		inFlag     = flag.String("i", "", "trace file (default stdin)")
-		everyFlag  = flag.Int64("print-every", 1, "print results every this many cycles")
-		shardsFlag = flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
-		queries    querySpecs
+		dimsFlag      = flag.Int("d", 2, "trace dimensionality")
+		nFlag         = flag.Int("n", 10000, "count-based window size")
+		spanFlag      = flag.Int64("span", 0, "time-based window span (overrides -n when positive)")
+		inFlag        = flag.String("i", "", "trace file (default stdin)")
+		everyFlag     = flag.Int64("print-every", 1, "print results every this many cycles")
+		shardsFlag    = flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
+		partitionFlag = flag.String("partition", "queries", "sharding layout for -shards > 1: 'queries' or 'data'")
+		queries       querySpecs
 	)
 	flag.Var(&queries, "query", "query spec 'k=K;w=w1,...,wd[;policy=TMA|SMA]' or 'threshold=T;w=...' (repeatable)")
 	flag.Parse()
@@ -62,7 +63,12 @@ func main() {
 	if *spanFlag > 0 {
 		windowOpt = topkmon.WithTimeWindow(*spanFlag)
 	}
-	mon, err := topkmon.New(*dimsFlag, windowOpt, topkmon.WithShards(*shardsFlag))
+	partition, err := topkmon.ParsePartitioning(*partitionFlag)
+	if err != nil {
+		fatal(err)
+	}
+	mon, err := topkmon.New(*dimsFlag, windowOpt,
+		topkmon.WithShards(*shardsFlag), topkmon.WithPartitioning(partition))
 	if err != nil {
 		fatal(err)
 	}

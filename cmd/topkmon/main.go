@@ -14,24 +14,26 @@ import (
 
 	"topkmon/internal/harness"
 	"topkmon/internal/stream"
+	"topkmon/pkg/topkmon"
 )
 
 func main() {
 	var (
-		algoFlag   = flag.String("algo", "SMA", "algorithm: TSL, TMA or SMA")
-		distFlag   = flag.String("dist", "IND", "data distribution: IND or ANT")
-		funcFlag   = flag.String("func", "linear", "scoring family: linear, product, quadratic, mixed")
-		dimsFlag   = flag.Int("d", 4, "dimensionality")
-		nFlag      = flag.Int("n", 100000, "window size (count-based)")
-		rFlag      = flag.Int("r", 1000, "arrivals per processing cycle")
-		qFlag      = flag.Int("q", 100, "number of monitoring queries")
-		kFlag      = flag.Int("k", 20, "results per query")
-		cyclesFlag = flag.Int("cycles", 50, "measured processing cycles")
-		cellsFlag  = flag.Int("cells", 0, "target total grid cells (0 = auto-tune)")
-		resFlag    = flag.Int("res", 0, "cells per axis (overrides -cells)")
-		kmaxFlag   = flag.Int("kmax", 0, "TSL view capacity (0 = tuned default)")
-		shardsFlag = flag.Int("shards", 1, "engine shards (grid algorithms; >1 runs the concurrent sharded engine)")
-		seedFlag   = flag.Int64("seed", 1, "workload seed")
+		algoFlag      = flag.String("algo", "SMA", "algorithm: TSL, TMA or SMA")
+		distFlag      = flag.String("dist", "IND", "data distribution: IND or ANT")
+		funcFlag      = flag.String("func", "linear", "scoring family: linear, product, quadratic, mixed")
+		dimsFlag      = flag.Int("d", 4, "dimensionality")
+		nFlag         = flag.Int("n", 100000, "window size (count-based)")
+		rFlag         = flag.Int("r", 1000, "arrivals per processing cycle")
+		qFlag         = flag.Int("q", 100, "number of monitoring queries")
+		kFlag         = flag.Int("k", 20, "results per query")
+		cyclesFlag    = flag.Int("cycles", 50, "measured processing cycles")
+		cellsFlag     = flag.Int("cells", 0, "target total grid cells (0 = auto-tune)")
+		resFlag       = flag.Int("res", 0, "cells per axis (overrides -cells)")
+		kmaxFlag      = flag.Int("kmax", 0, "TSL view capacity (0 = tuned default)")
+		shardsFlag    = flag.Int("shards", 1, "engine shards (grid algorithms; >1 runs the concurrent sharded engine)")
+		partitionFlag = flag.String("partition", "queries", "sharding layout for -shards > 1: 'queries' or 'data'")
+		seedFlag      = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
@@ -50,21 +52,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	partition, err := topkmon.ParsePartitioning(*partitionFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := harness.Config{
-		Algo:        algo,
-		Dist:        dist,
-		Func:        fk,
-		Dims:        *dimsFlag,
-		N:           *nFlag,
-		R:           *rFlag,
-		Q:           *qFlag,
-		K:           *kFlag,
-		Cycles:      *cyclesFlag,
-		TargetCells: *cellsFlag,
-		GridRes:     *resFlag,
-		KMax:        *kmaxFlag,
-		Shards:      *shardsFlag,
-		Seed:        *seedFlag,
+		Algo:          algo,
+		Dist:          dist,
+		Func:          fk,
+		Dims:          *dimsFlag,
+		N:             *nFlag,
+		R:             *rFlag,
+		Q:             *qFlag,
+		K:             *kFlag,
+		Cycles:        *cyclesFlag,
+		TargetCells:   *cellsFlag,
+		GridRes:       *resFlag,
+		KMax:          *kmaxFlag,
+		Shards:        *shardsFlag,
+		DataPartition: partition == topkmon.PartitionData,
+		Seed:          *seedFlag,
 	}
 	if cfg.Shards > 1 && algo == harness.AlgoTSL {
 		fmt.Fprintln(os.Stderr, "topkmon: -shards applies to the grid algorithms only (TMA/SMA)")

@@ -11,9 +11,20 @@
 // algorithm plus materialized top-k views) the paper compares against.
 //
 // Beyond the paper, the engine scales across cores: pkg/topkmon can run N
-// independent engine shards (queries hash-partitioned, stream batches
-// broadcast, per-shard update streams merged) with results provably
-// identical to the single engine on the same stream.
+// independent engine shards with results provably identical to the single
+// engine on the same stream, in either of two layouts selected by
+// WithPartitioning:
+//
+//   - PartitionQueries (default): every shard indexes the full stream and
+//     maintains a disjoint hash-slice of the query set. Query maintenance
+//     — the dominant cost at large Q — parallelizes perfectly, but the
+//     tuple index is replicated, so memory and ingest work grow ×shards.
+//   - PartitionData: each shard indexes a disjoint hash-slice of the
+//     tuples (O(N/shards) index memory per shard, O(N) in total), every
+//     query runs on every shard, and the router k-way merges the
+//     per-shard partial top-k lists into the exact global result, paying
+//     a per-update merge cost instead of the memory blow-up. Choose it
+//     for shard counts beyond ~8 or windows too large to replicate.
 //
 // Use pkg/topkmon — the public facade with functional options — as the
 // entry point:
@@ -38,8 +49,10 @@
 //	internal/harness   experiment runner for every figure of the paper
 //
 // Commands: cmd/topkmon (cost profile of one run), cmd/experiments (the
-// paper's figures plus a shard-scaling sweep), cmd/replay (monitor a
-// recorded trace), cmd/datagen (synthetic datasets and traces). All grid
-// commands accept -shards. See the examples/ directory for runnable
-// end-to-end programs and EXPERIMENTS.md for the reproduction results.
+// paper's figures plus shard-scaling and partitioning sweeps), cmd/replay
+// (monitor a recorded trace), cmd/datagen (synthetic datasets and
+// traces). The grid commands (cmd/topkmon, cmd/replay, cmd/experiments)
+// accept -shards and -partition=queries|data. See the examples/ directory
+// for runnable end-to-end programs and EXPERIMENTS.md for the
+// reproduction results.
 package topkmon

@@ -115,7 +115,9 @@ func NewEngine(opts Options) (*Engine, error) {
 		walkVisited: make([]uint32, g.NumCells()),
 	}
 	if opts.Mode == AppendOnly {
-		e.w = window.New(opts.Window)
+		if !opts.ExternalExpiry {
+			e.w = window.New(opts.Window)
+		}
 	} else {
 		e.byID = make(map[uint64]*stream.Tuple)
 	}
@@ -239,21 +241,12 @@ func (e *Engine) Step(now int64, arrivals []*stream.Tuple) ([]Update, error) {
 	if e.opts.Mode != AppendOnly {
 		return nil, fmt.Errorf("core: Step requires AppendOnly mode; use StepUpdate")
 	}
-	if e.started && now < e.now {
-		return nil, fmt.Errorf("core: time went backwards: %d after %d", now, e.now)
+	if e.opts.ExternalExpiry {
+		return nil, fmt.Errorf("core: engine uses external expiry; use StepExternal")
 	}
-	for _, t := range arrivals {
-		if t.TS != now {
-			return nil, fmt.Errorf("core: arrival %v not stamped with cycle timestamp %d", t, now)
-		}
-		if e.haveSeq && t.Seq <= e.lastSeq {
-			return nil, fmt.Errorf("core: arrival sequence %d not increasing (last %d)", t.Seq, e.lastSeq)
-		}
-		e.haveSeq = true
-		e.lastSeq = t.Seq
+	if err := e.admitCycle(now, arrivals); err != nil {
+		return nil, err
 	}
-	e.started = true
-	e.now = now
 
 	if e.opts.DeletionsFirst {
 		// Ablation: apply the cycle's expirations before its arrivals.
@@ -301,6 +294,99 @@ func (e *Engine) Step(now int64, arrivals []*stream.Tuple) ([]Update, error) {
 	}
 
 	return e.finishCycle(), nil
+}
+
+// admitCycle validates one append-only cycle's inputs and advances the
+// engine clock and sequence watermark. Shared by Step and StepExternal.
+func (e *Engine) admitCycle(now int64, arrivals []*stream.Tuple) error {
+	if e.started && now < e.now {
+		return fmt.Errorf("core: time went backwards: %d after %d", now, e.now)
+	}
+	for _, t := range arrivals {
+		if t.TS != now {
+			return fmt.Errorf("core: arrival %v not stamped with cycle timestamp %d", t, now)
+		}
+		if e.haveSeq && t.Seq <= e.lastSeq {
+			return fmt.Errorf("core: arrival sequence %d not increasing (last %d)", t.Seq, e.lastSeq)
+		}
+		e.haveSeq = true
+		e.lastSeq = t.Seq
+	}
+	e.started = true
+	e.now = now
+	return nil
+}
+
+// StepExternal runs one append-only processing cycle whose expirations are
+// supplied by the caller instead of an engine-owned window (ExternalExpiry
+// mode). The expirations must be tuples previously passed as arrivals, in
+// FIFO (arrival) order — the caller owns a sliding window over a superset
+// of this engine's tuples and forwards the engine its slice of each
+// cycle's expiration run. Arrivals and expirations follow the same
+// Pins-before-Pdel cycle order as Step (inverted under DeletionsFirst),
+// so a data-partitioned fleet of engines reproduces the single engine's
+// results exactly.
+func (e *Engine) StepExternal(now int64, arrivals, expirations []*stream.Tuple) ([]Update, error) {
+	if e.opts.Mode != AppendOnly || !e.opts.ExternalExpiry {
+		return nil, fmt.Errorf("core: StepExternal requires AppendOnly mode with ExternalExpiry")
+	}
+	if err := e.admitCycle(now, arrivals); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(expirations); i++ {
+		if expirations[i].Seq <= expirations[i-1].Seq {
+			return nil, fmt.Errorf("core: expirations out of FIFO order: seq %d after %d",
+				expirations[i].Seq, expirations[i-1].Seq)
+		}
+	}
+
+	if e.opts.DeletionsFirst {
+		// Ablation parity with Step: expirations before arrivals, with a
+		// tuple that arrives and expires within the same cycle never
+		// touching the index at all.
+		batch := make(map[uint64]struct{}, len(arrivals))
+		for _, t := range arrivals {
+			batch[t.ID] = struct{}{}
+		}
+		gone := make(map[uint64]struct{})
+		for _, t := range expirations {
+			if _, sameBatch := batch[t.ID]; sameBatch {
+				gone[t.ID] = struct{}{}
+				continue
+			}
+			e.expireTuple(t)
+		}
+		for _, t := range arrivals {
+			if _, skip := gone[t.ID]; skip {
+				continue
+			}
+			e.insertTuple(t)
+		}
+		return e.finishCycle(), nil
+	}
+
+	// Phase 1 — Pins.
+	for _, t := range arrivals {
+		e.insertTuple(t)
+	}
+	// Phase 2 — Pdel.
+	for _, t := range expirations {
+		e.expireTuple(t)
+	}
+	return e.finishCycle(), nil
+}
+
+// AppendResult appends the current result of query id to out and returns
+// the extended slice, avoiding per-call allocation. It is the snapshot
+// primitive the data-partitioned sharded monitor merges across engines
+// after every cycle: each engine's result is the exact (local) top-k /
+// threshold set over the tuples it indexes.
+func (e *Engine) AppendResult(id QueryID, out []Entry) ([]Entry, error) {
+	q, ok := e.queries[id]
+	if !ok {
+		return out, fmt.Errorf("core: unknown query %d", id)
+	}
+	return q.currentResult(out), nil
 }
 
 // StepUpdate runs one processing cycle under the explicit-deletion stream

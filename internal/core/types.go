@@ -185,6 +185,15 @@ type Options struct {
 	// recomputations become more frequent. This exists purely as an
 	// ablation of the design decision; leave it false in production.
 	DeletionsFirst bool
+	// ExternalExpiry hands window management to the caller: the engine
+	// holds no window of its own and cycles run through StepExternal, which
+	// receives the expiring tuples alongside the arrivals. Expirations must
+	// still come in FIFO (arrival) order — the caller owns a window over a
+	// superset of the engine's tuples and forwards each shard its slice,
+	// which is how the data-partitioned sharded monitor coordinates a
+	// global sliding window across per-shard engines. AppendOnly mode only;
+	// Window is ignored.
+	ExternalExpiry bool
 }
 
 // DefaultTargetCells is the grid size the paper tunes to (12^4 cells).
@@ -194,7 +203,10 @@ func (o *Options) validate() error {
 	if o.Dims <= 0 {
 		return fmt.Errorf("core: Dims must be positive, got %d", o.Dims)
 	}
-	if o.Mode == AppendOnly {
+	if o.ExternalExpiry && o.Mode != AppendOnly {
+		return fmt.Errorf("core: ExternalExpiry requires AppendOnly mode")
+	}
+	if o.Mode == AppendOnly && !o.ExternalExpiry {
 		if err := o.Window.Validate(); err != nil {
 			return err
 		}

@@ -12,6 +12,11 @@ import (
 // sets it from its -shards flag so whole sweeps can run sharded.
 var DefaultShards int
 
+// DefaultDataPartition selects the data-partitioned sharded engine for
+// every configuration Defaults produces with DefaultShards > 1.
+// cmd/experiments sets it from its -partition flag.
+var DefaultDataPartition bool
+
 // Defaults returns the paper's default configuration (Table 1) scaled
 // linearly: N and Q shrink with scale (bounded below so the system stays
 // meaningful), r stays at 1% of N per cycle, and the simulation runs 100
@@ -30,17 +35,18 @@ func Defaults(scale float64, seed int64) Config {
 		cycles = 100
 	}
 	return Config{
-		Algo:   AlgoTMA,
-		Dist:   stream.IND,
-		Func:   stream.FuncLinear,
-		Dims:   4,
-		N:      n,
-		R:      maxInt(n/100, 20),
-		Q:      q,
-		K:      20,
-		Cycles: cycles,
-		Shards: DefaultShards,
-		Seed:   seed,
+		Algo:          AlgoTMA,
+		Dist:          stream.IND,
+		Func:          stream.FuncLinear,
+		Dims:          4,
+		N:             n,
+		R:             maxInt(n/100, 20),
+		Q:             q,
+		K:             20,
+		Cycles:        cycles,
+		Shards:        DefaultShards,
+		DataPartition: DefaultDataPartition,
+		Seed:          seed,
 	}
 }
 
@@ -380,6 +386,53 @@ func Experiments() []Experiment {
 					})
 				}
 				return []Table{tbl}, nil
+			},
+		},
+		{
+			ID:    "partition",
+			Title: "Partitioning: query-sharding vs data-sharding across shard counts (beyond the paper)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				timeTbl := Table{
+					Title:  "Partitioning: per-run CPU time vs shards (SMA, IND)",
+					XLabel: "shards",
+					Cols:   []string{"query-part", "data-part"},
+				}
+				spaceTbl := Table{
+					Title:  "Partitioning: total space vs shards",
+					XLabel: "shards",
+					Cols:   []string{"query-part", "data-part"},
+				}
+				shardSpaceTbl := Table{
+					Title:  "Partitioning: max per-shard space vs shards (query-part replicates the index; data-part holds O(N/shards))",
+					XLabel: "shards",
+					Cols:   []string{"query-part", "data-part"},
+				}
+				for _, n := range []int{1, 2, 4, 8, 16} {
+					timeRow := Row{X: fmt.Sprintf("%d", n)}
+					spaceRow := Row{X: fmt.Sprintf("%d", n)}
+					shardRow := Row{X: fmt.Sprintf("%d", n)}
+					for _, dataPart := range []bool{false, true} {
+						cfg := Defaults(scale, seed)
+						cfg.Algo = AlgoSMA
+						cfg.Shards = n
+						cfg.DataPartition = dataPart
+						res, err := Run(cfg)
+						if err != nil {
+							return nil, fmt.Errorf("partition [shards=%d data=%v]: %w", n, dataPart, err)
+						}
+						timeRow.Cells = append(timeRow.Cells, FormatDuration(res.RunTime))
+						spaceRow.Cells = append(spaceRow.Cells, FormatMB(res.SpaceBytes))
+						perShard := res.MaxShardSpaceBytes
+						if perShard == 0 {
+							perShard = res.SpaceBytes // single engine: the one "shard"
+						}
+						shardRow.Cells = append(shardRow.Cells, FormatMB(perShard))
+					}
+					timeTbl.Rows = append(timeTbl.Rows, timeRow)
+					spaceTbl.Rows = append(spaceTbl.Rows, spaceRow)
+					shardSpaceTbl.Rows = append(shardSpaceTbl.Rows, shardRow)
+				}
+				return []Table{timeTbl, spaceTbl, shardSpaceTbl}, nil
 			},
 		},
 		{

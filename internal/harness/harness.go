@@ -89,7 +89,11 @@ type Config struct {
 	// with this many shards (0 or 1 = the paper's single engine). TSL has
 	// no sharded implementation.
 	Shards int
-	Seed   int64
+	// DataPartition selects the data-partitioned sharded engine (tuples
+	// hashed across shards, router-side top-k merge) instead of the
+	// default query-partitioned one. Ignored unless Shards > 1.
+	DataPartition bool
+	Seed          int64
 }
 
 // withDefaults fills derived fields.
@@ -133,6 +137,11 @@ type Result struct {
 	RunTime time.Duration
 	// SpaceBytes is the monitor footprint at the end of the run.
 	SpaceBytes int64
+	// MaxShardSpaceBytes is the largest single shard's footprint (sharded
+	// monitors only; zero otherwise). Query partitioning keeps it O(N) —
+	// the full index on every shard — while data partitioning drops it to
+	// O(N/shards).
+	MaxShardSpaceBytes int64
 	// Recomputes / Refills count from-scratch computations during
 	// maintenance (engine recomputations or TSL view refills).
 	Recomputes int64
@@ -179,7 +188,13 @@ func NewMonitor(cfg Config) (core.Monitor, *stream.Generator, int64, error) {
 			TargetCells:    cfg.TargetCells,
 			DeletionsFirst: cfg.DeletionsFirst,
 		}
-		if cfg.Shards > 1 {
+		if cfg.Shards > 1 && cfg.DataPartition {
+			s, err := shard.NewData(opts, cfg.Shards)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			mon = s
+		} else if cfg.Shards > 1 {
 			s, err := shard.New(opts, cfg.Shards)
 			if err != nil {
 				return nil, nil, 0, err
@@ -237,6 +252,13 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.RunTime = time.Since(t1)
 	res.SpaceBytes = mon.MemoryBytes()
+	if sh, ok := mon.(interface{ ShardMemoryBytes() []int64 }); ok {
+		for _, b := range sh.ShardMemoryBytes() {
+			if b > res.MaxShardSpaceBytes {
+				res.MaxShardSpaceBytes = b
+			}
+		}
+	}
 
 	// The grid engines — single or sharded — share the core.Stats shape;
 	// the sharded monitor aggregates its per-shard counters before

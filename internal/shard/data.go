@@ -1,0 +1,670 @@
+// Data-partitioned sharding: tuples, not queries, are hash-partitioned
+// across shards. Each shard's engine indexes only its O(N/shards) slice of
+// the stream, every query is registered on every shard, and the router
+// merges the per-shard partial top-k lists into the exact global result —
+// the classic partition-and-merge layout of distributed sliding-window
+// monitoring (Papapetrou et al.; Chan et al.), with the paper's per-shard
+// TMA/SMA machinery left unmodified.
+//
+// Exactness rests on two observations:
+//
+//   - Each shard's local result is the exact local answer over the tuples
+//     it indexes (the engine guarantees this for TMA, SMA and threshold
+//     queries alike). Any member of the global top-k beats all but at most
+//     k-1 tuples globally, hence also locally, so it is contained in its
+//     owning shard's local top-k. Registering every query with the full k
+//     on every shard therefore inflates the aggregate candidate pool to
+//     shards×k entries — the merge-safe bound — and the k-way merge of the
+//     local lists under the stream.Better total order (score descending,
+//     arrival sequence breaking ties deterministically) yields exactly the
+//     single engine's result.
+//
+//   - Expirations must follow the *global* window, not per-shard ones: an
+//     expiring tuple lives on exactly one shard, but whether it expires at
+//     all (count-based windows) depends on the global tuple count. The
+//     router therefore owns the one sliding window over the full stream
+//     and forwards each shard its slice of every cycle's expiration run
+//     via core.Engine.StepExternal; the slices preserve FIFO order, which
+//     is all SMA's skyband reduction needs.
+//
+// The router keeps a per-query result cache (the merged result as last
+// reported) and emits exactly the core.Update deltas the single engine
+// would: same added/removed entries, same ordering, verified byte-for-byte
+// by the differential tests in data_test.go.
+
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"topkmon/internal/core"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+// mergedQuery is the router-side state of one query under data
+// partitioning: its spec (for the merge limit) and the merged result as
+// last reported to the client.
+type mergedQuery struct {
+	spec    core.QuerySpec
+	lastIDs map[uint64]core.Entry
+}
+
+// limit returns the merge cutoff: k for top-k queries, unbounded for
+// threshold queries (their result is the full union).
+func (m *mergedQuery) limit() int {
+	if m.spec.Threshold != nil {
+		return -1
+	}
+	return m.spec.K
+}
+
+// DataSharded is the data-partitioned concurrent monitor. It implements
+// core.StreamMonitor with results provably identical to the single engine:
+// per-shard index memory is O(N/shards) instead of the O(N) replication of
+// the query-partitioned Sharded. Register, Unregister and Result serialize
+// against cycles (queries span every shard, so cross-shard consistency
+// requires it), but all methods remain safe for concurrent use.
+type DataSharded struct {
+	workers []*worker
+	mode    core.StreamMode
+
+	// win is the global sliding window (AppendOnly mode only): the router
+	// owns expiration so count-based windows see the global tuple count.
+	win *window.Window
+
+	// Stream admission watermarks, guarded by stepMu.
+	now     int64
+	started bool
+	haveSeq bool
+	lastSeq uint64
+
+	// qmu guards the queries map structure (NumQueries may read it while a
+	// cycle runs); all writers additionally hold stepMu.
+	qmu     sync.RWMutex
+	queries map[core.QueryID]*mergedQuery
+
+	// resultUpdates counts router-emitted Update records — the
+	// client-visible figure reported by Stats in place of the per-shard
+	// internal counts.
+	resultUpdates atomic.Int64
+
+	// closeMu / closed guard the worker channels' lifetime, as in Sharded.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// stepMu serializes cycles and the cross-shard query operations.
+	stepMu sync.Mutex
+}
+
+var _ core.StreamMonitor = (*DataSharded)(nil)
+
+// NewData builds a data-partitioned monitor with n shards, each running an
+// engine configured by opts over its hash-slice of the stream.
+func NewData(opts core.Options, n int) (*DataSharded, error) {
+	return newDataWithFactory(opts, n, core.NewEngine)
+}
+
+// newDataWithFactory is NewData with an injectable engine constructor (see
+// newWithFactory).
+func newDataWithFactory(opts core.Options, n int, factory func(core.Options) (*core.Engine, error)) (*DataSharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	d := &DataSharded{
+		mode:    opts.Mode,
+		queries: make(map[core.QueryID]*mergedQuery),
+	}
+	engOpts := opts
+	if opts.Mode == core.AppendOnly {
+		if err := opts.Window.Validate(); err != nil {
+			return nil, err
+		}
+		d.win = window.New(opts.Window)
+		// Shards receive their expiration slices from the router's window.
+		engOpts.ExternalExpiry = true
+	}
+	workers, err := spawnWorkers(engOpts, n, factory)
+	if err != nil {
+		return nil, err
+	}
+	d.workers = workers
+	return d, nil
+}
+
+// NumShards returns the shard count.
+func (d *DataSharded) NumShards() int { return len(d.workers) }
+
+// shardOfTuple hash-partitions an id across n shards (splitmix64
+// finalizer, so sequential ids spread uniformly rather than striping).
+// Both tuple routing (data partitioning) and query routing (shardOf)
+// share this one hash.
+func shardOfTuple(id uint64, n int) int {
+	x := id
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// partitionTuples splits a batch into per-shard slices by tuple id,
+// preserving order within each slice (so per-shard Seq order — and hence
+// FIFO expiration — survives partitioning).
+func (d *DataSharded) partitionTuples(batch []*stream.Tuple) [][]*stream.Tuple {
+	parts := make([][]*stream.Tuple, len(d.workers))
+	for _, t := range batch {
+		si := shardOfTuple(t.ID, len(d.workers))
+		parts[si] = append(parts[si], t)
+	}
+	return parts
+}
+
+// Register implements core.Monitor. The query is installed on every shard
+// — shard 0 first, so a rejected spec touches no engine state at all and
+// ids never burn — and the merged initial result seeds the router's cache,
+// matching the single engine's behavior of not re-reporting pre-existing
+// result entries. Engine-local ids advance in lockstep across shards
+// (every registration reaches every shard), so the shard-local id doubles
+// as the global one.
+func (d *DataSharded) Register(spec core.QuerySpec) (core.QueryID, error) {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return 0, fmt.Errorf("shard: monitor is closed")
+	}
+
+	// Shard 0 validates the spec: engine registration failures depend only
+	// on the spec and options, which are identical on every shard, so a
+	// shard-0 success guarantees the remaining shards accept too.
+	w0 := d.workers[0]
+	var id core.QueryID
+	var err error
+	w0.call(func() {
+		id, err = w0.eng.Register(spec)
+	})
+	if err != nil {
+		return 0, err
+	}
+	rest := d.workers[1:]
+	ids := make([]core.QueryID, len(rest))
+	errs := make([]error, len(rest))
+	var wg sync.WaitGroup
+	wg.Add(len(rest))
+	for i, w := range rest {
+		w.jobs <- func() {
+			defer wg.Done()
+			ids[i], errs[i] = w.eng.Register(spec)
+		}
+	}
+	wg.Wait()
+	for i := range rest {
+		if errs[i] != nil {
+			return 0, fmt.Errorf("shard: inconsistent registration (shard %d: %v)", i+1, errs[i])
+		}
+		if ids[i] != id {
+			return 0, fmt.Errorf("shard: query id skew: shard %d assigned %d, shard 0 assigned %d", i+1, ids[i], id)
+		}
+	}
+
+	st := &mergedQuery{spec: spec, lastIDs: make(map[uint64]core.Entry)}
+	for _, en := range d.mergedResult(id, st.limit()) {
+		st.lastIDs[en.T.ID] = en
+	}
+	d.qmu.Lock()
+	d.queries[id] = st
+	d.qmu.Unlock()
+	return id, nil
+}
+
+// Unregister implements core.Monitor: the query is removed from every
+// shard and from the router cache.
+func (d *DataSharded) Unregister(id core.QueryID) error {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return fmt.Errorf("shard: monitor is closed")
+	}
+	d.qmu.Lock()
+	_, ok := d.queries[id]
+	if ok {
+		delete(d.queries, id)
+	}
+	d.qmu.Unlock()
+	if !ok {
+		return fmt.Errorf("shard: unknown query %d", id)
+	}
+	errs := make([]error, len(d.workers))
+	var wg sync.WaitGroup
+	wg.Add(len(d.workers))
+	for i, w := range d.workers {
+		w.jobs <- func() {
+			defer wg.Done()
+			errs[i] = w.eng.Unregister(id)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result implements core.Monitor: the k-way merge of the per-shard partial
+// results, identical to the single engine's result.
+func (d *DataSharded) Result(id core.QueryID) ([]core.Entry, error) {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return nil, fmt.Errorf("shard: monitor is closed")
+	}
+	d.qmu.RLock()
+	st, ok := d.queries[id]
+	d.qmu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown query %d", id)
+	}
+	return d.mergedResult(id, st.limit()), nil
+}
+
+// mergedResult snapshots query id on every shard and merges the partial
+// lists. Callers hold stepMu (cross-shard consistency) with the monitor
+// open.
+func (d *DataSharded) mergedResult(id core.QueryID, limit int) []core.Entry {
+	parts := make([][]core.Entry, len(d.workers))
+	var wg sync.WaitGroup
+	wg.Add(len(d.workers))
+	for i, w := range d.workers {
+		w.jobs <- func() {
+			defer wg.Done()
+			parts[i], _ = w.eng.AppendResult(id, nil)
+		}
+	}
+	wg.Wait()
+	return mergeEntries(parts, limit, nil)
+}
+
+// mergeEntries k-way merges per-shard result lists — each already sorted
+// under the stream.Better total order (score descending, later arrival
+// winning score ties) — into the global order, keeping at most limit
+// entries (limit < 0 keeps all). Seq tie-breaking makes the merge
+// deterministic: sequence numbers are globally unique, so Better is a
+// strict total order and the output is independent of shard enumeration
+// order.
+func mergeEntries(parts [][]core.Entry, limit int, out []core.Entry) []core.Entry {
+	var idxBuf [16]int
+	var idx []int
+	if len(parts) <= len(idxBuf) {
+		idx = idxBuf[:len(parts)]
+	} else {
+		idx = make([]int, len(parts))
+	}
+	for {
+		best := -1
+		for i, p := range parts {
+			if idx[i] >= len(p) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			c, b := p[idx[i]], parts[best][idx[best]]
+			if stream.Better(c.Score, c.T.Seq, b.Score, b.T.Seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+		if limit >= 0 && len(out) >= limit {
+			return out
+		}
+	}
+}
+
+// Step implements core.Monitor for the append-only model: arrivals are
+// hash-partitioned across shards, the router's global window decides the
+// cycle's expirations (each forwarded to the one shard indexing it), the
+// shards process their slices in parallel, and the router merges the
+// per-shard partial results of every touched query into global deltas.
+func (d *DataSharded) Step(now int64, arrivals []*stream.Tuple) ([]core.Update, error) {
+	if d.mode != core.AppendOnly {
+		return nil, fmt.Errorf("shard: Step requires AppendOnly mode; use StepUpdate")
+	}
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return nil, fmt.Errorf("shard: monitor is closed")
+	}
+
+	// Global admission checks mirror the single engine's, and must run
+	// before the window sees the batch (window.Push treats out-of-order
+	// arrivals as a programming error).
+	if d.started && now < d.now {
+		return nil, fmt.Errorf("shard: time went backwards: %d after %d", now, d.now)
+	}
+	for _, t := range arrivals {
+		if t.TS != now {
+			return nil, fmt.Errorf("shard: arrival %v not stamped with cycle timestamp %d", t, now)
+		}
+		if d.haveSeq && t.Seq <= d.lastSeq {
+			return nil, fmt.Errorf("shard: arrival sequence %d not increasing (last %d)", t.Seq, d.lastSeq)
+		}
+		d.haveSeq = true
+		d.lastSeq = t.Seq
+	}
+	d.started = true
+	d.now = now
+
+	parts := d.partitionTuples(arrivals)
+	for _, t := range arrivals {
+		d.win.Push(t)
+	}
+	expParts := d.partitionTuples(d.win.Expire(now))
+	return d.runCycle(func(i int, e *core.Engine) ([]core.Update, error) {
+		return e.StepExternal(now, parts[i], expParts[i])
+	})
+}
+
+// StepUpdate implements core.StreamMonitor for the explicit-deletion
+// model: arrivals and deletions alike are routed to the shard owning the
+// tuple id (a deletion always reaches the shard that indexed the tuple).
+func (d *DataSharded) StepUpdate(now int64, arrivals []*stream.Tuple, deletions []uint64) ([]core.Update, error) {
+	if d.mode != core.UpdateStream {
+		return nil, fmt.Errorf("shard: StepUpdate requires UpdateStream mode")
+	}
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return nil, fmt.Errorf("shard: monitor is closed")
+	}
+	parts := d.partitionTuples(arrivals)
+	delParts := make([][]uint64, len(d.workers))
+	for _, id := range deletions {
+		si := shardOfTuple(id, len(d.workers))
+		delParts[si] = append(delParts[si], id)
+	}
+	return d.runCycle(func(i int, e *core.Engine) ([]core.Update, error) {
+		return e.StepUpdate(now, parts[i], delParts[i])
+	})
+}
+
+// runCycle broadcasts one partitioned cycle, then merges: the union of the
+// queries any shard reported is the set whose merged result may have
+// changed (the merged result is a function of the per-shard partial
+// results, and an engine reports a query exactly when its partial result
+// changed). Those queries are snapshotted on every shard, k-way merged,
+// and diffed against the router cache — reproducing the single engine's
+// finishCycle reporting exactly. Callers hold stepMu and closeMu.
+func (d *DataSharded) runCycle(step func(i int, e *core.Engine) ([]core.Update, error)) ([]core.Update, error) {
+	n := len(d.workers)
+	type shardResult struct {
+		updates []core.Update
+		err     error
+	}
+	results := make([]shardResult, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i, w := range d.workers {
+		w.jobs <- func() {
+			defer wg.Done()
+			updates, err := step(i, w.eng)
+			results[i] = shardResult{updates, err}
+		}
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			// Like the single engine, a mid-cycle failure leaves the
+			// monitor in an undefined state.
+			return nil, r.err
+		}
+	}
+
+	dirtySet := make(map[core.QueryID]struct{})
+	for _, r := range results {
+		for _, u := range r.updates {
+			dirtySet[u.Query] = struct{}{}
+		}
+	}
+	if len(dirtySet) == 0 {
+		return nil, nil
+	}
+	dirty := make([]core.QueryID, 0, len(dirtySet))
+	for q := range dirtySet {
+		dirty = append(dirty, q)
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+
+	// Snapshot phase: every shard's partial result for every dirty query,
+	// gathered in parallel on the worker goroutines.
+	snaps := make([][][]core.Entry, n)
+	wg.Add(n)
+	for i, w := range d.workers {
+		w.jobs <- func() {
+			defer wg.Done()
+			out := make([][]core.Entry, len(dirty))
+			for j, q := range dirty {
+				out[j], _ = w.eng.AppendResult(q, nil)
+			}
+			snaps[i] = out
+		}
+	}
+	wg.Wait()
+
+	// Merge and diff against the router cache, mirroring the single
+	// engine's finishCycle: Added in descending total order, Removed
+	// likewise, updates ordered by query id (dirty is sorted), queries
+	// whose merged result is unchanged are silent.
+	var updates []core.Update
+	parts := make([][]core.Entry, n)
+	for j, q := range dirty {
+		st := d.queries[q]
+		if st == nil {
+			continue // unregistered between cycles; engines no longer know it either
+		}
+		for i := range snaps {
+			parts[i] = snaps[i][j]
+		}
+		merged := mergeEntries(parts, st.limit(), nil)
+		var upd core.Update
+		for _, en := range merged {
+			if _, ok := st.lastIDs[en.T.ID]; !ok {
+				upd.Added = append(upd.Added, en)
+			}
+		}
+		if len(merged) != len(st.lastIDs) || len(upd.Added) > 0 {
+			current := make(map[uint64]struct{}, len(merged))
+			for _, en := range merged {
+				current[en.T.ID] = struct{}{}
+			}
+			for id, en := range st.lastIDs {
+				if _, ok := current[id]; !ok {
+					upd.Removed = append(upd.Removed, en)
+				}
+			}
+		}
+		if len(upd.Added) == 0 && len(upd.Removed) == 0 {
+			continue
+		}
+		upd.Query = q
+		clear(st.lastIDs)
+		for _, en := range merged {
+			st.lastIDs[en.T.ID] = en
+		}
+		sort.Slice(upd.Added, func(i, j int) bool {
+			return stream.Better(upd.Added[i].Score, upd.Added[i].T.Seq, upd.Added[j].Score, upd.Added[j].T.Seq)
+		})
+		sort.Slice(upd.Removed, func(i, j int) bool {
+			return stream.Better(upd.Removed[i].Score, upd.Removed[i].T.Seq, upd.Removed[j].Score, upd.Removed[j].T.Seq)
+		})
+		updates = append(updates, upd)
+		d.resultUpdates.Add(1)
+	}
+	return updates, nil
+}
+
+// Stats implements core.StreamMonitor. Every counter is summed across
+// shards — the shards see disjoint slices of the stream, so the sums equal
+// the single engine's stream-level figures — except ResultUpdates, which
+// reports the router-emitted (client-visible) update count rather than the
+// shards' internal partial-result churn.
+func (d *DataSharded) Stats() core.Stats {
+	per := make([]core.Stats, len(d.workers))
+	d.broadcast(func(i int, e *core.Engine) {
+		per[i] = e.Stats()
+	})
+	var agg core.Stats
+	for _, st := range per {
+		agg.Arrivals += st.Arrivals
+		agg.Expirations += st.Expirations
+		agg.InfluenceEvents += st.InfluenceEvents
+		agg.Recomputes += st.Recomputes
+		agg.InitialComputations += st.InitialComputations
+		agg.CellsProcessed += st.CellsProcessed
+		agg.SkybandSizeSum += st.SkybandSizeSum
+		agg.SkybandSamples += st.SkybandSamples
+	}
+	agg.ResultUpdates = d.resultUpdates.Load()
+	return agg
+}
+
+// MemoryBytes implements core.Monitor: the engines' footprints (disjoint
+// index slices, each O(N/shards)) plus the router's global window and
+// per-query merge caches. It serializes against cycles (stepMu): the
+// router's window and merge caches are cycle-owned state.
+func (d *DataSharded) MemoryBytes() int64 {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	var total int64
+	for _, b := range d.ShardMemoryBytes() {
+		total += b
+	}
+	if d.win != nil {
+		total += d.win.MemoryBytes()
+	}
+	const mapEntrySize = 16
+	const entrySize = 24
+	d.qmu.RLock()
+	for _, st := range d.queries {
+		total += int64(len(st.lastIDs)) * (mapEntrySize + entrySize)
+	}
+	d.qmu.RUnlock()
+	return total
+}
+
+// ShardMemoryBytes returns each shard engine's individual footprint —
+// under data partitioning each entry is O(N/shards), the property the
+// partition benchmark asserts.
+func (d *DataSharded) ShardMemoryBytes() []int64 {
+	per := make([]int64, len(d.workers))
+	d.broadcast(func(i int, e *core.Engine) {
+		per[i] = e.MemoryBytes()
+	})
+	return per
+}
+
+// NumPoints implements core.StreamMonitor: the shards index disjoint
+// slices, so the global count is the sum.
+func (d *DataSharded) NumPoints() int {
+	per := make([]int, len(d.workers))
+	d.broadcast(func(i int, e *core.Engine) {
+		per[i] = e.NumPoints()
+	})
+	total := 0
+	for _, c := range per {
+		total += c
+	}
+	return total
+}
+
+// NumQueries implements core.StreamMonitor: the router's registration
+// count (every query lives on every shard).
+func (d *DataSharded) NumQueries() int {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	return len(d.queries)
+}
+
+// Now implements core.StreamMonitor. Every shard receives every cycle
+// (possibly with an empty slice), so shard 0 is authoritative.
+func (d *DataSharded) Now() int64 {
+	var now int64
+	d.callShard0(func(e *core.Engine) { now = e.Now() })
+	return now
+}
+
+// callShard0 runs fn against shard 0's engine, on its goroutine while the
+// monitor is open and synchronously once it is closed.
+func (d *DataSharded) callShard0(fn func(e *core.Engine)) {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	w := d.workers[0]
+	if d.closed {
+		fn(w.eng)
+		return
+	}
+	w.call(func() { fn(w.eng) })
+}
+
+// broadcast runs fn for every shard in parallel on the shards' own
+// goroutines and waits for all of them; against a closed monitor it runs
+// synchronously on the quiescent engines (counter reads keep working after
+// Close, as on Sharded).
+func (d *DataSharded) broadcast(fn func(i int, e *core.Engine)) {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		for i, w := range d.workers {
+			fn(i, w.eng)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(d.workers))
+	for i, w := range d.workers {
+		w.jobs <- func() {
+			defer wg.Done()
+			fn(i, w.eng)
+		}
+	}
+	wg.Wait()
+}
+
+// Close implements core.StreamMonitor with the same semantics as
+// Sharded.Close: workers stop and drain, mutating operations fail
+// afterwards, counter reads keep working, double Close is safe.
+func (d *DataSharded) Close() error {
+	d.closeMu.Lock()
+	defer d.closeMu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	for _, w := range d.workers {
+		close(w.jobs)
+	}
+	for _, w := range d.workers {
+		<-w.stopped
+	}
+	return nil
+}

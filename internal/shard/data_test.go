@@ -1,0 +1,278 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"topkmon/internal/core"
+	"topkmon/internal/geom"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+// dataBuild constructs a data-partitioned monitor for runDifferential.
+func dataBuild(shards int) func(core.Options) (core.StreamMonitor, error) {
+	return func(opts core.Options) (core.StreamMonitor, error) { return NewData(opts, shards) }
+}
+
+// TestDataDifferentialCountWindow proves the data-partitioned monitor
+// emits byte-identical update streams and results to the single engine
+// over a count-based window, for TMA, SMA, constrained and threshold
+// queries, at every shard count including beyond the query-sharding
+// sweet spot.
+func TestDataDifferentialCountWindow(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			runDifferential(t, dataBuild(shards), false, core.AppendOnly, window.Count(2000))
+		})
+	}
+}
+
+// TestDataDifferentialTimeWindow repeats the data-partitioned
+// differential over a time-based window: expirations are driven by
+// timestamps, and the router's global window must hand each shard exactly
+// its slice of every expiration run.
+func TestDataDifferentialTimeWindow(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			runDifferential(t, dataBuild(shards), false, core.AppendOnly, window.Time(8))
+		})
+	}
+}
+
+// TestDataDifferentialUpdateStream repeats the data-partitioned
+// differential under the explicit-deletion model: deletions are routed by
+// tuple id to the one shard that indexed the tuple.
+func TestDataDifferentialUpdateStream(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			runDifferential(t, dataBuild(shards), false, core.UpdateStream, window.Spec{})
+		})
+	}
+}
+
+// TestDataTupleDistribution checks that hash partitioning spreads
+// sequential tuple ids over all shards rather than clumping.
+func TestDataTupleDistribution(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	for id := uint64(0); id < 4096; id++ {
+		counts[shardOfTuple(id, n)]++
+	}
+	for i, c := range counts {
+		if c < 4096/n/2 || c > 4096/n*2 {
+			t.Fatalf("shard %d received %d of 4096 tuples (poor spread: %v)", i, c, counts)
+		}
+	}
+}
+
+// TestDataPerShardMemoryScaling: with tuples partitioned, each shard's
+// index must hold roughly N/shards tuples — the whole point of the mode.
+// The query-partitioned monitor replicates the index instead, so its
+// per-shard footprint stays O(N).
+func TestDataPerShardMemoryScaling(t *testing.T) {
+	const (
+		dims   = 4
+		n      = 20000
+		shards = 4
+	)
+	opts := core.Options{Dims: dims, Window: window.Count(n), TargetCells: 64}
+
+	single, err := core.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := NewData(opts, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data.Close()
+	queryPart, err := New(opts, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer queryPart.Close()
+
+	for _, mon := range []core.StreamMonitor{single, data, queryPart} {
+		gen := stream.NewGenerator(stream.IND, dims, 42)
+		if _, err := mon.Step(0, gen.Batch(n, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := data.NumPoints(); got != n {
+		t.Fatalf("data NumPoints = %d, want %d", got, n)
+	}
+
+	singleMem := single.MemoryBytes()
+	maxData := int64(0)
+	for _, b := range data.ShardMemoryBytes() {
+		if b > maxData {
+			maxData = b
+		}
+	}
+	minQuery := int64(1) << 62
+	for _, b := range queryPart.ShardMemoryBytes() {
+		if b < minQuery {
+			minQuery = b
+		}
+	}
+	// Data partitioning: the largest shard holds ~N/shards tuples, so its
+	// footprint must be well under half the single engine's. Query
+	// partitioning replicates the index: every shard stays O(N).
+	if maxData*2 >= singleMem {
+		t.Fatalf("data-partitioned shard memory %d not O(N/shards) of single %d", maxData, singleMem)
+	}
+	if minQuery*2 < singleMem {
+		t.Fatalf("query-partitioned shard memory %d unexpectedly below O(N): single %d", minQuery, singleMem)
+	}
+}
+
+// TestDataCloseSemantics mirrors TestCloseSemantics for the
+// data-partitioned monitor: operations after Close fail cleanly, double
+// Close is a no-op, counter reads keep working.
+func TestDataCloseSemantics(t *testing.T) {
+	d, err := NewData(core.Options{Dims: 2, Window: window.Count(100), TargetCells: 16}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewGenerator(stream.IND, 2, 1)
+	if _, err := d.Step(0, gen.Batch(50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Step(1, gen.Batch(10, 1)); err == nil {
+		t.Fatal("Step after Close should fail")
+	}
+	if _, err := d.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 3}); err == nil {
+		t.Fatal("Register after Close should fail")
+	}
+	if got := d.NumPoints(); got != 50 {
+		t.Fatalf("NumPoints after Close = %d, want 50", got)
+	}
+	if got := d.Stats().Arrivals; got != 50 {
+		t.Fatalf("Stats().Arrivals after Close = %d, want 50", got)
+	}
+}
+
+// TestDataRegisterRollback: a rejected spec must not burn a query id —
+// registration probes shard 0 first, so a failure touches no engine state.
+func TestDataRegisterRollback(t *testing.T) {
+	d, err := NewData(core.Options{Dims: 2, Window: window.Count(100), TargetCells: 16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 0}); err == nil {
+		t.Fatal("K=0 should be rejected")
+	}
+	id, err := d.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("first successful registration got id %d, want 0", id)
+	}
+}
+
+// TestDataConcurrentChurnStress drives data-partitioned cycles while
+// churners register, read and unregister queries — under -race this is
+// the memory-safety proof for the router's serialization of cross-shard
+// query operations against cycles.
+func TestDataConcurrentChurnStress(t *testing.T) {
+	const (
+		dims     = 3
+		shards   = 4
+		cycles   = 40
+		rate     = 80
+		churners = 3
+	)
+	d, err := NewData(core.Options{Dims: dims, Window: window.Count(1500), TargetCells: 64}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	gen := stream.NewGenerator(stream.IND, dims, 5)
+	if _, err := d.Step(0, gen.Batch(1500, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, churners+1)
+
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			qg := stream.NewQueryGenerator(stream.FuncLinear, dims, seed)
+			rng := rand.New(rand.NewSource(seed))
+			var owned []core.QueryID
+			for !stop.Load() {
+				switch {
+				case len(owned) < 6:
+					id, err := d.Register(core.QuerySpec{F: qg.Next(), K: 1 + rng.Intn(10), Policy: core.SMA})
+					if err != nil {
+						errc <- err
+						return
+					}
+					owned = append(owned, id)
+				case rng.Intn(2) == 0:
+					id := owned[rng.Intn(len(owned))]
+					if _, err := d.Result(id); err != nil {
+						errc <- err
+						return
+					}
+					d.Stats()
+					d.MemoryBytes() // races with Step's window unless serialized
+				default:
+					j := rng.Intn(len(owned))
+					if err := d.Unregister(owned[j]); err != nil {
+						errc <- err
+						return
+					}
+					owned = append(owned[:j], owned[j+1:]...)
+				}
+			}
+			for _, id := range owned {
+				if err := d.Unregister(id); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(int64(200 + c))
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for ts := int64(1); ts <= cycles; ts++ {
+			if _, err := d.Step(ts, gen.Batch(rate, ts)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if n := d.NumQueries(); n != 0 {
+		t.Fatalf("expected all churned queries unregistered, %d left", n)
+	}
+	if got, want := d.NumPoints(), 1500; got != want {
+		t.Fatalf("NumPoints = %d, want %d", got, want)
+	}
+}

@@ -1,25 +1,35 @@
 // Package shard runs N independent core.Engine instances behind the same
 // monitoring interface, turning the paper's single-server model into a
-// concurrent engine without changing any algorithmic result.
+// concurrent engine without changing any algorithmic result. Two layouts
+// are provided, following the partition-and-merge pattern of distributed
+// sliding-window monitoring (Papapetrou et al.; Chan et al.):
 //
-// The design follows the partition-and-merge pattern of distributed
-// sliding-window monitoring (Papapetrou et al.; Chan et al.): registered
-// queries are hash-partitioned across shards, while every processing
-// cycle's arrival/expiration batch is broadcast to all shards in parallel.
-// Each shard is a complete engine — its own grid index, window and query
-// table — owned by exactly one goroutine, so the core algorithms run
-// unmodified and unlocked. Because the per-query maintenance of TMA/SMA is
-// independent across queries, a query's result trajectory on its shard is
-// bit-identical to what the single engine would produce on the same
-// stream; the router only has to translate per-shard query ids back to
-// global ones and merge the per-shard update fan-in by query id. The
-// differential tests in shard_test.go verify this equivalence for every
+//   - Sharded (New, this file) partitions the *query set*: registered
+//     queries are hash-partitioned across shards, while every processing
+//     cycle's arrival/expiration batch is broadcast to all shards in
+//     parallel. Each shard is a complete engine — its own grid index,
+//     window and query table — owned by exactly one goroutine, so the
+//     core algorithms run unmodified and unlocked. Because the per-query
+//     maintenance of TMA/SMA is independent across queries, a query's
+//     result trajectory on its shard is bit-identical to what the single
+//     engine would produce on the same stream; the router only has to
+//     translate per-shard query ids back to global ones and merge the
+//     per-shard update fan-in by query id. The trade-off is explicit: the
+//     tuple index is replicated per shard (memory and ingest work scale
+//     with the shard count), in exchange for query maintenance — the
+//     dominant cost at large Q, see Figure 18 — being spread over as many
+//     cores as there are shards.
+//
+//   - DataSharded (NewData, data.go) partitions the *stream*: tuples are
+//     hash-partitioned across shards, every query runs on every shard
+//     against its O(N/shards) slice, and the router k-way merges the
+//     per-shard partial results into the exact global answer. Index
+//     memory stays O(N) in total regardless of the shard count — the
+//     layout for shard counts beyond the replication sweet spot.
+//
+// The differential tests in shard_test.go and data_test.go verify both
+// layouts emit update streams identical to the single engine's for every
 // policy, query type and stream mode.
-//
-// The trade-off is explicit: the tuple index is replicated per shard
-// (memory and ingest work scale with the shard count), in exchange for
-// query maintenance — the dominant cost at large Q, see Figure 18 — being
-// spread over as many cores as there are shards.
 package shard
 
 import (
@@ -45,6 +55,12 @@ type route struct {
 // model the arrival of one stream batch, which is inherently ordered.
 type Sharded struct {
 	workers []*worker
+
+	// regMu serializes registrations end to end (id allocation, engine
+	// call, rollback), making the id rollback on a rejected spec exact:
+	// ids never burn, so id assignment matches the single engine even
+	// under concurrent Register calls racing with rejected specs.
+	regMu sync.Mutex
 
 	// mu guards the routing table.
 	mu     sync.Mutex
@@ -92,18 +108,40 @@ func (w *worker) call(fn func()) {
 
 // New builds a sharded monitor with n shards, each configured by opts.
 func New(opts core.Options, n int) (*Sharded, error) {
+	return newWithFactory(opts, n, core.NewEngine)
+}
+
+// newWithFactory is New with an injectable engine constructor, so tests can
+// exercise the mid-construction failure path (identical options otherwise
+// fail deterministically on the first shard or none at all).
+func newWithFactory(opts core.Options, n int, factory func(core.Options) (*core.Engine, error)) (*Sharded, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
 	}
-	s := &Sharded{
-		workers: make([]*worker, n),
-		routes:  make(map[core.QueryID]route),
+	workers, err := spawnWorkers(opts, n, factory)
+	if err != nil {
+		return nil, err
 	}
-	for i := range s.workers {
-		eng, err := core.NewEngine(opts)
+	return &Sharded{
+		workers: workers,
+		routes:  make(map[core.QueryID]route),
+	}, nil
+}
+
+// spawnWorkers builds n engines and starts one worker goroutine per
+// engine. On a mid-construction failure the workers already started are
+// torn down completely — job channels closed and goroutines awaited — so a
+// failed constructor leaks nothing.
+func spawnWorkers(opts core.Options, n int, factory func(core.Options) (*core.Engine, error)) ([]*worker, error) {
+	workers := make([]*worker, n)
+	for i := range workers {
+		eng, err := factory(opts)
 		if err != nil {
-			for _, w := range s.workers[:i] {
+			for _, w := range workers[:i] {
 				close(w.jobs)
+			}
+			for _, w := range workers[:i] {
+				<-w.stopped
 			}
 			return nil, err
 		}
@@ -113,10 +151,10 @@ func New(opts core.Options, n int) (*Sharded, error) {
 			stopped:       make(chan struct{}),
 			localToGlobal: make(map[core.QueryID]core.QueryID),
 		}
-		s.workers[i] = w
+		workers[i] = w
 		go w.loop()
 	}
-	return s, nil
+	return workers, nil
 }
 
 // NumShards returns the shard count.
@@ -125,19 +163,18 @@ func (s *Sharded) NumShards() int { return len(s.workers) }
 // shardOf hash-partitions a global query id (splitmix64 finalizer, so
 // sequential ids spread uniformly rather than striping).
 func shardOf(id core.QueryID, n int) int {
-	x := uint64(id)
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int(x % uint64(n))
+	return shardOfTuple(uint64(id), n)
 }
 
 // Register implements core.Monitor. Global query ids are assigned in
 // registration order (matching the single engine) and hash-routed to a
-// shard, whose engine computes the initial result.
+// shard, whose engine computes the initial result. Registrations are
+// serialized by regMu so a rejected spec rolls its id back exactly — the
+// documented "ids match the single engine" property holds even when
+// concurrent registrations race with rejections.
 func (s *Sharded) Register(spec core.QuerySpec) (core.QueryID, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
@@ -161,11 +198,9 @@ func (s *Sharded) Register(spec core.QuerySpec) (core.QueryID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
-		// Best-effort rollback so rejected specs do not burn ids (keeps id
-		// assignment aligned with the single engine in serial use).
-		if s.nextID == global+1 {
-			s.nextID--
-		}
+		// Exact rollback: regMu guarantees no other registration allocated
+		// an id in between, so the decrement always reclaims `global`.
+		s.nextID--
 		return 0, err
 	}
 	s.routes[global] = route{shard: si, local: local}
@@ -330,6 +365,17 @@ func (s *Sharded) MemoryBytes() int64 {
 		total += b
 	}
 	return total
+}
+
+// ShardMemoryBytes returns each shard engine's individual footprint. Under
+// query partitioning every entry is O(N) — the whole index is replicated —
+// which is the memory blow-up the data-partitioned mode exists to avoid.
+func (s *Sharded) ShardMemoryBytes() []int64 {
+	per := make([]int64, len(s.workers))
+	s.broadcast(func(i int, e *core.Engine) {
+		per[i] = e.MemoryBytes()
+	})
+	return per
 }
 
 // NumPoints implements core.StreamMonitor. Every shard indexes the full

@@ -42,8 +42,21 @@ func NewCSVReader(r io.Reader, dims int) (*CSVReader, error) {
 	return &CSVReader{r: cr, dims: dims}, nil
 }
 
-// Next decodes one tuple. It returns io.EOF at the end of the input.
+// Next decodes one tuple. It returns io.EOF at the end of the input. A
+// tuple buffered by a previous NextBatch call is drained first, so Next and
+// NextBatch interleave without reordering the stream.
 func (c *CSVReader) Next() (*Tuple, error) {
+	if c.pending != nil {
+		t := c.pending
+		c.pending = nil
+		return t, nil
+	}
+	return c.next()
+}
+
+// next decodes one tuple straight from the underlying reader, bypassing the
+// pending buffer (which only NextBatch manages).
+func (c *CSVReader) next() (*Tuple, error) {
 	for {
 		rec, err := c.r.Read()
 		if err != nil {
@@ -84,30 +97,17 @@ func (c *CSVReader) Next() (*Tuple, error) {
 
 // NextBatch reads every tuple sharing the next timestamp — one processing
 // cycle's arrivals. It returns the batch and its timestamp, or io.EOF when
-// the trace is exhausted.
+// the trace is exhausted. Decode errors are never masked by buffered
+// tuples: a corrupt line surfaces on the call that reaches it, so a bad
+// trace cannot replay as a truncated-but-clean one.
 func (c *CSVReader) NextBatch() ([]*Tuple, int64, error) {
-	first, err := c.Next()
+	first, err := c.Next() // drains pending first
 	if err != nil {
-		if c.pending != nil {
-			batch := []*Tuple{c.pending}
-			c.pending = nil
-			return batch, batch[0].TS, nil
-		}
 		return nil, 0, err
 	}
-	if c.pending != nil && c.pending.TS != first.TS {
-		batch := []*Tuple{c.pending}
-		c.pending = first
-		return batch, batch[0].TS, nil
-	}
-	batch := []*Tuple{}
-	if c.pending != nil {
-		batch = append(batch, c.pending)
-		c.pending = nil
-	}
-	batch = append(batch, first)
+	batch := []*Tuple{first}
 	for {
-		t, err := c.Next()
+		t, err := c.next()
 		if err == io.EOF {
 			return batch, batch[0].TS, nil
 		}

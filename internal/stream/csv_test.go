@@ -125,6 +125,83 @@ func TestCSVNextBatchGroupsByTimestamp(t *testing.T) {
 	}
 }
 
+// TestCSVNextBatchPropagatesMidTraceError: a corrupt line reached while a
+// tuple is buffered in pending must surface the decode error instead of
+// silently replaying the trace as truncated-but-clean (the pending tuple
+// used to be flushed as a final batch, dropping the error).
+func TestCSVNextBatchPropagatesMidTraceError(t *testing.T) {
+	in := "0,0.1,0.1\n1,0.2,0.2\n1,oops,0.3\n2,0.4,0.4\n"
+	r, err := NewCSVReader(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch, ts, err := r.NextBatch(); err != nil || ts != 0 || len(batch) != 1 {
+		t.Fatalf("first batch: %v ts=%d len=%d", err, ts, len(batch))
+	}
+	// The second call drains the buffered ts=1 tuple and then hits the
+	// corrupt line: the error must propagate.
+	if _, _, err := r.NextBatch(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt mid-trace line swallowed: err=%v", err)
+	}
+}
+
+// TestCSVNextBatchErrorOnFreshBatch: a corrupt line hit while accumulating
+// a batch (no pending buffered) propagates on the call that reads it.
+func TestCSVNextBatchErrorOnFreshBatch(t *testing.T) {
+	in := "0,0.1,0.1\nzz,0.2,0.2\n"
+	r, err := NewCSVReader(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.NextBatch(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt line swallowed: err=%v", err)
+	}
+}
+
+// TestCSVNextDrainsPending: interleaving Next and NextBatch must preserve
+// the trace order. Next used to bypass the pending buffer, returning a
+// tuple with a higher Seq than the buffered one still to come.
+func TestCSVNextDrainsPending(t *testing.T) {
+	in := "0,0.1,0.1\n0,0.2,0.2\n1,0.3,0.3\n1,0.4,0.4\n2,0.5,0.5\n"
+	r, err := NewCSVReader(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	batch, _, err := r.NextBatch() // reads the ts=0 pair, buffers the first ts=1 tuple
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range batch {
+		seqs = append(seqs, tu.Seq)
+	}
+	tu, err := r.Next() // must drain the buffered tuple, not read past it
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs = append(seqs, tu.Seq)
+	for {
+		batch, _, err := r.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range batch {
+			seqs = append(seqs, tu.Seq)
+		}
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("read %d tuples, want 5 (%v)", len(seqs), seqs)
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("sequence order broken: %v", seqs)
+		}
+	}
+}
+
 func TestCSVWriteRejectsDimsMismatch(t *testing.T) {
 	var buf bytes.Buffer
 	bad := []*Tuple{{ID: 1, Vec: []float64{0.5}}}

@@ -20,27 +20,80 @@ type ClockFunc func() int64
 // Now implements Clock.
 func (f ClockFunc) Now() int64 { return f() }
 
+// Partitioning selects how a sharded monitor splits work across its
+// engine shards.
+type Partitioning int
+
+// Partitioning strategies for sharded monitors (see WithPartitioning).
+const (
+	// PartitionQueries hash-partitions the *query set*: every shard
+	// indexes the full stream and maintains a disjoint subset of the
+	// queries. Best pure speed-up when query maintenance dominates, at
+	// the cost of replicating the tuple index per shard (memory and
+	// ingest work × shards). The default.
+	PartitionQueries Partitioning = iota
+	// PartitionData hash-partitions the *stream*: each shard indexes only
+	// its O(N/shards) slice of the tuples, every query runs on every
+	// shard, and the router k-way merges the per-shard partial top-k
+	// results into the exact global answer. Index memory and ingest work
+	// stay O(N) in total regardless of the shard count — the layout for
+	// shard counts beyond the replication sweet spot (~8) and for windows
+	// too large to replicate.
+	PartitionData
+)
+
+// String implements fmt.Stringer.
+func (p Partitioning) String() string {
+	switch p {
+	case PartitionQueries:
+		return "queries"
+	case PartitionData:
+		return "data"
+	default:
+		return fmt.Sprintf("Partitioning(%d)", int(p))
+	}
+}
+
+// ParsePartitioning converts "queries"/"data" to a Partitioning.
+func ParsePartitioning(s string) (Partitioning, error) {
+	switch s {
+	case "queries", "query":
+		return PartitionQueries, nil
+	case "data", "tuples":
+		return PartitionData, nil
+	default:
+		return 0, fmt.Errorf("topkmon: unknown partitioning %q", s)
+	}
+}
+
 // config collects the options New accepts.
 type config struct {
-	shards  int
-	policy  Policy
-	mode    StreamMode
-	clock   Clock
-	window  window.Spec
-	gridRes int
-	cells   int
+	shards    int
+	partition Partitioning
+	policy    Policy
+	mode      StreamMode
+	clock     Clock
+	window    window.Spec
+	gridRes   int
+	cells     int
 }
 
 // Option configures a Monitor.
 type Option func(*config)
 
 // WithShards sets the number of engine shards. With n > 1 the monitor runs
-// n independent engines (one goroutine each): queries are hash-partitioned
-// across them, every stream batch is broadcast to all of them, and the
-// per-shard update streams are merged — results are identical to the
-// single engine on the same stream. The default (and any n <= 1) is the
-// plain single-threaded engine.
+// n independent engines (one goroutine each) and splits the work per the
+// configured Partitioning — queries across shards (default) or tuples
+// across shards. Either way results are identical to the single engine on
+// the same stream. The default (and any n <= 1) is the plain
+// single-threaded engine.
 func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithPartitioning selects the sharding strategy: PartitionQueries (the
+// default — full index per shard, disjoint query subsets) or
+// PartitionData (disjoint stream slices per shard, every query everywhere,
+// router-side top-k merge). It has no effect on single-engine monitors.
+func WithPartitioning(p Partitioning) Option { return func(c *config) { c.partition = p } }
 
 // WithPolicy sets the default maintenance policy used by RegisterTopK.
 // Queries registered through Register carry their own policy in the spec.

@@ -15,7 +15,11 @@
 //
 // Sharding never changes results: the sharded monitor produces exactly the
 // updates of the single engine on the same stream, only faster on
-// multi-core hosts (and with replicated index memory).
+// multi-core hosts. Two layouts are available via WithPartitioning —
+// PartitionQueries (default: full index per shard, disjoint query subsets,
+// memory ×shards) and PartitionData (disjoint stream slices per shard,
+// every query on every shard, router-side top-k merge, O(N) total index
+// memory).
 package topkmon
 
 import (
@@ -55,7 +59,13 @@ func New(dims int, opts ...Option) (*Monitor, error) {
 	}
 	m := &Monitor{policy: cfg.policy, clock: cfg.clock, shards: cfg.shards}
 	if cfg.shards > 1 {
-		sh, err := shard.New(engOpts, cfg.shards)
+		var sh core.StreamMonitor
+		var err error
+		if cfg.partition == PartitionData {
+			sh, err = shard.NewData(engOpts, cfg.shards)
+		} else {
+			sh, err = shard.New(engOpts, cfg.shards)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -80,6 +80,78 @@ func TestSingleVsShardedFacade(t *testing.T) {
 	}
 }
 
+// TestPartitioningFacade drives a single engine and a data-partitioned
+// sharded monitor through identical streams via the public API and
+// requires identical update streams and results.
+func TestPartitioningFacade(t *testing.T) {
+	if p, err := topkmon.ParsePartitioning("data"); err != nil || p != topkmon.PartitionData {
+		t.Fatalf("ParsePartitioning(data) = %v, %v", p, err)
+	}
+	if _, err := topkmon.ParsePartitioning("bogus"); err == nil {
+		t.Fatal("bogus partitioning should be rejected")
+	}
+
+	build := func(opts ...topkmon.Option) *topkmon.Monitor {
+		base := []topkmon.Option{topkmon.WithCountWindow(600), topkmon.WithTargetCells(64)}
+		m, err := topkmon.New(3, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	single := build()
+	data := build(topkmon.WithShards(4), topkmon.WithPartitioning(topkmon.PartitionData))
+	defer single.Close()
+	defer data.Close()
+
+	for _, m := range []*topkmon.Monitor{single, data} {
+		if _, err := m.RegisterTopK(topkmon.Linear(1, 2, 0.5), 5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.RegisterThreshold(topkmon.Linear(1, 1, 1), 2.7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	genA := topkmon.NewGenerator(topkmon.IND, 3, 7)
+	genB := topkmon.NewGenerator(topkmon.IND, 3, 7)
+	for ts := int64(0); ts < 12; ts++ {
+		ua, err := single.Step(ts, genA.Batch(100, ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := data.Step(ts, genB.Batch(100, ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ua) != len(ub) {
+			t.Fatalf("ts=%d: %d vs %d updates", ts, len(ua), len(ub))
+		}
+		for i := range ua {
+			if ua[i].Query != ub[i].Query ||
+				len(ua[i].Added) != len(ub[i].Added) ||
+				len(ua[i].Removed) != len(ub[i].Removed) {
+				t.Fatalf("ts=%d update %d diverged", ts, i)
+			}
+			for j := range ua[i].Added {
+				if ua[i].Added[j].T.ID != ub[i].Added[j].T.ID {
+					t.Fatalf("ts=%d query %d added[%d]: p%d vs p%d", ts, ua[i].Query, j,
+						ua[i].Added[j].T.ID, ub[i].Added[j].T.ID)
+				}
+			}
+		}
+	}
+	if single.NumPoints() != data.NumPoints() {
+		t.Fatalf("NumPoints %d vs %d", single.NumPoints(), data.NumPoints())
+	}
+	// Data partitioning must not replicate the index: the sharded
+	// monitor's total footprint stays comparable to the single engine's
+	// (router window + per-shard grid overhead), far from ×shards.
+	if sm, dm := single.MemoryBytes(), data.MemoryBytes(); dm > 3*sm {
+		t.Fatalf("data-partitioned memory %d suggests index replication (single %d)", dm, sm)
+	}
+}
+
 func TestTickStampsAndAdvances(t *testing.T) {
 	m, err := topkmon.New(2, topkmon.WithCountWindow(100), topkmon.WithTargetCells(16))
 	if err != nil {
