@@ -40,6 +40,7 @@ func main() {
 		everyFlag     = flag.Int64("print-every", 1, "print results every this many cycles")
 		shardsFlag    = flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
 		partitionFlag = flag.String("partition", "queries", "sharding layout for -shards > 1: 'queries' or 'data'")
+		pipelineFlag  = flag.Int("pipeline", 0, "async pipelined ingestion queue depth (0 = synchronous Step)")
 		queries       querySpecs
 	)
 	flag.Var(&queries, "query", "query spec 'k=K;w=w1,...,wd[;policy=TMA|SMA]' or 'threshold=T;w=...' (repeatable)")
@@ -67,12 +68,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	mon, err := topkmon.New(*dimsFlag, windowOpt,
-		topkmon.WithShards(*shardsFlag), topkmon.WithPartitioning(partition))
+	monOpts := []topkmon.Option{windowOpt,
+		topkmon.WithShards(*shardsFlag), topkmon.WithPartitioning(partition)}
+	if *pipelineFlag > 0 {
+		monOpts = append(monOpts, topkmon.WithPipeline(*pipelineFlag))
+	}
+	mon, err := topkmon.New(*dimsFlag, monOpts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer mon.Close()
+	// A pipelined monitor's Updates channel must be drained; the replay
+	// reads results at print boundaries (a pipeline barrier), so the
+	// per-cycle deltas are simply discarded here.
+	if mon.Pipelined() {
+		go func() {
+			for range mon.Updates() {
+			}
+		}()
+	}
 	var ids []topkmon.QueryID
 	for _, qs := range queries {
 		spec, err := parseQuery(qs, *dimsFlag)
@@ -99,7 +113,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := mon.Step(ts, batch); err != nil {
+		if mon.Pipelined() {
+			err = mon.Ingest(ts, batch)
+		} else {
+			_, err = mon.Step(ts, batch)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		cycles++
@@ -115,6 +134,11 @@ func main() {
 				}
 				fmt.Println()
 			}
+		}
+	}
+	if mon.Pipelined() {
+		if err := mon.Flush(); err != nil {
+			fatal(err)
 		}
 	}
 	s := mon.Stats()

@@ -33,6 +33,7 @@ func main() {
 		kmaxFlag      = flag.Int("kmax", 0, "TSL view capacity (0 = tuned default)")
 		shardsFlag    = flag.Int("shards", 1, "engine shards (grid algorithms; >1 runs the concurrent sharded engine)")
 		partitionFlag = flag.String("partition", "queries", "sharding layout for -shards > 1: 'queries' or 'data'")
+		pipelineFlag  = flag.Int("pipeline", 0, "async pipelined ingestion queue depth (grid algorithms; 0 = synchronous Step)")
 		seedFlag      = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -72,10 +73,11 @@ func main() {
 		KMax:          *kmaxFlag,
 		Shards:        *shardsFlag,
 		DataPartition: partition == topkmon.PartitionData,
+		Pipeline:      *pipelineFlag,
 		Seed:          *seedFlag,
 	}
-	if cfg.Shards > 1 && algo == harness.AlgoTSL {
-		fmt.Fprintln(os.Stderr, "topkmon: -shards applies to the grid algorithms only (TMA/SMA)")
+	if (cfg.Shards > 1 || cfg.Pipeline > 0) && algo == harness.AlgoTSL {
+		fmt.Fprintln(os.Stderr, "topkmon: -shards and -pipeline apply to the grid algorithms only (TMA/SMA)")
 		os.Exit(2)
 	}
 	if err := cfg.Validate(); err != nil {
@@ -83,8 +85,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("running %s on %s d=%d N=%d r=%d Q=%d k=%d func=%s cycles=%d shards=%d\n",
-		algo, dist, cfg.Dims, cfg.N, cfg.R, cfg.Q, cfg.K, fk, cfg.Cycles, *shardsFlag)
+	fmt.Printf("running %s on %s d=%d N=%d r=%d Q=%d k=%d func=%s cycles=%d shards=%d pipeline=%d\n",
+		algo, dist, cfg.Dims, cfg.N, cfg.R, cfg.Q, cfg.K, fk, cfg.Cycles, *shardsFlag, cfg.Pipeline)
 	res, err := harness.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

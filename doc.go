@@ -26,6 +26,33 @@
 //     a per-update merge cost instead of the memory blow-up. Choose it
 //     for shard counts beyond ~8 or windows too large to replicate.
 //
+// Orthogonally to partitioning, WithPipeline(depth) decouples ingestion
+// from query maintenance: Ingest enqueues a batch into a bounded queue
+// and returns immediately, cycles run behind the caller's back, and each
+// cycle's merged updates arrive in order on the Updates channel — the
+// exact per-query Update sequence synchronous Step calls would return,
+// verified continuously by the internal/difftest differential fuzz
+// harness. Guarantees and trade-offs:
+//
+//   - Ordering: batches apply in Ingest order; Register/Unregister/Result
+//     and counter reads are barriers, so any interleaving with Ingest
+//     equals the same interleaving with Step. Flush waits until all prior
+//     batches are applied and their updates delivered; Close drains, then
+//     closes the Updates channel.
+//   - Backpressure: WithBackpressure selects Block (lossless, Ingest
+//     waits at depth — the default) or BackpressureDropOldest (the oldest
+//     queued batch is shed before application, counted in
+//     Stats.DroppedBatches) for producers that must never stall.
+//   - Overlap: under query partitioning, cycles additionally overlap
+//     *each other* — shards consume bounded per-shard job queues, so a
+//     fast shard runs ahead while the router merges finished cycles.
+//     Under data partitioning the router's per-cycle merge is a barrier,
+//     so the pipeline overlaps ingestion and delivery with cycles only.
+//   - Prefer pipelined ingestion when the producer must not block on
+//     cycle latency or when shard counts (and cores) are high enough that
+//     cycle/delivery overlap pays; prefer synchronous Step when the
+//     caller needs each cycle's updates before producing the next batch.
+//
 // Use pkg/topkmon — the public facade with functional options — as the
 // entry point:
 //
@@ -39,6 +66,8 @@
 //	pkg/topkmon        public API: Monitor facade, functional options, re-exports
 //	internal/core      the monitoring engine, TMA and SMA (the paper, start here)
 //	internal/shard     the sharded concurrent engine (N cores, same results)
+//	internal/pipeline  async pipelined ingestion with bounded queues and backpressure
+//	internal/difftest  randomized differential harness: all modes vs a naive scorer
 //	internal/tsl       the TSL baseline
 //	internal/geom      scoring functions and workspace geometry
 //	internal/grid      the grid index with influence lists

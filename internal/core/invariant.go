@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"topkmon/internal/geom"
+)
+
+// CheckInfluence verifies the influence-list invariant for every registered
+// query: the set of cells holding an entry for the query is exactly the
+// influence region at the time the lists were last registered —
+//
+//	top-k queries:     cells whose (constraint-clipped) maxscore is
+//	                   >= regScore (all cells intersecting the constraint
+//	                   while the result was underfull, regScore = -Inf);
+//	threshold queries: cells whose clipped maxscore is > the threshold.
+//
+// It is O(Q × cells) and intended for continuous verification in tests:
+// the shard monitors and the ingestion pipeline expose it as well, so
+// stress and differential suites can assert the invariant after every
+// processing cycle rather than only at end-of-run.
+func (e *Engine) CheckInfluence() error {
+	for id, q := range e.queries {
+		for idx := 0; idx < e.g.NumCells(); idx++ {
+			r := e.g.Rect(idx)
+			want := true
+			if q.spec.Constraint != nil {
+				clipped, ok := r.Intersect(*q.spec.Constraint)
+				if !ok {
+					want = false
+				} else {
+					r = clipped
+				}
+			}
+			if want {
+				ms := geom.MaxScore(q.spec.F, r)
+				if q.kind == thresholdKind {
+					want = ms > *q.spec.Threshold
+				} else if !math.IsInf(q.regScore, -1) {
+					want = ms >= q.regScore
+				}
+			}
+			got := e.g.HasInfluence(idx, id)
+			if got != want {
+				return fmt.Errorf("query %d cell %d: registered=%v want %v (regScore=%g, maxscore=%g)",
+					id, idx, got, want, q.regScore, geom.MaxScore(q.spec.F, e.g.Rect(idx)))
+			}
+		}
+	}
+	return nil
+}

@@ -244,6 +244,10 @@ type Stats struct {
 	SkybandSamples int64
 	// ResultUpdates counts emitted Update records.
 	ResultUpdates int64
+	// DroppedBatches counts ingest batches shed by a pipelined monitor
+	// under the drop-oldest backpressure policy (internal/pipeline). The
+	// synchronous engines never drop and always report zero.
+	DroppedBatches int64
 }
 
 // AvgSkybandSize returns the average skyband cardinality per SMA query per

@@ -1,0 +1,127 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"topkmon/internal/core"
+	"topkmon/internal/pipeline"
+	"topkmon/internal/shard"
+)
+
+// execMode is one execution mode under differential test: a constructor
+// producing a fresh monitor (and, for pipelined modes, its ingestion
+// surface) for a scenario.
+type execMode struct {
+	name  string
+	build func(opts core.Options) (core.StreamMonitor, Ingester, error)
+}
+
+// wrapPipe wraps a monitor constructor in a pipeline with a small depth
+// (so the queue actually fills and cycles genuinely overlap ingestion).
+func wrapPipe(build func(opts core.Options) (core.StreamMonitor, error), policy pipeline.Policy) func(core.Options) (core.StreamMonitor, Ingester, error) {
+	return func(opts core.Options) (core.StreamMonitor, Ingester, error) {
+		mon, err := build(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := pipeline.New(mon, pipeline.Options{Depth: 2, Policy: policy})
+		return p, p, nil
+	}
+}
+
+func sync(build func(opts core.Options) (core.StreamMonitor, error)) func(core.Options) (core.StreamMonitor, Ingester, error) {
+	return func(opts core.Options) (core.StreamMonitor, Ingester, error) {
+		mon, err := build(opts)
+		return mon, nil, err
+	}
+}
+
+func engineBuild(opts core.Options) (core.StreamMonitor, error) { return core.NewEngine(opts) }
+func shardedBuild(n int) func(core.Options) (core.StreamMonitor, error) {
+	return func(opts core.Options) (core.StreamMonitor, error) { return shard.New(opts, n) }
+}
+func dataShardedBuild(n int) func(core.Options) (core.StreamMonitor, error) {
+	return func(opts core.Options) (core.StreamMonitor, error) { return shard.NewData(opts, n) }
+}
+
+// allModes is the full differential matrix: every synchronous execution
+// mode and the pipelined wrapper over each. The pipelined modes must
+// deliver the exact per-query Update sequence of their synchronous
+// counterparts, which in turn must match the naive reference.
+func allModes() []execMode {
+	return []execMode{
+		{"engine", sync(engineBuild)},
+		{"query-sharded-3", sync(shardedBuild(3))},
+		{"data-sharded-3", sync(dataShardedBuild(3))},
+		{"pipelined-engine", wrapPipe(engineBuild, pipeline.Block)},
+		{"pipelined-query-sharded-3", wrapPipe(shardedBuild(3), pipeline.Block)},
+		{"pipelined-data-sharded-3", wrapPipe(dataShardedBuild(3), pipeline.Block)},
+	}
+}
+
+// runDifferential replays the scenario derived from seed through the
+// naive reference and every execution mode, asserting byte-identical
+// transcripts. checkInvariants additionally runs the influence-list
+// checker after every cycle of the synchronous grid modes.
+func runDifferential(t *testing.T, seed int64, checkInvariants bool) {
+	t.Helper()
+	s := GenScenario(seed)
+	naive, err := NewNaive(s.Options())
+	if err != nil {
+		t.Fatalf("%v: naive: %v", s, err)
+	}
+	ref, err := Replay(naive, s, ReplayConfig{})
+	if err != nil {
+		t.Fatalf("%v: naive replay: %v", s, err)
+	}
+
+	for _, m := range allModes() {
+		mon, ing, err := m.build(s.Options())
+		if err != nil {
+			t.Fatalf("%v: build %s: %v", s, m.name, err)
+		}
+		cfg := ReplayConfig{Ingester: ing, CheckInvariants: checkInvariants && ing == nil}
+		got, err := Replay(mon, s, cfg)
+		if cerr := mon.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("%v: %s replay: %v", s, m.name, err)
+		}
+		if d := got.Diff(ref); d != "" {
+			t.Fatalf("%v: %s diverged from naive reference:\n%s", s, m.name, d)
+		}
+	}
+}
+
+// TestDifferentialSeeds is the deterministic property test: a spread of
+// fixed seeds crossing stream modes, window kinds, query mixes and churn
+// schedules, each replayed through the full mode matrix.
+func TestDifferentialSeeds(t *testing.T) {
+	n := int64(20)
+	if testing.Short() {
+		n = 6
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runDifferential(t, seed, true)
+		})
+	}
+}
+
+// FuzzDifferential lets the fuzzer explore scenario seeds:
+//
+//	go test -fuzz=FuzzDifferential -fuzztime=30s ./internal/difftest
+//
+// Every interesting input is a single int64, so the corpus stays tiny and
+// failures reproduce from the seed alone.
+func FuzzDifferential(f *testing.F) {
+	for _, seed := range []int64{1, 2, 7, 42, 1234, -99} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runDifferential(t, seed, false)
+	})
+}

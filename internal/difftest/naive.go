@@ -1,0 +1,230 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+
+	"topkmon/internal/core"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+// Naive is the brute-force reference monitor: no grid, no influence
+// lists, no skybands — every cycle it rescans the full set of valid
+// tuples for every query (O(N·k) per query after the sort) and diffs the
+// fresh result against the last reported one with exactly the engine's
+// reporting rules. Its only shared machinery with the engine family is
+// the window (so expiration semantics are identical by construction) and
+// the scoring functions (so scores are bit-identical float64s). Slow and
+// obviously correct, it is the ground truth the differential harness
+// holds every optimized mode against.
+type Naive struct {
+	opts    core.Options
+	win     *window.Window           // AppendOnly mode
+	byID    map[uint64]*stream.Tuple // UpdateStream mode
+	queries map[core.QueryID]*naiveQuery
+	nextID  core.QueryID
+	now     int64
+}
+
+type naiveQuery struct {
+	spec core.QuerySpec
+	last map[uint64]core.Entry
+}
+
+var _ core.StreamMonitor = (*Naive)(nil)
+
+// NewNaive builds the reference monitor for the given options (GridRes
+// and TargetCells are ignored — there is no index).
+func NewNaive(opts core.Options) (*Naive, error) {
+	n := &Naive{opts: opts, queries: make(map[core.QueryID]*naiveQuery)}
+	if opts.Mode == core.AppendOnly {
+		if err := opts.Window.Validate(); err != nil {
+			return nil, err
+		}
+		n.win = window.New(opts.Window)
+	} else {
+		n.byID = make(map[uint64]*stream.Tuple)
+	}
+	return n, nil
+}
+
+// eachLive visits every valid tuple.
+func (n *Naive) eachLive(fn func(*stream.Tuple)) {
+	if n.win != nil {
+		n.win.Each(func(t *stream.Tuple) bool { fn(t); return true })
+		return
+	}
+	for _, t := range n.byID {
+		fn(t)
+	}
+}
+
+// compute rescans the live set for q's current result in descending total
+// order: the top k under stream.Better for top-k queries, every tuple
+// scoring strictly above the threshold for threshold queries.
+func (n *Naive) compute(q *naiveQuery) []core.Entry {
+	var out []core.Entry
+	n.eachLive(func(t *stream.Tuple) {
+		if q.spec.Constraint != nil && !q.spec.Constraint.Contains(t.Vec) {
+			return
+		}
+		score := q.spec.F.Score(t.Vec)
+		if q.spec.Threshold != nil {
+			if score > *q.spec.Threshold {
+				out = append(out, core.Entry{T: t, Score: score})
+			}
+			return
+		}
+		out = append(out, core.Entry{T: t, Score: score})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return stream.Better(out[i].Score, out[i].T.Seq, out[j].Score, out[j].T.Seq)
+	})
+	if q.spec.Threshold == nil && len(out) > q.spec.K {
+		out = out[:q.spec.K]
+	}
+	return out
+}
+
+// Register implements core.Monitor: sequential ids, initial result
+// computed but not reported — the engine's contract.
+func (n *Naive) Register(spec core.QuerySpec) (core.QueryID, error) {
+	if spec.F == nil {
+		return 0, fmt.Errorf("difftest: query needs a scoring function")
+	}
+	if spec.Threshold == nil && spec.K <= 0 {
+		return 0, fmt.Errorf("difftest: K must be positive, got %d", spec.K)
+	}
+	q := &naiveQuery{spec: spec, last: make(map[uint64]core.Entry)}
+	for _, en := range n.compute(q) {
+		q.last[en.T.ID] = en
+	}
+	id := n.nextID
+	n.nextID++
+	n.queries[id] = q
+	return id, nil
+}
+
+// Unregister implements core.Monitor.
+func (n *Naive) Unregister(id core.QueryID) error {
+	if _, ok := n.queries[id]; !ok {
+		return fmt.Errorf("difftest: unknown query %d", id)
+	}
+	delete(n.queries, id)
+	return nil
+}
+
+// report recomputes every query and emits deltas with the engine's exact
+// reporting rules: an Update iff the result's tuple-id set changed, Added
+// and Removed each in descending total order, updates ordered by query id.
+func (n *Naive) report() []core.Update {
+	ids := make([]core.QueryID, 0, len(n.queries))
+	for id := range n.queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var updates []core.Update
+	for _, id := range ids {
+		q := n.queries[id]
+		cur := n.compute(q)
+		var upd core.Update
+		for _, en := range cur {
+			if _, ok := q.last[en.T.ID]; !ok {
+				upd.Added = append(upd.Added, en)
+			}
+		}
+		if len(cur) != len(q.last) || len(upd.Added) > 0 {
+			current := make(map[uint64]struct{}, len(cur))
+			for _, en := range cur {
+				current[en.T.ID] = struct{}{}
+			}
+			for tid, en := range q.last {
+				if _, ok := current[tid]; !ok {
+					upd.Removed = append(upd.Removed, en)
+				}
+			}
+		}
+		if len(upd.Added) == 0 && len(upd.Removed) == 0 {
+			continue
+		}
+		upd.Query = id
+		clear(q.last)
+		for _, en := range cur {
+			q.last[en.T.ID] = en
+		}
+		sort.Slice(upd.Removed, func(i, j int) bool {
+			return stream.Better(upd.Removed[i].Score, upd.Removed[i].T.Seq, upd.Removed[j].Score, upd.Removed[j].T.Seq)
+		})
+		// Added is already in descending total order (cur is sorted).
+		updates = append(updates, upd)
+	}
+	return updates
+}
+
+// Step implements core.Monitor for the append-only model.
+func (n *Naive) Step(now int64, arrivals []*stream.Tuple) ([]core.Update, error) {
+	if n.opts.Mode != core.AppendOnly {
+		return nil, fmt.Errorf("difftest: Step requires AppendOnly mode")
+	}
+	for _, t := range arrivals {
+		n.win.Push(t)
+	}
+	n.win.Expire(now)
+	n.now = now
+	return n.report(), nil
+}
+
+// StepUpdate implements core.StreamMonitor for the explicit-deletion model.
+func (n *Naive) StepUpdate(now int64, arrivals []*stream.Tuple, deletions []uint64) ([]core.Update, error) {
+	if n.opts.Mode != core.UpdateStream {
+		return nil, fmt.Errorf("difftest: StepUpdate requires UpdateStream mode")
+	}
+	for _, t := range arrivals {
+		if _, dup := n.byID[t.ID]; dup {
+			return nil, fmt.Errorf("difftest: duplicate tuple id %d", t.ID)
+		}
+		n.byID[t.ID] = t
+	}
+	for _, id := range deletions {
+		if _, ok := n.byID[id]; !ok {
+			return nil, fmt.Errorf("difftest: deletion of unknown tuple %d", id)
+		}
+		delete(n.byID, id)
+	}
+	n.now = now
+	return n.report(), nil
+}
+
+// Result implements core.Monitor.
+func (n *Naive) Result(id core.QueryID) ([]core.Entry, error) {
+	q, ok := n.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("difftest: unknown query %d", id)
+	}
+	return n.compute(q), nil
+}
+
+// Stats implements core.StreamMonitor; the reference tracks no counters.
+func (n *Naive) Stats() core.Stats { return core.Stats{} }
+
+// MemoryBytes implements core.Monitor; the reference has no meaningful
+// footprint model.
+func (n *Naive) MemoryBytes() int64 { return 0 }
+
+// NumPoints implements core.StreamMonitor.
+func (n *Naive) NumPoints() int {
+	if n.win != nil {
+		return n.win.Len()
+	}
+	return len(n.byID)
+}
+
+// NumQueries implements core.StreamMonitor.
+func (n *Naive) NumQueries() int { return len(n.queries) }
+
+// Now implements core.StreamMonitor.
+func (n *Naive) Now() int64 { return n.now }
+
+// Close implements core.StreamMonitor; nothing to release.
+func (n *Naive) Close() error { return nil }

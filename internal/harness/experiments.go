@@ -17,6 +17,11 @@ var DefaultShards int
 // cmd/experiments sets it from its -partition flag.
 var DefaultDataPartition bool
 
+// DefaultPipeline drives every configuration Defaults produces through
+// asynchronous pipelined ingestion with this queue depth (0 = synchronous
+// Step loop). cmd/experiments sets it from its -pipeline flag.
+var DefaultPipeline int
+
 // Defaults returns the paper's default configuration (Table 1) scaled
 // linearly: N and Q shrink with scale (bounded below so the system stays
 // meaningful), r stays at 1% of N per cycle, and the simulation runs 100
@@ -46,6 +51,7 @@ func Defaults(scale float64, seed int64) Config {
 		Cycles:        cycles,
 		Shards:        DefaultShards,
 		DataPartition: DefaultDataPartition,
+		Pipeline:      DefaultPipeline,
 		Seed:          seed,
 	}
 }
@@ -433,6 +439,36 @@ func Experiments() []Experiment {
 					shardSpaceTbl.Rows = append(shardSpaceTbl.Rows, shardRow)
 				}
 				return []Table{timeTbl, spaceTbl, shardSpaceTbl}, nil
+			},
+		},
+		{
+			ID:    "pipeline",
+			Title: "Pipelined ingestion: synchronous Step vs async pipeline across shard counts (beyond the paper)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				tbl := Table{
+					Title:  "Pipelined ingestion: wall-clock run time, sync vs pipelined (SMA, IND, depth 4)",
+					XLabel: "shards",
+					Cols:   []string{"sync q-part", "piped q-part", "sync d-part", "piped d-part"},
+				}
+				for _, n := range []int{1, 2, 4, 8} {
+					row := Row{X: fmt.Sprintf("%d", n)}
+					for _, dataPart := range []bool{false, true} {
+						for _, depth := range []int{0, 4} {
+							cfg := Defaults(scale, seed)
+							cfg.Algo = AlgoSMA
+							cfg.Shards = n
+							cfg.DataPartition = dataPart
+							cfg.Pipeline = depth
+							res, err := Run(cfg)
+							if err != nil {
+								return nil, fmt.Errorf("pipeline [shards=%d data=%v depth=%d]: %w", n, dataPart, depth, err)
+							}
+							row.Cells = append(row.Cells, FormatDuration(res.RunTime))
+						}
+					}
+					tbl.Rows = append(tbl.Rows, row)
+				}
+				return []Table{tbl}, nil
 			},
 		},
 		{

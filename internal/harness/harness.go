@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"topkmon/internal/core"
+	"topkmon/internal/pipeline"
 	"topkmon/internal/shard"
 	"topkmon/internal/stream"
 	"topkmon/internal/tsl"
@@ -93,7 +94,14 @@ type Config struct {
 	// hashed across shards, router-side top-k merge) instead of the
 	// default query-partitioned one. Ignored unless Shards > 1.
 	DataPartition bool
-	Seed          int64
+	// Pipeline, when positive, drives the run through asynchronous
+	// pipelined ingestion with this queue depth: batches are ingested
+	// without waiting for the cycle and updates drain on a consumer
+	// goroutine, so the measured time is wall-clock throughput with
+	// ingestion, cycles and delivery overlapped. Zero measures the
+	// synchronous Step loop. Grid algorithms only.
+	Pipeline int
+	Seed     int64
 }
 
 // withDefaults fills derived fields.
@@ -243,14 +251,44 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.InitTime = time.Since(t0)
 
-	t1 := time.Now()
-	for c := 0; c < cfg.Cycles; c++ {
-		if _, err := mon.Step(ts, gen.Batch(cfg.R, ts)); err != nil {
+	// Like Shards, Pipeline applies to the grid algorithms only and is
+	// silently ignored for TSL, so sweep-wide -pipeline flags don't abort
+	// the TSL columns.
+	var runTime time.Duration
+	if cfg.Pipeline > 0 && cfg.Algo != AlgoTSL {
+		// Pipelined path: wrap the pre-filled monitor, drain deliveries on
+		// a consumer goroutine, ingest without waiting, and close the run
+		// with the Flush barrier so every cycle is applied and delivered
+		// inside the measured span.
+		p := pipeline.New(mon.(core.StreamMonitor), pipeline.Options{Depth: cfg.Pipeline})
+		consumerDone := p.Drain()
+		// Close is idempotent: the stats epilogue below closes the monitor
+		// too, this deferred close only covers error returns and joins the
+		// consumer either way.
+		defer func() { _ = p.Close(); <-consumerDone }()
+		t1 := time.Now()
+		for c := 0; c < cfg.Cycles; c++ {
+			if err := p.Ingest(ts, gen.Batch(cfg.R, ts)); err != nil {
+				return res, err
+			}
+			ts++
+		}
+		if err := p.Flush(); err != nil {
 			return res, err
 		}
-		ts++
+		runTime = time.Since(t1)
+		mon = p
+	} else {
+		t1 := time.Now()
+		for c := 0; c < cfg.Cycles; c++ {
+			if _, err := mon.Step(ts, gen.Batch(cfg.R, ts)); err != nil {
+				return res, err
+			}
+			ts++
+		}
+		runTime = time.Since(t1)
 	}
-	res.RunTime = time.Since(t1)
+	res.RunTime = runTime
 	res.SpaceBytes = mon.MemoryBytes()
 	if sh, ok := mon.(interface{ ShardMemoryBytes() []int64 }); ok {
 		for _, b := range sh.ShardMemoryBytes() {

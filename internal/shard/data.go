@@ -523,6 +523,13 @@ func (d *DataSharded) runCycle(step func(i int, e *core.Engine) ([]core.Update, 
 	return updates, nil
 }
 
+// CheckInfluence verifies the influence-list invariant on every shard
+// engine, continuously checkable from stress and differential tests (see
+// checkInfluenceAll in shard.go).
+func (d *DataSharded) CheckInfluence() error {
+	return checkInfluenceAll(len(d.workers), d.broadcast)
+}
+
 // Stats implements core.StreamMonitor. Every counter is summed across
 // shards — the shards see disjoint slices of the stream, so the sums equal
 // the single engine's stream-level figures — except ResultUpdates, which

@@ -260,6 +260,15 @@ func TestDataConcurrentChurnStress(t *testing.T) {
 				errc <- err
 				return
 			}
+			// Influence-list invariants are verified continuously — after
+			// every cycle, with the churners still racing — not only at
+			// end-of-run. Each engine's check runs atomically on its worker
+			// goroutine, so the per-engine invariant must hold at every
+			// job boundary.
+			if err := d.CheckInfluence(); err != nil {
+				errc <- fmt.Errorf("cycle %d: %w", ts, err)
+				return
+			}
 		}
 	}()
 

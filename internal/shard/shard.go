@@ -79,6 +79,13 @@ type Sharded struct {
 
 var _ core.StreamMonitor = (*Sharded)(nil)
 
+// jobQueueDepth bounds each shard's ingest channel. Synchronous cycles
+// never queue more than one job per worker (they wait for the fan-in), so
+// the buffer is invisible to them; pipelined ingestion (internal/pipeline)
+// uses the headroom to let a fast shard run several cycles ahead of a slow
+// one before backpressure blocks the submitter.
+const jobQueueDepth = 8
+
 // worker owns one engine. Every access to eng and localToGlobal happens on
 // the worker goroutine, which drains jobs sequentially — the channel is the
 // only synchronization the engine needs.
@@ -147,7 +154,7 @@ func spawnWorkers(opts core.Options, n int, factory func(core.Options) (*core.En
 		}
 		w := &worker{
 			eng:           eng,
-			jobs:          make(chan func()),
+			jobs:          make(chan func(), jobQueueDepth),
 			stopped:       make(chan struct{}),
 			localToGlobal: make(map[core.QueryID]core.QueryID),
 		}
@@ -270,43 +277,36 @@ func (s *Sharded) StepUpdate(now int64, arrivals []*stream.Tuple, deletions []ui
 	})
 }
 
-// cycle broadcasts one processing cycle to all shards and merges the
-// fan-in. Shards only ever read the tuples, so sharing the batch slice
-// across goroutines is safe. On error the first failing shard's error is
-// returned; like the single engine, a mid-cycle validation failure leaves
-// the monitor in an undefined state.
-func (s *Sharded) cycle(step func(*core.Engine) ([]core.Update, error)) ([]core.Update, error) {
-	s.stepMu.Lock()
-	defer s.stepMu.Unlock()
-	s.closeMu.RLock()
-	defer s.closeMu.RUnlock()
-	if s.closed {
-		return nil, fmt.Errorf("shard: monitor is closed")
-	}
+// shardResult is one shard's contribution to a cycle.
+type shardResult struct {
+	updates []core.Update
+	err     error
+}
 
-	type shardResult struct {
-		updates []core.Update
-		err     error
-	}
-	results := make([]shardResult, len(s.workers))
-	var wg sync.WaitGroup
-	wg.Add(len(s.workers))
-	for i, w := range s.workers {
-		w.jobs <- func() {
-			defer wg.Done()
-			updates, err := step(w.eng)
-			if err == nil {
-				// Translate shard-local query ids to global ones while still
-				// on the worker goroutine (localToGlobal is worker-owned).
-				for j := range updates {
-					updates[j].Query = w.localToGlobal[updates[j].Query]
-				}
-			}
-			results[i] = shardResult{updates, err}
-		}
-	}
-	wg.Wait()
+// Ticket is the completion handle of an asynchronously submitted cycle
+// (StepAsync / StepUpdateAsync). The shards process the cycle on their own
+// goroutines; Wait blocks until every shard has finished and returns the
+// merged update batch — exactly what the synchronous Step would have
+// returned for the same cycle. Tickets of successive cycles must be waited
+// in submission order by whoever needs the synchronous delivery order; the
+// ingestion pipeline's delivery stage does exactly that.
+type Ticket struct {
+	wg      sync.WaitGroup
+	results []shardResult
+}
 
+// Wait blocks until the cycle has completed on every shard and returns the
+// merged, globally ordered update batch. It may be called multiple times.
+func (t *Ticket) Wait() ([]core.Update, error) {
+	t.wg.Wait()
+	return mergeShardUpdates(t.results)
+}
+
+// mergeShardUpdates merges per-shard update fan-in into the single engine's
+// global ordering. On error the first failing shard's error is returned;
+// like the single engine, a mid-cycle validation failure leaves the monitor
+// in an undefined state.
+func mergeShardUpdates(results []shardResult) ([]core.Update, error) {
 	total := 0
 	for _, r := range results {
 		if r.err != nil {
@@ -326,6 +326,97 @@ func (s *Sharded) cycle(step func(*core.Engine) ([]core.Update, error)) ([]core.
 	// unique keys; it restores the single engine's global ordering.
 	sort.Slice(merged, func(i, j int) bool { return merged[i].Query < merged[j].Query })
 	return merged, nil
+}
+
+// submit enqueues one processing cycle into every shard's bounded job
+// queue and returns without waiting for completion. Shards only ever read
+// the tuples, so sharing the batch slice across goroutines is safe.
+// Callers hold stepMu, which orders submissions; per-worker job queues are
+// FIFO, so every shard sees cycles (and the query operations interleaved
+// with them) in the same order.
+func (s *Sharded) submit(step func(*core.Engine) ([]core.Update, error)) (*Ticket, error) {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, fmt.Errorf("shard: monitor is closed")
+	}
+	t := &Ticket{results: make([]shardResult, len(s.workers))}
+	t.wg.Add(len(s.workers))
+	for i, w := range s.workers {
+		w.jobs <- func() {
+			defer t.wg.Done()
+			updates, err := step(w.eng)
+			if err == nil {
+				// Translate shard-local query ids to global ones while still
+				// on the worker goroutine (localToGlobal is worker-owned).
+				for j := range updates {
+					updates[j].Query = w.localToGlobal[updates[j].Query]
+				}
+			}
+			t.results[i] = shardResult{updates, err}
+		}
+	}
+	return t, nil
+}
+
+// cycle runs one synchronous processing cycle: submit plus wait, with
+// stepMu held end to end so cycles are fully serialized.
+func (s *Sharded) cycle(step func(*core.Engine) ([]core.Update, error)) ([]core.Update, error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	t, err := s.submit(step)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait()
+}
+
+// StepAsync submits one append-only cycle without waiting for the shards
+// to process it. Submissions are serialized (stepMu) but return as soon as
+// the cycle is enqueued on every shard's bounded job queue — a fast shard
+// may run several cycles ahead of a slow one, which is the overlap the
+// ingestion pipeline exploits. When a shard's queue is full the submission
+// blocks: that is the per-shard backpressure bound. The returned Ticket
+// yields the cycle's merged updates; callers needing the synchronous
+// delivery order must Wait tickets in submission order.
+func (s *Sharded) StepAsync(now int64, arrivals []*stream.Tuple) (*Ticket, error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	return s.submit(func(e *core.Engine) ([]core.Update, error) {
+		return e.Step(now, arrivals)
+	})
+}
+
+// StepUpdateAsync is StepAsync for the explicit-deletion stream model.
+func (s *Sharded) StepUpdateAsync(now int64, arrivals []*stream.Tuple, deletions []uint64) (*Ticket, error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	return s.submit(func(e *core.Engine) ([]core.Update, error) {
+		return e.StepUpdate(now, arrivals, deletions)
+	})
+}
+
+// checkInfluenceAll runs core.Engine.CheckInfluence on every shard engine
+// through the monitor's broadcast — each check executes atomically on its
+// worker goroutine, serialized against queued cycles — and returns the
+// first failure. Shared by both shard layouts.
+func checkInfluenceAll(n int, broadcast func(func(int, *core.Engine))) error {
+	errs := make([]error, n)
+	broadcast(func(i int, e *core.Engine) {
+		errs[i] = e.CheckInfluence()
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckInfluence verifies the influence-list invariant on every shard
+// engine, continuously checkable from stress and differential tests.
+func (s *Sharded) CheckInfluence() error {
+	return checkInfluenceAll(len(s.workers), s.broadcast)
 }
 
 // Stats implements core.StreamMonitor, aggregating across shards: the

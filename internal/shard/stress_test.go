@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -82,7 +83,9 @@ func TestConcurrentChurnStress(t *testing.T) {
 		}(int64(100 + c))
 	}
 
-	// Driver: the stream never pauses while queries churn.
+	// Driver: the stream never pauses while queries churn. Influence-list
+	// invariants are verified after every cycle, continuously, with the
+	// churners still racing.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -90,6 +93,10 @@ func TestConcurrentChurnStress(t *testing.T) {
 		for ts := int64(1); ts <= cycles; ts++ {
 			if _, err := sh.Step(ts, gen.Batch(rate, ts)); err != nil {
 				errc <- err
+				return
+			}
+			if err := sh.CheckInfluence(); err != nil {
+				errc <- fmt.Errorf("cycle %d: %w", ts, err)
 				return
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"topkmon/internal/core"
+	"topkmon/internal/pipeline"
 	"topkmon/internal/window"
 )
 
@@ -66,16 +67,56 @@ func ParsePartitioning(s string) (Partitioning, error) {
 	}
 }
 
+// Backpressure selects a pipelined monitor's behavior when its ingest
+// queue is full (see WithPipeline).
+type Backpressure int
+
+// Backpressure policies.
+const (
+	// BackpressureBlock makes Ingest wait for queue space: lossless, the
+	// default.
+	BackpressureBlock Backpressure = iota
+	// BackpressureDropOldest sheds the oldest queued batch instead of
+	// blocking; shed batches are never applied and are counted in
+	// Stats.DroppedBatches. A load-shedding mode for producers that must
+	// not stall.
+	BackpressureDropOldest
+)
+
+// String implements fmt.Stringer.
+func (b Backpressure) String() string {
+	switch b {
+	case BackpressureBlock:
+		return "block"
+	case BackpressureDropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("Backpressure(%d)", int(b))
+	}
+}
+
+// ParseBackpressure converts "block"/"drop"/"drop-oldest" to a
+// Backpressure.
+func ParseBackpressure(s string) (Backpressure, error) {
+	p, err := pipeline.ParsePolicy(s)
+	if err != nil {
+		return 0, fmt.Errorf("topkmon: unknown backpressure policy %q", s)
+	}
+	return Backpressure(p), nil
+}
+
 // config collects the options New accepts.
 type config struct {
-	shards    int
-	partition Partitioning
-	policy    Policy
-	mode      StreamMode
-	clock     Clock
-	window    window.Spec
-	gridRes   int
-	cells     int
+	shards       int
+	partition    Partitioning
+	policy       Policy
+	mode         StreamMode
+	clock        Clock
+	window       window.Spec
+	gridRes      int
+	cells        int
+	pipeDepth    int
+	backpressure Backpressure
 }
 
 // Option configures a Monitor.
@@ -94,6 +135,32 @@ func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 // PartitionData (disjoint stream slices per shard, every query everywhere,
 // router-side top-k merge). It has no effect on single-engine monitors.
 func WithPartitioning(p Partitioning) Option { return func(c *config) { c.partition = p } }
+
+// WithPipeline enables asynchronous pipelined ingestion with the given
+// queue depth (values below 1 select the tuned default). The monitor then
+// accepts batches through Ingest/IngestUpdate without waiting for the
+// processing cycle, delivers each cycle's merged updates in order on the
+// Updates channel, and turns Register/Unregister/Result and the counter
+// reads into barriers, so any interleaving of calls behaves exactly like
+// the same interleaving of synchronous Steps. Step/StepUpdate/Tick are
+// rejected on a pipelined monitor; Flush is the delivery barrier. The
+// Updates channel must be drained (it closes after Close). Results are
+// identical to the synchronous monitor's on the same stream — only the
+// caller no longer waits for them.
+func WithPipeline(depth int) Option {
+	return func(c *config) {
+		if depth < 1 {
+			depth = pipeline.DefaultDepth
+		}
+		c.pipeDepth = depth
+	}
+}
+
+// WithBackpressure selects the pipelined monitor's full-queue behavior:
+// BackpressureBlock (default, lossless) or BackpressureDropOldest
+// (load-shedding, counted in Stats.DroppedBatches). It has no effect
+// without WithPipeline.
+func WithBackpressure(b Backpressure) Option { return func(c *config) { c.backpressure = b } }
 
 // WithPolicy sets the default maintenance policy used by RegisterTopK.
 // Queries registered through Register carry their own policy in the spec.

@@ -20,21 +20,32 @@
 // memory ×shards) and PartitionData (disjoint stream slices per shard,
 // every query on every shard, router-side top-k merge, O(N) total index
 // memory).
+//
+// WithPipeline(depth) additionally decouples ingestion from processing:
+// Ingest enqueues batches without waiting, cycle results arrive in order
+// on the Updates channel, and Flush/Close are delivery barriers — same
+// results again, just asynchronous delivery. See the root package doc for
+// the ordering and backpressure guarantees.
 package topkmon
 
 import (
+	"fmt"
 	"sync"
 
 	"topkmon/internal/core"
+	"topkmon/internal/pipeline"
 	"topkmon/internal/shard"
 )
 
-// Monitor is the public handle to a monitoring engine (single or sharded).
-// A sharded Monitor is safe for concurrent use; a single-engine Monitor
-// (the default) must be driven from one goroutine, like the paper's
-// server. Close releases shard workers; it is a no-op for single engines.
+// Monitor is the public handle to a monitoring engine (single or sharded,
+// synchronous or pipelined). A sharded or pipelined Monitor is safe for
+// concurrent use; a synchronous single-engine Monitor (the default) must
+// be driven from one goroutine, like the paper's server. Close releases
+// shard workers and drains the pipeline; it is a no-op for synchronous
+// single engines.
 type Monitor struct {
 	mon    core.StreamMonitor
+	pipe   *pipeline.Pipeline // non-nil under WithPipeline; then mon == pipe
 	policy Policy
 	shards int
 
@@ -78,7 +89,60 @@ func New(dims int, opts ...Option) (*Monitor, error) {
 		}
 		m.mon = eng
 	}
+	if cfg.pipeDepth > 0 {
+		m.pipe = pipeline.New(m.mon, pipeline.Options{
+			Depth:  cfg.pipeDepth,
+			Policy: pipeline.Policy(cfg.backpressure),
+		})
+		m.mon = m.pipe
+	}
 	return m, nil
+}
+
+// Pipelined reports whether the monitor ingests asynchronously
+// (WithPipeline).
+func (m *Monitor) Pipelined() bool { return m.pipe != nil }
+
+// Ingest enqueues one append-only cycle on a pipelined monitor without
+// waiting for it to be processed; the cycle's updates arrive on the
+// Updates channel. Arrivals must be stamped like Step's. Under the Block
+// backpressure policy a full queue makes Ingest wait; under DropOldest it
+// sheds the oldest queued batch instead.
+func (m *Monitor) Ingest(now int64, arrivals []*Tuple) error {
+	if m.pipe == nil {
+		return fmt.Errorf("topkmon: Ingest requires WithPipeline; use Step")
+	}
+	return m.pipe.Ingest(now, arrivals)
+}
+
+// IngestUpdate is Ingest for the explicit-deletion stream model.
+func (m *Monitor) IngestUpdate(now int64, arrivals []*Tuple, deletions []uint64) error {
+	if m.pipe == nil {
+		return fmt.Errorf("topkmon: IngestUpdate requires WithPipeline; use StepUpdate")
+	}
+	return m.pipe.IngestUpdate(now, arrivals, deletions)
+}
+
+// Updates returns the pipelined monitor's ordered delivery channel: one
+// non-empty []Update per cycle that changed any result, exactly the
+// batches synchronous Step calls would have returned, closed after Close.
+// It returns nil on a synchronous monitor. The channel must be drained;
+// an ignored channel eventually backpressures ingestion.
+func (m *Monitor) Updates() <-chan []Update {
+	if m.pipe == nil {
+		return nil
+	}
+	return m.pipe.Updates()
+}
+
+// Flush blocks until every batch ingested before the call has been
+// applied and its updates handed to the Updates channel, and returns the
+// first cycle error if one occurred. It errors on a synchronous monitor.
+func (m *Monitor) Flush() error {
+	if m.pipe == nil {
+		return fmt.Errorf("topkmon: Flush requires WithPipeline")
+	}
+	return m.pipe.Flush()
 }
 
 // Shards returns the number of engine shards (1 for the single engine).

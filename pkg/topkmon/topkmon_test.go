@@ -272,3 +272,106 @@ func TestUpdateStreamFacade(t *testing.T) {
 		t.Fatalf("unexpected result after deletion: %v", res)
 	}
 }
+
+// TestPipelinedFacade drives the public pipelined surface end to end:
+// Ingest without waiting, ordered delivery on Updates, Flush as the
+// barrier, Result reflecting every ingested batch, and Close closing the
+// channel. The synchronous monitor on the same stream is the oracle.
+func TestPipelinedFacade(t *testing.T) {
+	build := func(opts ...topkmon.Option) *topkmon.Monitor {
+		m, err := topkmon.New(2, append([]topkmon.Option{
+			topkmon.WithCountWindow(500),
+			topkmon.WithShards(3),
+			topkmon.WithTargetCells(16),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	sync := build()
+	defer sync.Close()
+	piped := build(topkmon.WithPipeline(2))
+	if !piped.Pipelined() {
+		t.Fatal("WithPipeline monitor must report Pipelined")
+	}
+	if sync.Pipelined() {
+		t.Fatal("synchronous monitor must not report Pipelined")
+	}
+	if err := sync.Ingest(0, nil); err == nil {
+		t.Fatal("Ingest on a synchronous monitor must fail")
+	}
+	if err := sync.Flush(); err == nil {
+		t.Fatal("Flush on a synchronous monitor must fail")
+	}
+	if sync.Updates() != nil {
+		t.Fatal("Updates on a synchronous monitor must be nil")
+	}
+
+	var delivered [][]topkmon.Update
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for batch := range piped.Updates() {
+			delivered = append(delivered, batch)
+		}
+	}()
+
+	for _, m := range []*topkmon.Monitor{sync, piped} {
+		if _, err := m.RegisterTopK(topkmon.Linear(1, 2), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	genSync := topkmon.NewGenerator(topkmon.IND, 2, 77)
+	genPiped := topkmon.NewGenerator(topkmon.IND, 2, 77)
+	var want [][]topkmon.Update
+	for ts := int64(1); ts <= 30; ts++ {
+		upd, err := sync.Step(ts, genSync.Batch(40, ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(upd) > 0 {
+			want = append(want, upd)
+		}
+		if err := piped.Ingest(ts, genPiped.Batch(40, ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := piped.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := sync.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := piped.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refRes) != len(gotRes) {
+		t.Fatalf("result sizes diverge: %d vs %d", len(refRes), len(gotRes))
+	}
+	for i := range refRes {
+		if refRes[i].T.ID != gotRes[i].T.ID || refRes[i].Score != gotRes[i].Score {
+			t.Fatalf("result %d diverged: %v vs %v", i, refRes[i], gotRes[i])
+		}
+	}
+	if err := piped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-consumerDone
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %d update batches, sync emitted %d", len(delivered), len(want))
+	}
+	for i := range want {
+		if len(delivered[i]) != len(want[i]) {
+			t.Fatalf("batch %d: %d updates vs %d", i, len(delivered[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			w, g := want[i][j], delivered[i][j]
+			if w.Query != g.Query || len(w.Added) != len(g.Added) || len(w.Removed) != len(g.Removed) {
+				t.Fatalf("batch %d update %d diverged: %+v vs %+v", i, j, w, g)
+			}
+		}
+	}
+}
