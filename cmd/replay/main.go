@@ -41,6 +41,8 @@ func main() {
 		shardsFlag    = flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
 		partitionFlag = flag.String("partition", "queries", "sharding layout for -shards > 1: 'queries' or 'data'")
 		pipelineFlag  = flag.Int("pipeline", 0, "async pipelined ingestion queue depth (0 = synchronous Step)")
+		placeFlag     = flag.String("placement", "", "query placement for -shards > 1: 'hash' (default) or 'least-loaded'")
+		rebalFlag     = flag.Int("rebalance", 0, "cost-aware rebalancing interval in cycles (0 = disabled; query partitioning only)")
 		queries       querySpecs
 	)
 	flag.Var(&queries, "query", "query spec 'k=K;w=w1,...,wd[;policy=TMA|SMA]' or 'threshold=T;w=...' (repeatable)")
@@ -72,6 +74,16 @@ func main() {
 		topkmon.WithShards(*shardsFlag), topkmon.WithPartitioning(partition)}
 	if *pipelineFlag > 0 {
 		monOpts = append(monOpts, topkmon.WithPipeline(*pipelineFlag))
+	}
+	if *placeFlag != "" {
+		p, err := topkmon.ParsePlacement(*placeFlag)
+		if err != nil {
+			fatal(err)
+		}
+		monOpts = append(monOpts, topkmon.WithPlacement(p))
+	}
+	if *rebalFlag > 0 {
+		monOpts = append(monOpts, topkmon.WithRebalance(*rebalFlag, 0))
 	}
 	mon, err := topkmon.New(*dimsFlag, monOpts...)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"topkmon/internal/harness"
 	"topkmon/internal/stream"
@@ -34,6 +35,12 @@ func main() {
 		shardsFlag    = flag.Int("shards", 1, "engine shards (grid algorithms; >1 runs the concurrent sharded engine)")
 		partitionFlag = flag.String("partition", "queries", "sharding layout for -shards > 1: 'queries' or 'data'")
 		pipelineFlag  = flag.Int("pipeline", 0, "async pipelined ingestion queue depth (grid algorithms; 0 = synchronous Step)")
+		pipeMaxFlag   = flag.Int("pipeline-max", 0, "adaptive pipeline depth ceiling (> -pipeline grows the queue under burst)")
+		placeFlag     = flag.String("placement", "", "query placement for -shards > 1: 'hash' (default) or 'least-loaded'")
+		rebalFlag     = flag.Int("rebalance", 0, "cost-aware rebalancing interval in cycles (0 = disabled; query partitioning only)")
+		rebalThrFlag  = flag.Float64("rebalance-threshold", 0, "max/mean cost ratio triggering migrations (0 = default 1.2)")
+		zipfFlag      = flag.Float64("zipf-k", 0, "draw per-query k from 1+Zipf(s) capped at 4k (skewed query costs; 0 = uniform k)")
+		statsFlag     = flag.Int("stats-every", 0, "print per-shard load stats every this many cycles (0 = off)")
 		seedFlag      = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -59,26 +66,47 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := harness.Config{
-		Algo:          algo,
-		Dist:          dist,
-		Func:          fk,
-		Dims:          *dimsFlag,
-		N:             *nFlag,
-		R:             *rFlag,
-		Q:             *qFlag,
-		K:             *kFlag,
-		Cycles:        *cyclesFlag,
-		TargetCells:   *cellsFlag,
-		GridRes:       *resFlag,
-		KMax:          *kmaxFlag,
-		Shards:        *shardsFlag,
-		DataPartition: partition == topkmon.PartitionData,
-		Pipeline:      *pipelineFlag,
-		Seed:          *seedFlag,
+		Algo:               algo,
+		Dist:               dist,
+		Func:               fk,
+		Dims:               *dimsFlag,
+		N:                  *nFlag,
+		R:                  *rFlag,
+		Q:                  *qFlag,
+		K:                  *kFlag,
+		Cycles:             *cyclesFlag,
+		TargetCells:        *cellsFlag,
+		GridRes:            *resFlag,
+		KMax:               *kmaxFlag,
+		Shards:             *shardsFlag,
+		DataPartition:      partition == topkmon.PartitionData,
+		Pipeline:           *pipelineFlag,
+		PipelineMax:        *pipeMaxFlag,
+		Placement:          *placeFlag,
+		RebalanceInterval:  *rebalFlag,
+		RebalanceThreshold: *rebalThrFlag,
+		ZipfK:              *zipfFlag,
+		Seed:               *seedFlag,
 	}
 	if (cfg.Shards > 1 || cfg.Pipeline > 0) && algo == harness.AlgoTSL {
 		fmt.Fprintln(os.Stderr, "topkmon: -shards and -pipeline apply to the grid algorithms only (TMA/SMA)")
 		os.Exit(2)
+	}
+	if (cfg.Placement != "" || cfg.RebalanceInterval > 0) && (cfg.Shards <= 1 || cfg.DataPartition) {
+		fmt.Fprintln(os.Stderr, "topkmon: -placement and -rebalance require -shards > 1 with -partition=queries")
+		os.Exit(2)
+	}
+	if *statsFlag > 0 {
+		cfg.ProgressEvery = *statsFlag
+		cfg.Progress = func(cycle int, loads []harness.ShardLoad) {
+			fmt.Printf("  cycle %d loads:", cycle)
+			for _, l := range loads {
+				fmt.Printf(" s%d[q=%d ewma=%s cost=%d mem=%s]",
+					l.Shard, l.Queries, harness.FormatDuration(time.Duration(l.EWMACycleNS)),
+					l.Cost, harness.FormatMB(l.MemoryBytes))
+			}
+			fmt.Println()
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -102,5 +130,13 @@ func main() {
 	}
 	if res.AvgAuxSize > 0 {
 		fmt.Printf("  avg view/skyband:     %.1f entries per query\n", res.AvgAuxSize)
+	}
+	if res.MaxShardCycleNS > 0 {
+		fmt.Printf("  shard cycle max/mean: %s / %s\n",
+			harness.FormatDuration(time.Duration(res.MaxShardCycleNS)),
+			harness.FormatDuration(time.Duration(res.MeanShardCycleNS)))
+	}
+	if res.Migrations > 0 {
+		fmt.Printf("  query migrations:     %d\n", res.Migrations)
 	}
 }

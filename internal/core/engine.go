@@ -57,6 +57,14 @@ type query struct {
 	// Reporting state: the result as last reported to the client.
 	lastIDs map[uint64]Entry
 	dirty   bool
+
+	// cost accumulates the maintenance work attributed to this query:
+	// influence events examined, cells processed and heap operations of its
+	// from-scratch computations, and cells visited by its pruning walks.
+	// It is deterministic for a given stream — the same replay attributes
+	// the same cost — which is what lets the shard rebalancer make
+	// reproducible decisions from it. Migration carries it along.
+	cost int64
 }
 
 // Engine is the grid-based continuous monitoring engine. It is not safe
@@ -142,11 +150,12 @@ func (e *Engine) NumPoints() int { return e.g.NumPoints() }
 // NumQueries returns the number of registered queries.
 func (e *Engine) NumQueries() int { return len(e.queries) }
 
-// Stats returns a snapshot of the engine counters. CellsProcessed is read
-// from the searcher.
+// Stats returns a snapshot of the engine counters. CellsProcessed and
+// HeapOps are read from the searcher.
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.CellsProcessed = e.s.CellsProcessed
+	s.HeapOps = e.s.HeapOps
 	return s
 }
 
@@ -192,7 +201,9 @@ func (e *Engine) Register(spec QuerySpec) (QueryID, error) {
 	// Initial result computation (Figure 6), registering influence lists
 	// over the processed cells.
 	if q.kind == thresholdKind {
+		work := e.s.CellsProcessed
 		entries, processed := e.s.Threshold(spec.F, *spec.Threshold, spec.Constraint)
+		q.cost += e.s.CellsProcessed - work
 		for _, idx := range processed {
 			e.g.AddInfluence(idx, q.id)
 		}
@@ -441,6 +452,7 @@ func (e *Engine) insertTuple(t *stream.Tuple) {
 			return true
 		}
 		e.stats.InfluenceEvents++
+		q.cost++
 		e.handleInsert(q, t)
 		return true
 	})
@@ -459,6 +471,7 @@ func (e *Engine) expireTuple(t *stream.Tuple) {
 			return true
 		}
 		e.stats.InfluenceEvents++
+		q.cost++
 		e.handleExpire(q, t)
 		return true
 	})
@@ -598,7 +611,9 @@ func (e *Engine) finishCycle() []Update {
 // one (Figure 9 lines 13-21).
 func (e *Engine) computeFromScratch(q *query) {
 	e.stats.Recomputes++
+	work := e.s.CellsProcessed + e.s.HeapOps
 	res := e.s.TopK(topk.Request{F: q.spec.F, K: q.spec.K, Constraint: q.spec.Constraint})
+	q.cost += e.s.CellsProcessed + e.s.HeapOps - work
 
 	if q.spec.Policy == SMA {
 		in := make([]skyband.Entry, len(res.Top))
@@ -658,6 +673,8 @@ func (e *Engine) walkInfluence(q *query, seeds []int) {
 	for len(queue) > 0 {
 		idx := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
+		e.stats.CellsWalked++
+		q.cost++
 		if !e.g.RemoveInfluence(idx, q.id) {
 			continue
 		}

@@ -24,6 +24,11 @@ type QueryInfo struct {
 	// InfluenceCells counts the grid cells currently holding an entry for
 	// this query (the O(C) bookkeeping term of Section 6).
 	InfluenceCells int
+	// Cost is the maintenance work attributed to this query so far:
+	// influence events examined plus the cells/heap operations of its
+	// from-scratch computations and pruning walks. Deterministic for a
+	// given stream; the shard rebalancer's input.
+	Cost int64
 }
 
 // Queries returns a snapshot of every registered query, ordered by id.
@@ -45,6 +50,7 @@ func (e *Engine) Queries() []QueryInfo {
 			Kind:           "topk",
 			InfluenceCells: perQuery[id],
 			TopScore:       q.topScore,
+			Cost:           q.cost,
 		}
 		if math.IsInf(q.topScore, -1) {
 			info.TopScore = math.NaN()

@@ -238,6 +238,13 @@ type Stats struct {
 	InitialComputations int64
 	// CellsProcessed counts de-heaped cells across all computations.
 	CellsProcessed int64
+	// HeapOps counts cell-heap pushes and pops across all top-k
+	// computations — with CellsProcessed, the per-computation work measure
+	// behind per-query cost attribution (shard rebalancing).
+	HeapOps int64
+	// CellsWalked counts cells visited by influence-list pruning walks
+	// (after recomputations and at query termination).
+	CellsWalked int64
 	// SkybandSizeSum / SkybandSamples track the per-cycle skyband sizes of
 	// SMA queries (Table 2).
 	SkybandSizeSum int64
@@ -248,6 +255,13 @@ type Stats struct {
 	// under the drop-oldest backpressure policy (internal/pipeline). The
 	// synchronous engines never drop and always report zero.
 	DroppedBatches int64
+	// QueueHighWater is the largest number of batches a pipelined monitor
+	// ever held queued at once (internal/pipeline adaptive depth). The
+	// synchronous engines always report zero.
+	QueueHighWater int64
+	// Migrations counts live query migrations executed by a rebalancing
+	// sharded monitor (internal/shard). Zero elsewhere.
+	Migrations int64
 }
 
 // AvgSkybandSize returns the average skyband cardinality per SMA query per

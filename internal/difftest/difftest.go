@@ -67,9 +67,13 @@ func (s Scenario) String() string {
 }
 
 // randSpec draws one query spec: TMA, SMA (append-only only), constrained
-// or threshold, with random k and scoring function.
-func randSpec(rng *rand.Rand, qg *stream.QueryGenerator, dims int, mode core.StreamMode) core.QuerySpec {
-	spec := core.QuerySpec{F: qg.Next(), K: 1 + rng.Intn(10)}
+// or threshold, with Zipf-distributed k and scoring function. The Zipf k
+// (most queries tiny, a heavy tail up to 64) plus the occasional
+// low-threshold query below give scenarios genuinely skewed per-query
+// costs — without them query costs are near-uniform and hot-shard
+// rebalancing would never trigger, let alone be testable.
+func randSpec(rng *rand.Rand, zipf *rand.Zipf, qg *stream.QueryGenerator, dims int, mode core.StreamMode) core.QuerySpec {
+	spec := core.QuerySpec{F: qg.Next(), K: 1 + int(zipf.Uint64())}
 	switch rng.Intn(4) {
 	case 0:
 		spec.Policy = core.TMA
@@ -100,6 +104,12 @@ func randSpec(rng *rand.Rand, qg *stream.QueryGenerator, dims int, mode core.Str
 		spec.Constraint = &r
 	case 3:
 		thr := 0.4 + rng.Float64()*float64(dims)*0.4
+		if rng.Intn(4) == 0 {
+			// Influence-volume skew: a near-zero threshold covers most of
+			// the workspace, making this one query's maintenance cost dwarf
+			// the others' — the hot-shard scenario.
+			thr = 0.02 + rng.Float64()*0.2
+		}
 		spec.Threshold = &thr
 	}
 	return spec
@@ -128,8 +138,11 @@ func GenScenario(seed int64) Scenario {
 	}
 	s.Prefill = 50 + rng.Intn(250)
 	qg := stream.NewQueryGenerator(stream.FunctionKind(rng.Intn(4)), s.Dims, seed+1)
+	// k ~ 1 + Zipf(1.4) capped at 64: mostly small, a heavy tail of
+	// expensive queries.
+	zipf := rand.NewZipf(rng, 1.4, 1, 63)
 	for i, n := 0, 3+rng.Intn(8); i < n; i++ {
-		s.Initial = append(s.Initial, randSpec(rng, qg, s.Dims, s.Mode))
+		s.Initial = append(s.Initial, randSpec(rng, zipf, qg, s.Dims, s.Mode))
 	}
 
 	// Precompute the churn and deletion schedules by simulating the
@@ -156,7 +169,7 @@ func GenScenario(seed int64) Scenario {
 			liveQ = append(liveQ[:j], liveQ[j+1:]...)
 		}
 		if rng.Intn(4) == 0 {
-			ops.Register = append(ops.Register, randSpec(rng, qg, s.Dims, s.Mode))
+			ops.Register = append(ops.Register, randSpec(rng, zipf, qg, s.Dims, s.Mode))
 			liveQ = append(liveQ, nextQ)
 			nextQ++
 		}
@@ -257,6 +270,12 @@ type ReplayConfig struct {
 	// CheckInvariants runs the influence-list invariant checker after
 	// every cycle when the monitor exposes one.
 	CheckInvariants bool
+	// PostCycle, when non-nil, runs after every processing cycle (before
+	// the invariant check) with the cycle index and the ids of the live
+	// queries (read-only). The rebalancing differential mode uses it to
+	// force live query migrations mid-run — migrations must never change a
+	// transcript, and this is where that promise is exercised.
+	PostCycle func(cycle int, live []core.QueryID) error
 }
 
 // Ingester is the pipelined ingestion surface of internal/pipeline,
@@ -357,6 +376,11 @@ func Replay(mon core.StreamMonitor, s Scenario, cfg ReplayConfig) (Transcript, e
 			return tr, fmt.Errorf("cycle %d: %w", c, err)
 		}
 		record(updates)
+		if cfg.PostCycle != nil {
+			if err := cfg.PostCycle(c, live); err != nil {
+				return tr, fmt.Errorf("cycle %d post-cycle: %w", c, err)
+			}
+		}
 		if cfg.CheckInvariants {
 			if chk, ok := mon.(interface{ CheckInfluence() error }); ok {
 				if err := chk.CheckInfluence(); err != nil {

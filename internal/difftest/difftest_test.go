@@ -11,10 +11,35 @@ import (
 
 // execMode is one execution mode under differential test: a constructor
 // producing a fresh monitor (and, for pipelined modes, its ingestion
-// surface) for a scenario.
+// surface) for a scenario. forceMigrate additionally drives a live query
+// migration after every cycle — the monitor must support MigrateQuery.
 type execMode struct {
-	name  string
-	build func(opts core.Options) (core.StreamMonitor, Ingester, error)
+	name         string
+	build        func(opts core.Options) (core.StreamMonitor, Ingester, error)
+	forceMigrate bool
+}
+
+// diffShards is the shard count of every sharded differential mode.
+const diffShards = 3
+
+// migrator is the live-migration surface shared by shard.Sharded and the
+// pipelined wrapper.
+type migrator interface {
+	MigrateQuery(id core.QueryID, target int) error
+}
+
+// forceMigrations rotates one live query to a new shard after every cycle,
+// so every scenario exercises export → import → route-swap on whatever
+// query state the cycle just produced (mid-window top-k lists, partially
+// drained skybands, threshold sets).
+func forceMigrations(m migrator) func(cycle int, live []core.QueryID) error {
+	return func(cycle int, live []core.QueryID) error {
+		if len(live) == 0 {
+			return nil
+		}
+		id := live[cycle%len(live)]
+		return m.MigrateQuery(id, (cycle+int(id))%diffShards)
+	}
 }
 
 // wrapPipe wraps a monitor constructor in a pipeline with a small depth
@@ -45,18 +70,34 @@ func dataShardedBuild(n int) func(core.Options) (core.StreamMonitor, error) {
 	return func(opts core.Options) (core.StreamMonitor, error) { return shard.NewData(opts, n) }
 }
 
+// rebalancedBuild runs the query-partitioned monitor with least-loaded
+// placement and an aggressive auto-rebalancer (every 2 cycles, threshold
+// barely above balanced), so the cost-attribution, trigger and greedy-move
+// machinery all run on real scenarios — on top of the forced per-cycle
+// migrations the mode adds.
+func rebalancedBuild(n int) func(core.Options) (core.StreamMonitor, error) {
+	return func(opts core.Options) (core.StreamMonitor, error) {
+		return shard.NewWithConfig(opts, n, shard.Config{
+			Placement: shard.LeastLoadedPlacement{},
+			Rebalance: shard.RebalanceConfig{Interval: 2, Threshold: 1.05, MaxMoves: 8},
+		})
+	}
+}
+
 // allModes is the full differential matrix: every synchronous execution
 // mode and the pipelined wrapper over each. The pipelined modes must
 // deliver the exact per-query Update sequence of their synchronous
 // counterparts, which in turn must match the naive reference.
 func allModes() []execMode {
 	return []execMode{
-		{"engine", sync(engineBuild)},
-		{"query-sharded-3", sync(shardedBuild(3))},
-		{"data-sharded-3", sync(dataShardedBuild(3))},
-		{"pipelined-engine", wrapPipe(engineBuild, pipeline.Block)},
-		{"pipelined-query-sharded-3", wrapPipe(shardedBuild(3), pipeline.Block)},
-		{"pipelined-data-sharded-3", wrapPipe(dataShardedBuild(3), pipeline.Block)},
+		{name: "engine", build: sync(engineBuild)},
+		{name: "query-sharded-3", build: sync(shardedBuild(diffShards))},
+		{name: "data-sharded-3", build: sync(dataShardedBuild(diffShards))},
+		{name: "rebalanced-query-sharded-3", build: sync(rebalancedBuild(diffShards)), forceMigrate: true},
+		{name: "pipelined-engine", build: wrapPipe(engineBuild, pipeline.Block)},
+		{name: "pipelined-query-sharded-3", build: wrapPipe(shardedBuild(diffShards), pipeline.Block)},
+		{name: "pipelined-data-sharded-3", build: wrapPipe(dataShardedBuild(diffShards), pipeline.Block)},
+		{name: "pipelined-rebalanced-query-sharded-3", build: wrapPipe(rebalancedBuild(diffShards), pipeline.Block), forceMigrate: true},
 	}
 }
 
@@ -82,6 +123,9 @@ func runDifferential(t *testing.T, seed int64, checkInvariants bool) {
 			t.Fatalf("%v: build %s: %v", s, m.name, err)
 		}
 		cfg := ReplayConfig{Ingester: ing, CheckInvariants: checkInvariants && ing == nil}
+		if m.forceMigrate {
+			cfg.PostCycle = forceMigrations(mon.(migrator))
+		}
 		got, err := Replay(mon, s, cfg)
 		if cerr := mon.Close(); err == nil {
 			err = cerr

@@ -11,6 +11,7 @@ package harness
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"topkmon/internal/core"
@@ -20,6 +21,10 @@ import (
 	"topkmon/internal/tsl"
 	"topkmon/internal/window"
 )
+
+// ShardLoad re-exports the shard package's per-shard load figure for the
+// commands' Progress callbacks.
+type ShardLoad = shard.ShardLoad
 
 // Algo identifies one of the three compared algorithms.
 type Algo int
@@ -101,7 +106,31 @@ type Config struct {
 	// ingestion, cycles and delivery overlapped. Zero measures the
 	// synchronous Step loop. Grid algorithms only.
 	Pipeline int
-	Seed     int64
+	// PipelineMax, when greater than Pipeline, lets the ingest queue grow
+	// adaptively under burst up to this bound (see pipeline.Options).
+	PipelineMax int
+	// ZipfK, when > 1, draws each query's k from 1 + Zipf(ZipfK) capped at
+	// 4×K instead of the uniform K — the skewed per-query-cost workload
+	// the rebalance sweep needs (a few expensive queries among many cheap
+	// ones).
+	ZipfK float64
+	// Placement names the query placement policy for query-partitioned
+	// sharded runs: "hash" (default) or "least-loaded".
+	Placement string
+	// RebalanceInterval, when positive, enables cost-aware rebalancing
+	// with live query migration every this many cycles (query-partitioned
+	// sharded runs only).
+	RebalanceInterval int
+	// RebalanceThreshold is the max/mean imbalance ratio that triggers
+	// migrations (0 = the shard package default).
+	RebalanceThreshold float64
+	// Progress, when non-nil with ProgressEvery > 0, is invoked every
+	// ProgressEvery measured cycles with the monitor's current per-shard
+	// loads (nil for unsharded monitors). On a pipelined run the load read
+	// is a barrier, so frequent progress sampling costs overlap.
+	Progress      func(cycle int, loads []shard.ShardLoad)
+	ProgressEvery int
+	Seed          int64
 }
 
 // withDefaults fills derived fields.
@@ -133,6 +162,12 @@ func (c Config) Validate() error {
 	case c.K <= 0:
 		return fmt.Errorf("harness: K=%d", c.K)
 	}
+	// Mirror pkg/topkmon: placement and rebalancing only exist on the
+	// query-partitioned sharded monitor. Silently dropping them would let
+	// a sweep publish a no-op comparison as a result.
+	if (c.Placement != "" || c.RebalanceInterval > 0) && (c.Shards <= 1 || c.DataPartition) {
+		return fmt.Errorf("harness: Placement/RebalanceInterval require Shards > 1 with query partitioning")
+	}
 	return nil
 }
 
@@ -150,6 +185,19 @@ type Result struct {
 	// the full index on every shard — while data partitioning drops it to
 	// O(N/shards).
 	MaxShardSpaceBytes int64
+	// MaxShardCycleNS / MeanShardCycleNS are the hottest and the average
+	// shard's EWMA per-cycle wall time at the end of the run (sharded
+	// monitors only; zero otherwise). Their ratio is the load imbalance
+	// the rebalance sweep measures.
+	MaxShardCycleNS  int64
+	MeanShardCycleNS int64
+	// MaxShardCost / MeanShardCost are the same imbalance in attributed
+	// query cost — deterministic (event counters, not wall time), so the
+	// rebalance sweep's headline figure is reproducible run to run.
+	MaxShardCost  int64
+	MeanShardCost int64
+	// Migrations counts live query migrations executed by the rebalancer.
+	Migrations int64
 	// Recomputes / Refills count from-scratch computations during
 	// maintenance (engine recomputations or TSL view refills).
 	Recomputes int64
@@ -203,7 +251,19 @@ func NewMonitor(cfg Config) (core.Monitor, *stream.Generator, int64, error) {
 			}
 			mon = s
 		} else if cfg.Shards > 1 {
-			s, err := shard.New(opts, cfg.Shards)
+			var shardCfg shard.Config
+			if cfg.Placement != "" {
+				p, err := shard.ParsePlacement(cfg.Placement)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				shardCfg.Placement = p
+			}
+			shardCfg.Rebalance = shard.RebalanceConfig{
+				Interval:  cfg.RebalanceInterval,
+				Threshold: cfg.RebalanceThreshold,
+			}
+			s, err := shard.NewWithConfig(opts, cfg.Shards, shardCfg)
 			if err != nil {
 				return nil, nil, 0, err
 			}
@@ -230,13 +290,37 @@ func NewMonitor(cfg Config) (core.Monitor, *stream.Generator, int64, error) {
 		policy = core.SMA
 	}
 	qg := stream.NewQueryGenerator(cfg.Func, cfg.Dims, cfg.Seed+1)
+	// Zipf-skewed k: most queries far below K, a heavy tail up to 4×K, so
+	// per-query costs vary orders of magnitude — the workload where
+	// placement matters.
+	var zipf *rand.Zipf
+	if cfg.ZipfK > 1 {
+		zipf = rand.NewZipf(rand.New(rand.NewSource(cfg.Seed+2)), cfg.ZipfK, 1, uint64(4*cfg.K-1))
+	}
 	for i := 0; i < cfg.Q; i++ {
-		spec := core.QuerySpec{F: qg.Next(), K: cfg.K, Policy: policy}
+		k := cfg.K
+		if zipf != nil {
+			k = 1 + int(zipf.Uint64())
+		}
+		spec := core.QuerySpec{F: qg.Next(), K: k, Policy: policy}
 		if _, err := mon.Register(spec); err != nil {
 			return nil, nil, 0, err
 		}
 	}
 	return mon, gen, 1, nil
+}
+
+// progress fires the configured Progress callback after cycle c (0-based)
+// when it is due, handing it the monitor's current shard loads.
+func (c Config) progress(cycle int, mon core.Monitor) {
+	if c.Progress == nil || c.ProgressEvery <= 0 || (cycle+1)%c.ProgressEvery != 0 {
+		return
+	}
+	var loads []shard.ShardLoad
+	if sl, ok := mon.(interface{ ShardLoads() []shard.ShardLoad }); ok {
+		loads = sl.ShardLoads()
+	}
+	c.Progress(cycle+1, loads)
 }
 
 // Run executes one full experiment run and collects measurements.
@@ -260,7 +344,7 @@ func Run(cfg Config) (Result, error) {
 		// a consumer goroutine, ingest without waiting, and close the run
 		// with the Flush barrier so every cycle is applied and delivered
 		// inside the measured span.
-		p := pipeline.New(mon.(core.StreamMonitor), pipeline.Options{Depth: cfg.Pipeline})
+		p := pipeline.New(mon.(core.StreamMonitor), pipeline.Options{Depth: cfg.Pipeline, MaxDepth: cfg.PipelineMax})
 		consumerDone := p.Drain()
 		// Close is idempotent: the stats epilogue below closes the monitor
 		// too, this deferred close only covers error returns and joins the
@@ -272,6 +356,7 @@ func Run(cfg Config) (Result, error) {
 				return res, err
 			}
 			ts++
+			cfg.progress(c, p)
 		}
 		if err := p.Flush(); err != nil {
 			return res, err
@@ -285,6 +370,7 @@ func Run(cfg Config) (Result, error) {
 				return res, err
 			}
 			ts++
+			cfg.progress(c, mon)
 		}
 		runTime = time.Since(t1)
 	}
@@ -297,6 +383,23 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 	}
+	if sl, ok := mon.(interface{ ShardLoads() []shard.ShardLoad }); ok {
+		if loads := sl.ShardLoads(); len(loads) > 0 {
+			var nsSum, costSum int64
+			for _, l := range loads {
+				if l.EWMACycleNS > res.MaxShardCycleNS {
+					res.MaxShardCycleNS = l.EWMACycleNS
+				}
+				nsSum += l.EWMACycleNS
+				if l.Cost > res.MaxShardCost {
+					res.MaxShardCost = l.Cost
+				}
+				costSum += l.Cost
+			}
+			res.MeanShardCycleNS = nsSum / int64(len(loads))
+			res.MeanShardCost = costSum / int64(len(loads))
+		}
+	}
 
 	// The grid engines — single or sharded — share the core.Stats shape;
 	// the sharded monitor aggregates its per-shard counters before
@@ -307,6 +410,7 @@ func Run(cfg Config) (Result, error) {
 		res.Recomputes = s.Recomputes
 		res.CellsProcessed = s.CellsProcessed
 		res.AvgAuxSize = s.AvgSkybandSize()
+		res.Migrations = s.Migrations
 		_ = m.Close()
 	case *tsl.Monitor:
 		s := m.Stats()

@@ -107,6 +107,15 @@ type Options struct {
 	// depth (shard.jobQueueDepth), so raising Depth past that widens only
 	// the router-side buffers. Zero means DefaultDepth.
 	Depth int
+	// MaxDepth enables adaptive depth: when greater than Depth, the ingest
+	// queue grows under sustained burst — each time a producer hits the
+	// current bound the capacity doubles, up to MaxDepth, so reaching the
+	// maximum requires the burst to persist across every doubling — and
+	// shrinks back toward Depth (halving) whenever the runner fully drains
+	// the queue, restoring the latency bound between bursts. The largest
+	// occupancy ever reached is reported in Stats.QueueHighWater. Zero or
+	// anything <= Depth keeps the queue fixed at Depth.
+	MaxDepth int
 	// Policy selects the backpressure behavior. Default Block.
 	Policy Policy
 }
@@ -151,9 +160,10 @@ type delivery struct {
 // core.StreamMonitor — Step/StepUpdate excepted, which return an error
 // directing callers to Ingest — and is safe for concurrent use.
 type Pipeline struct {
-	mon    core.StreamMonitor
-	depth  int
-	policy Policy
+	mon      core.StreamMonitor
+	depth    int
+	maxDepth int
+	policy   Policy
 
 	// mu guards the ingest queue, the closed flag and the recorded error;
 	// cond wakes blocked producers and the runner.
@@ -161,10 +171,14 @@ type Pipeline struct {
 	cond    *sync.Cond
 	queue   []*job
 	batches int // batch jobs currently queued (control jobs are exempt)
-	closed  bool
-	err     error // first cycle error; sticky
+	// effDepth is the current queue bound: depth normally, grown toward
+	// maxDepth under burst and shrunk back on drain (see Options.MaxDepth).
+	effDepth int
+	closed   bool
+	err      error // first cycle error; sticky
 
-	dropped atomic.Int64
+	dropped   atomic.Int64
+	highWater atomic.Int64
 
 	deliveries chan delivery
 	out        chan []core.Update
@@ -183,12 +197,20 @@ func New(mon core.StreamMonitor, opts Options) *Pipeline {
 	if depth <= 0 {
 		depth = DefaultDepth
 	}
+	maxDepth := opts.MaxDepth
+	if maxDepth < depth {
+		maxDepth = depth
+	}
 	p := &Pipeline{
-		mon:           mon,
-		depth:         depth,
-		policy:        opts.Policy,
-		deliveries:    make(chan delivery, depth),
-		out:           make(chan []core.Update, depth),
+		mon:      mon,
+		depth:    depth,
+		maxDepth: maxDepth,
+		effDepth: depth,
+		policy:   opts.Policy,
+		// The delivery buffers are sized for the maximum: adaptive growth
+		// only moves the ingest bound, never reallocates channels.
+		deliveries:    make(chan delivery, maxDepth),
+		out:           make(chan []core.Update, maxDepth),
 		delivererDone: make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -197,8 +219,23 @@ func New(mon core.StreamMonitor, opts Options) *Pipeline {
 	return p
 }
 
-// Depth returns the configured queue depth.
+// Depth returns the configured (base) queue depth.
 func (p *Pipeline) Depth() int { return p.depth }
+
+// MaxDepth returns the adaptive-depth ceiling (equal to Depth when the
+// queue is fixed).
+func (p *Pipeline) MaxDepth() int { return p.maxDepth }
+
+// CurrentDepth returns the queue bound currently in effect: Depth unless a
+// burst has grown it.
+func (p *Pipeline) CurrentDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.effDepth
+}
+
+// HighWater returns the largest number of batches ever queued at once.
+func (p *Pipeline) HighWater() int64 { return p.highWater.Load() }
 
 // Policy returns the configured backpressure policy.
 func (p *Pipeline) Policy() Policy { return p.policy }
@@ -249,8 +286,19 @@ func (p *Pipeline) enqueueBatch(j *job) error {
 		if p.err != nil {
 			return p.err
 		}
-		if p.batches < p.depth {
+		if p.batches < p.effDepth {
 			break
+		}
+		// Adaptive depth: absorb the burst by doubling the bound instead of
+		// blocking or shedding, until the ceiling is reached. A sustained
+		// burst keeps refilling the doubled queue and climbs the ladder; a
+		// one-off spike grows a single step and shrinks back on drain.
+		if p.effDepth < p.maxDepth {
+			p.effDepth *= 2
+			if p.effDepth > p.maxDepth {
+				p.effDepth = p.maxDepth
+			}
+			continue
 		}
 		if p.policy == DropOldest {
 			for i, q := range p.queue {
@@ -266,6 +314,9 @@ func (p *Pipeline) enqueueBatch(j *job) error {
 		p.cond.Wait()
 	}
 	p.batches++
+	if hw := int64(p.batches); hw > p.highWater.Load() {
+		p.highWater.Store(hw)
+	}
 	p.queue = append(p.queue, j)
 	p.cond.Broadcast()
 	return nil
@@ -316,6 +367,15 @@ func (p *Pipeline) runner() {
 		p.queue = p.queue[:len(p.queue)-1]
 		if j.isBatch {
 			p.batches--
+			// Shrink a burst-grown queue back toward the configured depth
+			// whenever the runner fully catches up: the burst is over, and
+			// the smaller bound restores the ingest-to-result latency cap.
+			if p.batches == 0 && p.effDepth > p.depth {
+				p.effDepth /= 2
+				if p.effDepth < p.depth {
+					p.effDepth = p.depth
+				}
+			}
 		}
 		failed := p.err != nil
 		p.cond.Broadcast()
@@ -517,11 +577,12 @@ func (p *Pipeline) Result(id core.QueryID) ([]core.Entry, error) {
 }
 
 // Stats implements core.StreamMonitor as a barrier read, adding the
-// pipeline's shed-batch counter.
+// pipeline's shed-batch counter and queue high-water mark.
 func (p *Pipeline) Stats() core.Stats {
 	var s core.Stats
 	p.read(func() { s = p.mon.Stats() })
 	s.DroppedBatches = p.dropped.Load()
+	s.QueueHighWater = p.highWater.Load()
 	return s
 }
 
@@ -543,6 +604,40 @@ func (p *Pipeline) ShardMemoryBytes() []int64 {
 		}
 	})
 	return per
+}
+
+// ShardLoads forwards a sharded wrapped monitor's per-shard load figures
+// as a barrier read (nil for unsharded monitors), so load observability
+// survives pipelining.
+func (p *Pipeline) ShardLoads() []shard.ShardLoad {
+	var per []shard.ShardLoad
+	p.read(func() {
+		if sh, ok := p.mon.(interface{ ShardLoads() []shard.ShardLoad }); ok {
+			per = sh.ShardLoads()
+		}
+	})
+	return per
+}
+
+// MigrateQuery forwards a live-migration request to a wrapped
+// query-partitioned sharded monitor as a barrier: every previously
+// ingested batch is applied first, then the move executes at the cycle
+// boundary (the wrapped monitor additionally drains its own shard queues).
+// Monitors without migration support report an error.
+func (p *Pipeline) MigrateQuery(id core.QueryID, target int) error {
+	var err error
+	if cerr := p.call(func() {
+		if m, ok := p.mon.(interface {
+			MigrateQuery(core.QueryID, int) error
+		}); ok {
+			err = m.MigrateQuery(id, target)
+		} else {
+			err = fmt.Errorf("pipeline: wrapped monitor does not support query migration")
+		}
+	}); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // NumPoints implements core.StreamMonitor as a barrier read.

@@ -513,3 +513,159 @@ func TestCloseReleasesBlockedProducer(t *testing.T) {
 	}
 	<-done
 }
+
+// TestAdaptiveDepthGrows: with MaxDepth set, a producer facing a stalled
+// monitor never blocks until the ceiling — the queue doubles under the
+// burst — and the high-water mark records the peak occupancy.
+func TestAdaptiveDepthGrows(t *testing.T) {
+	g := newGateMon()
+	p := New(g, Options{Depth: 2, MaxDepth: 8})
+	_, done := collect(p)
+
+	// 8 batches with the monitor fully stalled: a fixed depth-2 queue
+	// would block on the third Ingest; adaptive growth must absorb all 8
+	// (the runner holds the 9th... the runner dequeues one batch into the
+	// stalled Step, so up to depth+1 are in flight; stay at the ceiling).
+	for ts := int64(1); ts <= 8; ts++ {
+		if err := p.Ingest(ts, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := p.CurrentDepth(); d != 8 {
+		t.Fatalf("queue did not grow to the ceiling: depth %d", d)
+	}
+	if hw := p.HighWater(); hw < 7 {
+		t.Fatalf("high-water mark %d, want >= 7", hw)
+	}
+
+	// Drain: the monitor catches up, the queue empties, and the bound
+	// shrinks back toward the configured depth.
+	g.release(8)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.CurrentDepth(); d > 4 {
+		t.Fatalf("queue did not shrink after drain: depth %d", d)
+	}
+	if s := p.Stats(); s.QueueHighWater < 7 {
+		t.Fatalf("Stats.QueueHighWater = %d, want >= 7", s.QueueHighWater)
+	}
+	g.release(1024)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestFixedDepthUnchanged: without MaxDepth the queue stays at Depth — the
+// producer blocks once the queue (plus the runner's in-flight batch) is
+// full. The adaptive path must not leak into the default configuration.
+func TestFixedDepthUnchanged(t *testing.T) {
+	g := newGateMon()
+	p := New(g, Options{Depth: 2})
+	_, done := collect(p)
+	// The runner dequeues one batch into the stalled Step, so depth+1
+	// ingests are absorbed; the next must block.
+	for ts := int64(1); ts <= 3; ts++ {
+		if err := p.Ingest(ts, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		if err := p.Ingest(4, nil); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("Ingest past the fixed bound should have blocked at depth 2")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.release(1024)
+	<-blocked
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.CurrentDepth(); d != 2 {
+		t.Fatalf("fixed depth changed to %d", d)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestMigrationThroughPipeline: live query migrations issued through the
+// pipeline barrier while ingestion runs, against a rebalancing sharded
+// monitor — the ISSUE's migration-under-concurrency surface end to end.
+// CheckInfluence (a barrier too) verifies every engine between cycles.
+func TestMigrationThroughPipeline(t *testing.T) {
+	const shards = 3
+	mon, err := shard.NewWithConfig(
+		core.Options{Dims: 3, Window: window.Count(900), TargetCells: 64},
+		shards,
+		shard.Config{Rebalance: shard.RebalanceConfig{Interval: 4, Threshold: 1.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(mon, Options{Depth: 3, MaxDepth: 12})
+	_, done := collect(p)
+
+	gen := stream.NewGenerator(stream.IND, 3, 21)
+	if err := p.Ingest(0, gen.Batch(900, 0)); err != nil {
+		t.Fatal(err)
+	}
+	qg := stream.NewQueryGenerator(stream.FuncLinear, 3, 5)
+	var ids []core.QueryID
+	for i := 0; i < 9; i++ {
+		k := 2 + i%5
+		if i%4 == 0 {
+			k = 25 // skew: some queries cost far more than others
+		}
+		id, err := p.Register(core.QuerySpec{F: qg.Next(), K: k, Policy: core.SMA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	for ts := int64(1); ts <= 40; ts++ {
+		if err := p.Ingest(ts, gen.Batch(70, ts)); err != nil {
+			t.Fatal(err)
+		}
+		if ts%3 == 0 {
+			id := ids[int(ts)%len(ids)]
+			if err := p.MigrateQuery(id, int(ts)%shards); err != nil {
+				t.Fatalf("cycle %d migrate q%d: %v", ts, id, err)
+			}
+			if err := p.CheckInfluence(); err != nil {
+				t.Fatalf("cycle %d: %v", ts, err)
+			}
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := p.Result(id); err != nil {
+			t.Fatalf("q%d unusable after migrations: %v", id, err)
+		}
+	}
+	loads := p.ShardLoads()
+	if len(loads) != shards {
+		t.Fatalf("ShardLoads returned %d entries, want %d", len(loads), shards)
+	}
+	total := 0
+	for _, l := range loads {
+		total += l.Queries
+	}
+	if total != len(ids) {
+		t.Fatalf("shard loads count %d queries, want %d", total, len(ids))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}

@@ -39,6 +39,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"topkmon/internal/core"
 	"topkmon/internal/stream"
@@ -427,7 +428,9 @@ func (d *DataSharded) runCycle(step func(i int, e *core.Engine) ([]core.Update, 
 	for i, w := range d.workers {
 		w.jobs <- func() {
 			defer wg.Done()
+			start := time.Now()
 			updates, err := step(i, w.eng)
+			w.noteCycle(time.Since(start))
 			results[i] = shardResult{updates, err}
 		}
 	}
@@ -548,6 +551,8 @@ func (d *DataSharded) Stats() core.Stats {
 		agg.Recomputes += st.Recomputes
 		agg.InitialComputations += st.InitialComputations
 		agg.CellsProcessed += st.CellsProcessed
+		agg.HeapOps += st.HeapOps
+		agg.CellsWalked += st.CellsWalked
 		agg.SkybandSizeSum += st.SkybandSizeSum
 		agg.SkybandSamples += st.SkybandSamples
 	}
@@ -577,6 +582,18 @@ func (d *DataSharded) MemoryBytes() int64 {
 	}
 	d.qmu.RUnlock()
 	return total
+}
+
+// ShardLoads returns every shard's current load. Under data partitioning
+// every query runs on every shard, so the query count is uniform and there
+// is nothing to migrate — the per-shard EWMA cycle time and memory figures
+// are the useful part (skew here means the *tuple* hash is unbalanced).
+func (d *DataSharded) ShardLoads() []ShardLoad {
+	per := make([]ShardLoad, len(d.workers))
+	d.broadcast(func(i int, _ *core.Engine) {
+		per[i] = gatherLoad(i, d.workers[i])
+	})
+	return per
 }
 
 // ShardMemoryBytes returns each shard engine's individual footprint —

@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"topkmon/internal/core"
 	"topkmon/internal/stream"
@@ -56,16 +58,37 @@ type route struct {
 type Sharded struct {
 	workers []*worker
 
+	// placement decides the shard of each new registration; rebalance
+	// lets the monitor revise those decisions at runtime by migrating
+	// queries between engines (rebalance.go). Both are fixed at
+	// construction.
+	placement Placement
+	rebalance RebalanceConfig
+
 	// regMu serializes registrations end to end (id allocation, engine
 	// call, rollback), making the id rollback on a rejected spec exact:
 	// ids never burn, so id assignment matches the single engine even
 	// under concurrent Register calls racing with rejected specs.
 	regMu sync.Mutex
 
-	// mu guards the routing table.
+	// mu guards the routing table and the router-side load view handed to
+	// the placement policy: exact per-shard query counts, plus cost and
+	// cycle-time figures refreshed by rebalance passes and ShardLoads.
 	mu     sync.Mutex
 	nextID core.QueryID
 	routes map[core.QueryID]route
+	counts []int
+	costs  []int64
+	ewmas  []int64
+
+	// cycleCount and prevCost belong to the rebalancer and are guarded by
+	// stepMu: processing cycles since construction, and every query's
+	// cumulative attributed cost as of the last rebalance pass.
+	cycleCount int64
+	prevCost   map[core.QueryID]int64
+
+	// migrations counts executed live query migrations.
+	migrations atomic.Int64
 
 	// closeMu guards the worker channels' lifetime: every operation holds
 	// it for reading while it may send jobs, Close holds it for writing
@@ -94,6 +117,20 @@ type worker struct {
 	jobs          chan func()
 	stopped       chan struct{}
 	localToGlobal map[core.QueryID]core.QueryID
+	// ewmaNS smooths the shard's per-cycle wall time (alpha 0.2). Written
+	// and read on the worker goroutine only (cycle jobs, load gathers).
+	ewmaNS int64
+}
+
+// noteCycle folds one cycle's wall time into the worker's EWMA. It runs on
+// the worker goroutine.
+func (w *worker) noteCycle(d time.Duration) {
+	ns := d.Nanoseconds()
+	if w.ewmaNS == 0 {
+		w.ewmaNS = ns
+		return
+	}
+	w.ewmaNS += (ns - w.ewmaNS) / 5
 }
 
 func (w *worker) loop() {
@@ -113,25 +150,55 @@ func (w *worker) call(fn func()) {
 	<-done
 }
 
-// New builds a sharded monitor with n shards, each configured by opts.
-func New(opts core.Options, n int) (*Sharded, error) {
-	return newWithFactory(opts, n, core.NewEngine)
+// Config tunes a query-partitioned sharded monitor beyond the engine
+// options: how new queries are placed and whether (and how aggressively)
+// the monitor rebalances them at runtime.
+type Config struct {
+	// Placement decides the shard of each new registration. Nil selects
+	// HashPlacement, PR 1's static splitmix hash.
+	Placement Placement
+	// Rebalance enables periodic cost-aware rebalancing with live query
+	// migration (zero value: disabled). See RebalanceConfig.
+	Rebalance RebalanceConfig
 }
 
-// newWithFactory is New with an injectable engine constructor, so tests can
-// exercise the mid-construction failure path (identical options otherwise
-// fail deterministically on the first shard or none at all).
-func newWithFactory(opts core.Options, n int, factory func(core.Options) (*core.Engine, error)) (*Sharded, error) {
+// New builds a sharded monitor with n shards, each configured by opts,
+// using static hash placement and no rebalancing.
+func New(opts core.Options, n int) (*Sharded, error) {
+	return NewWithConfig(opts, n, Config{})
+}
+
+// NewWithConfig is New with an explicit placement/rebalancing
+// configuration.
+func NewWithConfig(opts core.Options, n int, cfg Config) (*Sharded, error) {
+	return newWithFactory(opts, n, cfg, core.NewEngine)
+}
+
+// newWithFactory is NewWithConfig with an injectable engine constructor, so
+// tests can exercise the mid-construction failure path (identical options
+// otherwise fail deterministically on the first shard or none at all).
+func newWithFactory(opts core.Options, n int, cfg Config, factory func(core.Options) (*core.Engine, error)) (*Sharded, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = HashPlacement{}
+	}
+	if err := cfg.Rebalance.validate(); err != nil {
+		return nil, err
 	}
 	workers, err := spawnWorkers(opts, n, factory)
 	if err != nil {
 		return nil, err
 	}
 	return &Sharded{
-		workers: workers,
-		routes:  make(map[core.QueryID]route),
+		workers:   workers,
+		placement: cfg.Placement,
+		rebalance: cfg.Rebalance,
+		routes:    make(map[core.QueryID]route),
+		counts:    make([]int, n),
+		costs:     make([]int64, n),
+		ewmas:     make([]int64, n),
 	}, nil
 }
 
@@ -167,18 +234,23 @@ func spawnWorkers(opts core.Options, n int, factory func(core.Options) (*core.En
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.workers) }
 
-// shardOf hash-partitions a global query id (splitmix64 finalizer, so
-// sequential ids spread uniformly rather than striping).
-func shardOf(id core.QueryID, n int) int {
-	return shardOfTuple(uint64(id), n)
+// loadsLocked assembles the router-side load view for the placement
+// policy: exact query counts, cost/timing figures as refreshed by the last
+// rebalance pass or ShardLoads call. Callers hold mu.
+func (s *Sharded) loadsLocked() []ShardLoad {
+	loads := make([]ShardLoad, len(s.workers))
+	for i := range loads {
+		loads[i] = ShardLoad{Shard: i, Queries: s.counts[i], Cost: s.costs[i], EWMACycleNS: s.ewmas[i]}
+	}
+	return loads
 }
 
 // Register implements core.Monitor. Global query ids are assigned in
-// registration order (matching the single engine) and hash-routed to a
-// shard, whose engine computes the initial result. Registrations are
-// serialized by regMu so a rejected spec rolls its id back exactly — the
-// documented "ids match the single engine" property holds even when
-// concurrent registrations race with rejections.
+// registration order (matching the single engine) and routed to a shard by
+// the placement policy, whose engine computes the initial result.
+// Registrations are serialized by regMu so a rejected spec rolls its id
+// back exactly — the documented "ids match the single engine" property
+// holds even when concurrent registrations race with rejections.
 func (s *Sharded) Register(spec core.QuerySpec) (core.QueryID, error) {
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
@@ -190,9 +262,14 @@ func (s *Sharded) Register(spec core.QuerySpec) (core.QueryID, error) {
 	s.mu.Lock()
 	global := s.nextID
 	s.nextID++
+	si := s.placement.Place(global, s.loadsLocked())
 	s.mu.Unlock()
-
-	si := shardOf(global, len(s.workers))
+	if si < 0 || si >= len(s.workers) {
+		s.mu.Lock()
+		s.nextID--
+		s.mu.Unlock()
+		return 0, fmt.Errorf("shard: placement %v routed query %d to shard %d of %d", s.placement, global, si, len(s.workers))
+	}
 	w := s.workers[si]
 	var local core.QueryID
 	var err error
@@ -211,6 +288,7 @@ func (s *Sharded) Register(spec core.QuerySpec) (core.QueryID, error) {
 		return 0, err
 	}
 	s.routes[global] = route{shard: si, local: local}
+	s.counts[si]++
 	return global, nil
 }
 
@@ -225,6 +303,7 @@ func (s *Sharded) Unregister(id core.QueryID) error {
 	r, ok := s.routes[id]
 	if ok {
 		delete(s.routes, id)
+		s.counts[r.shard]--
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -321,9 +400,9 @@ func mergeShardUpdates(results []shardResult) ([]core.Update, error) {
 	for _, r := range results {
 		merged = append(merged, r.updates...)
 	}
-	// Per-shard update lists are already ordered by global id (id
-	// assignment is monotone per shard), so this is a near-sorted sort of
-	// unique keys; it restores the single engine's global ordering.
+	// Global ids are unique across shards, so sorting by id restores the
+	// single engine's global ordering regardless of how placement or
+	// migration distributed the queries.
 	sort.Slice(merged, func(i, j int) bool { return merged[i].Query < merged[j].Query })
 	return merged, nil
 }
@@ -345,7 +424,9 @@ func (s *Sharded) submit(step func(*core.Engine) ([]core.Update, error)) (*Ticke
 	for i, w := range s.workers {
 		w.jobs <- func() {
 			defer t.wg.Done()
+			start := time.Now()
 			updates, err := step(w.eng)
+			w.noteCycle(time.Since(start))
 			if err == nil {
 				// Translate shard-local query ids to global ones while still
 				// on the worker goroutine (localToGlobal is worker-owned).
@@ -360,7 +441,9 @@ func (s *Sharded) submit(step func(*core.Engine) ([]core.Update, error)) (*Ticke
 }
 
 // cycle runs one synchronous processing cycle: submit plus wait, with
-// stepMu held end to end so cycles are fully serialized.
+// stepMu held end to end so cycles are fully serialized. A rebalance check
+// may run after the cycle completes — the cycle barrier where migrations
+// are safe.
 func (s *Sharded) cycle(step func(*core.Engine) ([]core.Update, error)) ([]core.Update, error) {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
@@ -368,7 +451,11 @@ func (s *Sharded) cycle(step func(*core.Engine) ([]core.Update, error)) ([]core.
 	if err != nil {
 		return nil, err
 	}
-	return t.Wait()
+	updates, err := t.Wait()
+	if err == nil {
+		s.maybeRebalanceLocked()
+	}
+	return updates, err
 }
 
 // StepAsync submits one append-only cycle without waiting for the shards
@@ -382,18 +469,29 @@ func (s *Sharded) cycle(step func(*core.Engine) ([]core.Update, error)) ([]core.
 func (s *Sharded) StepAsync(now int64, arrivals []*stream.Tuple) (*Ticket, error) {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
-	return s.submit(func(e *core.Engine) ([]core.Update, error) {
+	t, err := s.submit(func(e *core.Engine) ([]core.Update, error) {
 		return e.Step(now, arrivals)
 	})
+	if err == nil {
+		// Rebalance checks drain the shard queues first (including the
+		// cycle just submitted), so every Interval-th submission briefly
+		// becomes a barrier — the cost of migrating at a consistent point.
+		s.maybeRebalanceLocked()
+	}
+	return t, err
 }
 
 // StepUpdateAsync is StepAsync for the explicit-deletion stream model.
 func (s *Sharded) StepUpdateAsync(now int64, arrivals []*stream.Tuple, deletions []uint64) (*Ticket, error) {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
-	return s.submit(func(e *core.Engine) ([]core.Update, error) {
+	t, err := s.submit(func(e *core.Engine) ([]core.Update, error) {
 		return e.StepUpdate(now, arrivals, deletions)
 	})
+	if err == nil {
+		s.maybeRebalanceLocked()
+	}
+	return t, err
 }
 
 // checkInfluenceAll runs core.Engine.CheckInfluence on every shard engine
@@ -436,12 +534,38 @@ func (s *Sharded) Stats() core.Stats {
 		agg.Recomputes += st.Recomputes
 		agg.InitialComputations += st.InitialComputations
 		agg.CellsProcessed += st.CellsProcessed
+		agg.HeapOps += st.HeapOps
+		agg.CellsWalked += st.CellsWalked
 		agg.SkybandSizeSum += st.SkybandSizeSum
 		agg.SkybandSamples += st.SkybandSamples
 		agg.ResultUpdates += st.ResultUpdates
 	}
+	agg.Migrations = s.migrations.Load()
 	return agg
 }
+
+// ShardLoads returns every shard's current load: routed query count, EWMA
+// per-cycle wall time, cumulative attributed query cost, and memory
+// footprint. The gather runs on the worker goroutines (serialized against
+// queued cycles) and refreshes the router-side view the placement policy
+// sees on the next Register.
+func (s *Sharded) ShardLoads() []ShardLoad {
+	per := make([]ShardLoad, len(s.workers))
+	s.broadcast(func(i int, _ *core.Engine) {
+		per[i] = gatherLoad(i, s.workers[i])
+	})
+	s.mu.Lock()
+	for i, l := range per {
+		s.costs[i] = l.Cost
+		s.ewmas[i] = l.EWMACycleNS
+	}
+	s.mu.Unlock()
+	return per
+}
+
+// Migrations returns the number of live query migrations executed so far
+// (rebalancer passes plus explicit MigrateQuery calls).
+func (s *Sharded) Migrations() int64 { return s.migrations.Load() }
 
 // MemoryBytes implements core.Monitor: the sum over shards. The index
 // really is replicated per shard, so the total reflects the cost of the

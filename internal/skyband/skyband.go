@@ -159,6 +159,37 @@ func (s *Skyband) Insert(t *stream.Tuple, score float64) int {
 	return evicted
 }
 
+// Restore replaces the skyband contents with entries previously exported
+// via Entries() — including their dominance counters — so a query migrated
+// between engines resumes with byte-identical skyband state. The input must
+// be in descending total order with counters in [0, k); Restore validates
+// and rejects malformed input without touching the current contents.
+func (s *Skyband) Restore(entries []Entry) error {
+	seen := make(map[uint64]struct{}, len(entries))
+	for i := range entries {
+		e := entries[i]
+		if e.DC < 0 || e.DC >= s.k {
+			return fmt.Errorf("skyband: restore entry %d has DC=%d outside [0,%d)", e.T.ID, e.DC, s.k)
+		}
+		if _, dup := seen[e.T.ID]; dup {
+			return fmt.Errorf("skyband: restore has duplicate tuple %d", e.T.ID)
+		}
+		seen[e.T.ID] = struct{}{}
+		if i > 0 {
+			prev := entries[i-1]
+			if !stream.Better(prev.Score, prev.T.Seq, e.Score, e.T.Seq) {
+				return fmt.Errorf("skyband: restore entries %d and %d out of order", prev.T.ID, e.T.ID)
+			}
+		}
+	}
+	s.entries = append(s.entries[:0], entries...)
+	clear(s.ids)
+	for id := range seen {
+		s.ids[id] = struct{}{}
+	}
+	return nil
+}
+
 // Remove deletes the entry for the tuple with the given id, reporting
 // whether it was present. Under FIFO expiration the removed tuple is the
 // earliest arrival in the skyband and therefore belongs to the current

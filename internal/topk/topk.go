@@ -79,6 +79,11 @@ type Searcher struct {
 	// CellsProcessed accumulates the number of de-heaped cells across
 	// computations; used by the experiment harness.
 	CellsProcessed int64
+	// HeapOps accumulates cell-heap pushes and pops across computations.
+	// Together with CellsProcessed it measures the work of one computation,
+	// which the engine attributes to the owning query for cost-aware shard
+	// rebalancing.
+	HeapOps int64
 }
 
 // NewSearcher returns a searcher bound to g.
@@ -141,6 +146,7 @@ func (s *Searcher) TopK(req Request) Result {
 	}
 	if ms, ok := s.maxScoreOf(start, req.F, req.Constraint); ok {
 		s.heap.Push(cellEntry{start, ms})
+		s.HeapOps++
 		s.visited[start] = s.gen
 	}
 
@@ -159,6 +165,7 @@ func (s *Searcher) TopK(req Request) Result {
 		}
 		s.heap.Pop()
 		s.CellsProcessed++
+		s.HeapOps++
 		res.Processed = append(res.Processed, next.idx)
 
 		s.g.PointsDo(next.idx, func(t *stream.Tuple) bool {
@@ -177,6 +184,7 @@ func (s *Searcher) TopK(req Request) Result {
 			s.visited[n] = s.gen
 			if ms, ok := s.maxScoreOf(n, req.F, req.Constraint); ok {
 				s.heap.Push(cellEntry{n, ms})
+				s.HeapOps++
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"topkmon/internal/core"
 	"topkmon/internal/geom"
+	"topkmon/internal/shard"
 	"topkmon/internal/stream"
 )
 
@@ -42,6 +43,13 @@ type (
 	Generator = stream.Generator
 	// CSVReader decodes "ts,x1,...,xd" tuple traces into per-cycle batches.
 	CSVReader = stream.CSVReader
+	// ShardLoad describes one shard's load: routed query count, EWMA
+	// per-cycle wall time, cumulative attributed query cost, memory.
+	ShardLoad = shard.ShardLoad
+	// Placement decides the shard of each newly registered query on a
+	// query-partitioned sharded monitor. Implementations must be
+	// deterministic functions of their inputs; see WithPlacement.
+	Placement = shard.Placement
 )
 
 // Monitoring policies.
@@ -87,6 +95,19 @@ func NewRect(lo, hi Vector) (Rect, error) { return geom.NewRect(lo, hi) }
 
 // ParsePolicy converts "TMA"/"SMA" (any case) to a Policy.
 func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// PlacementHash returns the static-hash placement policy (the default):
+// query ids are splitmix-hashed across shards. Balanced counts, zero
+// coordination, oblivious to per-query cost.
+func PlacementHash() Placement { return shard.HashPlacement{} }
+
+// PlacementLeastLoaded returns the least-loaded placement policy: each new
+// query goes to the shard with the lowest attributed cost (ties: fewest
+// queries, then lowest index).
+func PlacementLeastLoaded() Placement { return shard.LeastLoadedPlacement{} }
+
+// ParsePlacement converts "hash"/"least-loaded" to a Placement.
+func ParsePlacement(s string) (Placement, error) { return shard.ParsePlacement(s) }
 
 // NewGenerator returns a synthetic tuple generator with globally increasing
 // ids and sequence numbers, ready to feed Step.

@@ -107,16 +107,20 @@ func ParseBackpressure(s string) (Backpressure, error) {
 
 // config collects the options New accepts.
 type config struct {
-	shards       int
-	partition    Partitioning
-	policy       Policy
-	mode         StreamMode
-	clock        Clock
-	window       window.Spec
-	gridRes      int
-	cells        int
-	pipeDepth    int
-	backpressure Backpressure
+	shards             int
+	partition          Partitioning
+	placement          Placement
+	rebalanceInterval  int
+	rebalanceThreshold float64
+	policy             Policy
+	mode               StreamMode
+	clock              Clock
+	window             window.Spec
+	gridRes            int
+	cells              int
+	pipeDepth          int
+	pipeMaxDepth       int
+	backpressure       Backpressure
 }
 
 // Option configures a Monitor.
@@ -135,6 +139,32 @@ func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 // PartitionData (disjoint stream slices per shard, every query everywhere,
 // router-side top-k merge). It has no effect on single-engine monitors.
 func WithPartitioning(p Partitioning) Option { return func(c *config) { c.partition = p } }
+
+// WithPlacement selects the placement policy of a query-partitioned
+// sharded monitor: which shard each newly registered query lands on. Use
+// PlacementHash (the default), PlacementLeastLoaded, or any custom
+// deterministic Placement implementation. Requires WithShards(n > 1) with
+// PartitionQueries; New rejects other combinations (under PartitionData
+// every query runs on every shard, so there is nothing to place).
+func WithPlacement(p Placement) Option { return func(c *config) { c.placement = p } }
+
+// WithRebalance enables periodic cost-aware shard rebalancing with live
+// query migration: every interval processing cycles the monitor attributes
+// maintenance cost per query (influence events, cells processed, heap
+// operations, cells walked — deterministic counters, not wall time), and
+// when the hottest shard's cost exceeds threshold × the mean shard cost it
+// migrates the most expensive movable queries onto the coldest shard.
+// Migrations happen at cycle barriers and never change results — the
+// differential harness forces them mid-run and asserts transcripts stay
+// byte-identical to the single engine. threshold <= 0 selects the default
+// (1.2); values in (0, 1) are rejected. Requires WithShards(n > 1) with
+// PartitionQueries. Stats.Migrations counts executed moves.
+func WithRebalance(interval int, threshold float64) Option {
+	return func(c *config) {
+		c.rebalanceInterval = interval
+		c.rebalanceThreshold = threshold
+	}
+}
 
 // WithPipeline enables asynchronous pipelined ingestion with the given
 // queue depth (values below 1 select the tuned default). The monitor then
@@ -155,6 +185,14 @@ func WithPipeline(depth int) Option {
 		c.pipeDepth = depth
 	}
 }
+
+// WithAdaptiveDepth lets a pipelined monitor's ingest queue grow under
+// sustained burst — the bound doubles each time a producer hits it, up to
+// max — and shrink back to the configured depth whenever the queue fully
+// drains, restoring the latency cap between bursts. The largest occupancy
+// reached is reported in Stats.QueueHighWater. Values <= the pipeline
+// depth keep the queue fixed; it has no effect without WithPipeline.
+func WithAdaptiveDepth(max int) Option { return func(c *config) { c.pipeMaxDepth = max } }
 
 // WithBackpressure selects the pipelined monitor's full-queue behavior:
 // BackpressureBlock (default, lossless) or BackpressureDropOldest

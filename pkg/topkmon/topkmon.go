@@ -69,13 +69,24 @@ func New(dims int, opts ...Option) (*Monitor, error) {
 		return nil, err
 	}
 	m := &Monitor{policy: cfg.policy, clock: cfg.clock, shards: cfg.shards}
+	placed := cfg.placement != nil || cfg.rebalanceInterval > 0
+	if placed && (cfg.shards <= 1 || cfg.partition == PartitionData) {
+		return nil, fmt.Errorf("topkmon: WithPlacement/WithRebalance require WithShards(n > 1) with PartitionQueries")
+	}
 	if cfg.shards > 1 {
 		var sh core.StreamMonitor
 		var err error
 		if cfg.partition == PartitionData {
 			sh, err = shard.NewData(engOpts, cfg.shards)
 		} else {
-			sh, err = shard.New(engOpts, cfg.shards)
+			rb := shard.RebalanceConfig{Interval: cfg.rebalanceInterval}
+			if cfg.rebalanceThreshold > 0 {
+				rb.Threshold = cfg.rebalanceThreshold
+			}
+			sh, err = shard.NewWithConfig(engOpts, cfg.shards, shard.Config{
+				Placement: cfg.placement,
+				Rebalance: rb,
+			})
 		}
 		if err != nil {
 			return nil, err
@@ -91,8 +102,9 @@ func New(dims int, opts ...Option) (*Monitor, error) {
 	}
 	if cfg.pipeDepth > 0 {
 		m.pipe = pipeline.New(m.mon, pipeline.Options{
-			Depth:  cfg.pipeDepth,
-			Policy: pipeline.Policy(cfg.backpressure),
+			Depth:    cfg.pipeDepth,
+			MaxDepth: cfg.pipeMaxDepth,
+			Policy:   pipeline.Policy(cfg.backpressure),
 		})
 		m.mon = m.pipe
 	}
@@ -147,6 +159,30 @@ func (m *Monitor) Flush() error {
 
 // Shards returns the number of engine shards (1 for the single engine).
 func (m *Monitor) Shards() int { return m.shards }
+
+// ShardLoads returns each shard's current load — routed query count, EWMA
+// per-cycle wall time, cumulative attributed query cost, memory footprint
+// — for both sharded layouts, through the pipeline barrier when pipelined.
+// It returns nil on a single-engine monitor.
+func (m *Monitor) ShardLoads() []ShardLoad {
+	if sh, ok := m.mon.(interface{ ShardLoads() []ShardLoad }); ok {
+		return sh.ShardLoads()
+	}
+	return nil
+}
+
+// MigrateQuery moves a query to the given shard at the next cycle barrier
+// (query-partitioned sharded monitors only). Results are unaffected — only
+// the engine maintaining the query changes. The rebalancer (WithRebalance)
+// issues these moves automatically; MigrateQuery is the manual override.
+func (m *Monitor) MigrateQuery(id QueryID, target int) error {
+	if mig, ok := m.mon.(interface {
+		MigrateQuery(QueryID, int) error
+	}); ok {
+		return mig.MigrateQuery(id, target)
+	}
+	return fmt.Errorf("topkmon: query migration requires WithShards(n > 1) with PartitionQueries")
+}
 
 // Register installs a query described by a full spec and returns its id.
 func (m *Monitor) Register(spec QuerySpec) (QueryID, error) {
