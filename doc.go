@@ -52,7 +52,10 @@
 //     comparing transcripts against the single engine.
 //   - Monitor.ShardLoads reports per-shard query counts, EWMA cycle time,
 //     attributed cost and memory; Monitor.MigrateQuery is the manual
-//     override; Stats.Migrations counts executed moves.
+//     override, and Monitor.MigrateQueries moves a whole batch of queries
+//     under a single cycle-barrier drain (every drain stalls all shards
+//     once, so multi-move passes — including the rebalancer's own — batch
+//     behind one); Stats.Migrations counts executed moves.
 //
 // When does rebalancing pay? Hash placement balances query *counts*;
 // per-query cost varies with k and influence-cell volume by orders of
@@ -98,6 +101,36 @@
 //     cycle/delivery overlap pays; prefer synchronous Step when the
 //     caller needs each cycle's updates before producing the next batch.
 //
+// The per-cycle hot path is columnar and batch-scored. Each grid cell
+// stores its tuples as a struct-of-arrays block — one flat dims-strided
+// coordinate array with parallel id/sequence/timestamp/pointer columns —
+// and influence lists are sorted small-slices (binary-search add/remove,
+// linear ascending iterate). A cycle groups its arrivals by destination
+// cell, appends each group to the cell's block, and scores the whole new
+// sub-block per influenced query with one call into the internal/simd
+// kernels (four-accumulator unrolled loops the compiler can vectorize,
+// bit-identical to pointwise scoring — a property the kernel equivalence
+// tests, a fuzz entry and the differential harness all pin, since scores
+// feed total-order comparisons). Expirations batch the same way. Per-query
+// outcomes are order-independent within a cycle (TMA's bounded top list
+// and threshold sets are set-semantics; admitted SMA arrivals are
+// re-sorted into sequence order before skyband insertion), so transcripts
+// are byte-identical to the per-tuple path across all engine modes.
+// Per-cycle scratch — expiration runs, cell groupings, score buffers,
+// result diffs, search heaps and top lists — is pooled on the engine and
+// searcher: a steady-state cycle whose results do not change performs no
+// allocations beyond the Update payloads it returns.
+//
+// The performance trajectory is pinned by a benchmark-regression harness:
+// internal/benchsuite defines the hot-path benchmarks (the Figure 14
+// per-cycle benchmark plus InsertTupleBatch, InfluenceWalk, ScoreBlock
+// kernel-vs-pointwise and TopKComputation), reachable both via `go test
+// -bench` and via `go run ./cmd/benchreport`, which emits BENCH_5.json
+// (ns/op, allocs/op, MB/s per benchmark). CI regenerates the report on
+// every push and gates it against the committed baseline at ±15%; refresh
+// the baseline with `go run ./cmd/benchreport -out BENCH_5.json` when a
+// PR intentionally shifts it.
+//
 // Use pkg/topkmon — the public facade with functional options — as the
 // entry point:
 //
@@ -115,8 +148,10 @@
 //	internal/difftest  randomized differential harness: all modes vs a naive scorer
 //	internal/tsl       the TSL baseline
 //	internal/geom      scoring functions and workspace geometry
-//	internal/grid      the grid index with influence lists
+//	internal/grid      the grid index: columnar cells, sorted influence lists
+//	internal/simd      batch scoring kernels over dims-strided blocks
 //	internal/topk      the top-k computation module (best-first cell search)
+//	internal/benchsuite the hot-path benchmarks behind cmd/benchreport
 //	internal/skyband   k-skyband maintenance in score-time space
 //	internal/window    count-based and time-based sliding windows
 //	internal/stream    tuples, CSV traces, and IND/ANT workload generators
@@ -125,7 +160,8 @@
 // Commands: cmd/topkmon (cost profile of one run), cmd/experiments (the
 // paper's figures plus shard-scaling and partitioning sweeps), cmd/replay
 // (monitor a recorded trace), cmd/datagen (synthetic datasets and
-// traces). The grid commands (cmd/topkmon, cmd/replay, cmd/experiments)
+// traces), cmd/benchreport (the hot-path benchmark report and regression
+// gate). The grid commands (cmd/topkmon, cmd/replay, cmd/experiments)
 // accept -shards, -partition=queries|data, -placement=hash|least-loaded
 // and -rebalance=<interval>. See the examples/ directory
 // for runnable end-to-end programs and EXPERIMENTS.md for the

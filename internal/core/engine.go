@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
+	"topkmon/internal/geom"
 	"topkmon/internal/grid"
 	"topkmon/internal/skyband"
 	"topkmon/internal/stream"
@@ -50,6 +52,12 @@ type query struct {
 	// SMA state.
 	sky        *skyband.Skyband
 	skyChanged bool
+	// pending buffers this cycle's admitted SMA arrivals during the
+	// cell-batched insert phase. Cells are visited in grouping order, not
+	// arrival order, but skyband insertion requires ascending sequence —
+	// the buffered entries are sorted by Seq and applied at the end of the
+	// phase (flushPending), restoring the exact per-arrival semantics.
+	pending []Entry
 
 	// Threshold-query state: the current result set.
 	thr map[uint64]Entry
@@ -98,7 +106,31 @@ type Engine struct {
 	walkGen     uint32
 	walkQueue   []int
 
+	// Pooled per-cycle scratch for the cell-batched insert/expire phases
+	// and update emission; steady-state cycles allocate nothing from these.
+	// cellMark stamps cells touched by the current phase (insert phase:
+	// 1 + the cell's live length before the batch; expire phase: 1 + the
+	// cell's bucket position); touched lists them in first-touch order.
+	cellMark   []int32
+	touched    []int
+	expBuckets []expBucket
+	expFilter  []*stream.Tuple
+	pendingQs  []*query
+	scoreBuf   []float64
+	skyScratch []skyband.Entry
+	resScratch []Entry
+	curIDs     map[uint64]struct{}
+	batchIDs   map[uint64]struct{}
+	goneIDs    map[uint64]struct{}
+
 	stats Stats
+}
+
+// expBucket groups one cell's share of a cycle's expiration batch, in
+// arrival order. The tuple slices are pooled across cycles.
+type expBucket struct {
+	idx    int
+	tuples []*stream.Tuple
 }
 
 // NewEngine constructs an engine from the given options.
@@ -121,6 +153,8 @@ func NewEngine(opts Options) (*Engine, error) {
 		s:           topk.NewSearcher(g),
 		queries:     make(map[QueryID]*query),
 		walkVisited: make([]uint32, g.NumCells()),
+		cellMark:    make([]int32, g.NumCells()),
+		curIDs:      make(map[uint64]struct{}),
 	}
 	if opts.Mode == AppendOnly {
 		if !opts.ExternalExpiry {
@@ -263,31 +297,17 @@ func (e *Engine) Step(now int64, arrivals []*stream.Tuple) ([]Update, error) {
 		// Ablation: apply the cycle's expirations before its arrivals.
 		// The window must still account for the arrivals when deciding
 		// what expires, so they are pushed first and only the event
-		// handlers run in inverted order.
+		// handlers run in inverted order. A tuple that arrives and expires
+		// within the same cycle (r > N) must not be indexed at all: it was
+		// never inserted, so its expiration is a no-op too.
 		for _, t := range arrivals {
 			e.w.Push(t)
 		}
-		batch := make(map[uint64]struct{}, len(arrivals))
-		for _, t := range arrivals {
-			batch[t.ID] = struct{}{}
-		}
-		// A tuple that arrives and expires within the same cycle (r > N)
-		// must not be indexed at all: it was never inserted, so its
-		// expiration is a no-op too.
-		gone := make(map[uint64]struct{})
-		for _, t := range e.w.Expire(now) {
-			if _, sameBatch := batch[t.ID]; sameBatch {
-				gone[t.ID] = struct{}{}
-				continue
-			}
-			e.expireTuple(t)
-		}
-		for _, t := range arrivals {
-			if _, skip := gone[t.ID]; skip {
-				continue
-			}
-			e.insertTuple(t)
-		}
+		e.expFilter = e.w.ExpireAppend(now, e.expFilter[:0])
+		gone := e.splitSameBatch(arrivals)
+		e.expireBatch(e.expFilter)
+		e.releaseExpFilter()
+		e.insertBatch(arrivals, gone)
 		return e.finishCycle(), nil
 	}
 
@@ -296,15 +316,44 @@ func (e *Engine) Step(now int64, arrivals []*stream.Tuple) ([]Update, error) {
 	// recomputation (Figure 8a discussion).
 	for _, t := range arrivals {
 		e.w.Push(t)
-		e.insertTuple(t)
 	}
+	e.insertBatch(arrivals, nil)
 
 	// Phase 2 — Pdel.
-	for _, t := range e.w.Expire(now) {
-		e.expireTuple(t)
-	}
+	e.expFilter = e.w.ExpireAppend(now, e.expFilter[:0])
+	e.expireBatch(e.expFilter)
+	e.releaseExpFilter()
 
 	return e.finishCycle(), nil
+}
+
+// splitSameBatch partitions the pending expiration run (e.expFilter) under
+// DeletionsFirst semantics: expirations that are also in this cycle's
+// arrival batch are removed from the run and returned as the skip set for
+// the insert phase (pooled; valid until the next call).
+func (e *Engine) splitSameBatch(arrivals []*stream.Tuple) map[uint64]struct{} {
+	if e.batchIDs == nil {
+		e.batchIDs = make(map[uint64]struct{}, len(arrivals))
+		e.goneIDs = make(map[uint64]struct{})
+	}
+	clear(e.batchIDs)
+	clear(e.goneIDs)
+	for _, t := range arrivals {
+		e.batchIDs[t.ID] = struct{}{}
+	}
+	keep := e.expFilter[:0]
+	for _, t := range e.expFilter {
+		if _, sameBatch := e.batchIDs[t.ID]; sameBatch {
+			e.goneIDs[t.ID] = struct{}{}
+			continue
+		}
+		keep = append(keep, t)
+	}
+	for i := len(keep); i < len(e.expFilter); i++ {
+		e.expFilter[i] = nil
+	}
+	e.expFilter = keep
+	return e.goneIDs
 }
 
 // admitCycle validates one append-only cycle's inputs and advances the
@@ -355,35 +404,18 @@ func (e *Engine) StepExternal(now int64, arrivals, expirations []*stream.Tuple) 
 		// Ablation parity with Step: expirations before arrivals, with a
 		// tuple that arrives and expires within the same cycle never
 		// touching the index at all.
-		batch := make(map[uint64]struct{}, len(arrivals))
-		for _, t := range arrivals {
-			batch[t.ID] = struct{}{}
-		}
-		gone := make(map[uint64]struct{})
-		for _, t := range expirations {
-			if _, sameBatch := batch[t.ID]; sameBatch {
-				gone[t.ID] = struct{}{}
-				continue
-			}
-			e.expireTuple(t)
-		}
-		for _, t := range arrivals {
-			if _, skip := gone[t.ID]; skip {
-				continue
-			}
-			e.insertTuple(t)
-		}
+		e.expFilter = append(e.expFilter[:0], expirations...)
+		gone := e.splitSameBatch(arrivals)
+		e.expireBatch(e.expFilter)
+		e.releaseExpFilter()
+		e.insertBatch(arrivals, gone)
 		return e.finishCycle(), nil
 	}
 
 	// Phase 1 — Pins.
-	for _, t := range arrivals {
-		e.insertTuple(t)
-	}
+	e.insertBatch(arrivals, nil)
 	// Phase 2 — Pdel.
-	for _, t := range expirations {
-		e.expireTuple(t)
-	}
+	e.expireBatch(expirations)
 	return e.finishCycle(), nil
 }
 
@@ -412,22 +444,61 @@ func (e *Engine) StepUpdate(now int64, arrivals []*stream.Tuple, deletions []uin
 	}
 	e.started = true
 	e.now = now
+	// Validate the whole cycle before mutating anything, so a rejected
+	// batch leaves byID, the grid and the query state exactly as they
+	// were (the per-tuple path used to apply a prefix before erroring;
+	// all-or-nothing is the stronger contract).
+	if e.batchIDs == nil {
+		e.batchIDs = make(map[uint64]struct{}, len(arrivals))
+		e.goneIDs = make(map[uint64]struct{})
+	}
+	clear(e.batchIDs)
 	for _, t := range arrivals {
 		if _, dup := e.byID[t.ID]; dup {
 			return nil, fmt.Errorf("core: duplicate tuple id %d", t.ID)
 		}
-		e.byID[t.ID] = t
-		e.insertTuple(t)
+		if _, dup := e.batchIDs[t.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate tuple id %d", t.ID)
+		}
+		e.batchIDs[t.ID] = struct{}{}
 	}
+	clear(e.goneIDs)
 	for _, id := range deletions {
-		t, ok := e.byID[id]
-		if !ok {
+		if _, dup := e.goneIDs[id]; dup {
 			return nil, fmt.Errorf("core: deletion of unknown tuple %d", id)
 		}
-		delete(e.byID, id)
-		e.expireTuple(t)
+		e.goneIDs[id] = struct{}{}
+		_, indexed := e.byID[id]
+		_, arriving := e.batchIDs[id]
+		if !indexed && !arriving {
+			return nil, fmt.Errorf("core: deletion of unknown tuple %d", id)
+		}
 	}
+	for _, t := range arrivals {
+		e.byID[t.ID] = t
+	}
+	e.insertBatch(arrivals, nil)
+	// Deletions naming same-cycle arrivals resolve against the freshly
+	// inserted tuples, preserving the old insert-then-delete semantics.
+	e.expFilter = e.expFilter[:0]
+	for _, id := range deletions {
+		t := e.byID[id]
+		delete(e.byID, id)
+		e.expFilter = append(e.expFilter, t)
+	}
+	e.expireBatch(e.expFilter)
+	e.releaseExpFilter()
 	return e.finishCycle(), nil
+}
+
+// releaseExpFilter drops the tuple references held by the pooled
+// expiration buffer (keeping its capacity), so a large expiration burst
+// does not pin long-expired tuples for the engine's lifetime.
+func (e *Engine) releaseExpFilter() {
+	for i := range e.expFilter {
+		e.expFilter[i] = nil
+	}
+	e.expFilter = e.expFilter[:0]
 }
 
 // Result implements Monitor.
@@ -439,98 +510,221 @@ func (e *Engine) Result(id QueryID) ([]Entry, error) {
 	return q.currentResult(nil), nil
 }
 
-// insertTuple indexes an arriving tuple and updates every query whose
-// influence list covers the tuple's cell (Figure 9 lines 3-7 / Figure 11
-// lines 4-11).
-func (e *Engine) insertTuple(t *stream.Tuple) {
-	e.stats.Arrivals++
-	e.g.Insert(t)
-	idx := e.g.IndexOf(t.Vec)
-	e.g.InfluenceDo(idx, func(id grid.QueryID) bool {
-		q, ok := e.queries[id]
-		if !ok {
-			return true
+// insertBatch indexes one cycle's arrival batch and updates every query
+// whose influence list covers a touched cell (Figure 9 lines 3-7 /
+// Figure 11 lines 4-11). Arrivals are grouped by destination cell: the
+// grid appends each cell's share to its columnar block, and every
+// influenced query scores the whole new sub-block with one vectorized
+// kernel call instead of one interface call per tuple. Per-query outcomes
+// are order-independent within a cycle (TMA's bounded top list and the
+// threshold result set are set-semantics; SMA admissions are buffered and
+// replayed in sequence order by flushPending), so the cell-grouped order
+// produces exactly the per-arrival transcript. skip lists same-batch
+// tuple ids that must not be indexed (DeletionsFirst).
+func (e *Engine) insertBatch(arrivals []*stream.Tuple, skip map[uint64]struct{}) {
+	for _, t := range arrivals {
+		if skip != nil {
+			if _, gone := skip[t.ID]; gone {
+				continue
+			}
 		}
-		e.stats.InfluenceEvents++
-		q.cost++
-		e.handleInsert(q, t)
-		return true
-	})
-}
-
-// expireTuple removes a tuple from the index and updates the queries whose
-// influence list covers its cell (Figure 9 lines 8-11 / Figure 11 lines
-// 12-16).
-func (e *Engine) expireTuple(t *stream.Tuple) {
-	e.stats.Expirations++
-	e.g.Remove(t)
-	idx := e.g.IndexOf(t.Vec)
-	e.g.InfluenceDo(idx, func(id grid.QueryID) bool {
-		q, ok := e.queries[id]
-		if !ok {
-			return true
+		e.stats.Arrivals++
+		idx := e.g.IndexOf(t.Vec)
+		if e.cellMark[idx] == 0 {
+			e.cellMark[idx] = int32(e.g.CellLen(idx)) + 1
+			e.touched = append(e.touched, idx)
 		}
-		e.stats.InfluenceEvents++
-		q.cost++
-		e.handleExpire(q, t)
-		return true
-	})
-}
-
-func (e *Engine) handleInsert(q *query, t *stream.Tuple) {
-	if q.spec.Constraint != nil && !q.spec.Constraint.Contains(t.Vec) {
-		return
+		e.g.InsertAt(idx, t)
 	}
-	score := q.spec.F.Score(t.Vec)
+	dims := e.g.Dims()
+	for _, idx := range e.touched {
+		from := int(e.cellMark[idx]) - 1
+		e.cellMark[idx] = 0
+		il := e.g.Influence(idx)
+		if len(il) == 0 {
+			continue
+		}
+		blk := e.g.CellBlockFrom(idx, from)
+		n := blk.Len()
+		if n == 0 {
+			continue
+		}
+		if cap(e.scoreBuf) < n {
+			e.scoreBuf = make([]float64, 0, n+n/2+8)
+		}
+		scores := e.scoreBuf[:n]
+		for _, id := range il {
+			q, ok := e.queries[id]
+			if !ok {
+				continue
+			}
+			e.stats.InfluenceEvents += int64(n)
+			q.cost += int64(n)
+			geom.ScoreBlockInto(q.spec.F, blk.Coords, dims, scores)
+			e.applyInsertBlock(q, blk, scores, dims)
+		}
+	}
+	e.touched = e.touched[:0]
+	e.flushPending()
+}
+
+// applyInsertBlock feeds one scored cell block to one query's maintenance
+// state — the per-event logic of the old per-tuple path, with the score
+// already computed.
+func (e *Engine) applyInsertBlock(q *query, blk grid.Block, scores []float64, dims int) {
+	cons := q.spec.Constraint
 	switch q.kind {
 	case thresholdKind:
-		if score > *q.spec.Threshold {
+		thr := *q.spec.Threshold
+		for j, score := range scores {
+			if score <= thr {
+				continue
+			}
+			if cons != nil && !cons.Contains(geom.Vector(blk.Coords[j*dims:(j+1)*dims])) {
+				continue
+			}
+			t := blk.Ptrs[j]
 			q.thr[t.ID] = Entry{T: t, Score: score}
 			e.markDirty(q)
 		}
 	case topkKind:
 		if q.spec.Policy == SMA {
 			// Stale filter: kth score at the last from-scratch computation
-			// (-Inf while underfull, admitting everything).
-			if score >= q.topScore {
-				q.sky.Insert(t, score)
-				q.skyChanged = true
+			// (-Inf while underfull, admitting everything). topScore only
+			// changes at recomputation — never inside a cycle's insert
+			// phase — so filtering the whole block against it is exact.
+			for j, score := range scores {
+				if score < q.topScore {
+					continue
+				}
+				if cons != nil && !cons.Contains(geom.Vector(blk.Coords[j*dims:(j+1)*dims])) {
+					continue
+				}
+				if len(q.pending) == 0 {
+					e.pendingQs = append(e.pendingQs, q)
+				}
+				q.pending = append(q.pending, Entry{T: blk.Ptrs[j], Score: score})
 				e.markDirty(q)
 			}
 			return
 		}
 		// TMA: maintain exactly the top-k list.
-		if len(q.top) == q.spec.K {
-			kth := q.top[q.spec.K-1]
-			if !stream.Better(score, t.Seq, kth.Score, kth.T.Seq) {
-				return
+		for j, score := range scores {
+			if len(q.top) == q.spec.K {
+				kth := q.top[q.spec.K-1]
+				if !stream.Better(score, blk.Seqs[j], kth.Score, kth.T.Seq) {
+					continue
+				}
 			}
+			if cons != nil && !cons.Contains(geom.Vector(blk.Coords[j*dims:(j+1)*dims])) {
+				continue
+			}
+			q.insertTop(Entry{T: blk.Ptrs[j], Score: score})
+			e.markDirty(q)
 		}
-		q.insertTop(Entry{T: t, Score: score})
-		e.markDirty(q)
 	}
 }
 
-func (e *Engine) handleExpire(q *query, t *stream.Tuple) {
+// flushPending applies the buffered SMA admissions in ascending sequence
+// order — the order skyband insertion requires (each insert must be the
+// latest arrival among the entries). It runs at the end of every insert
+// phase, before any expiration of the same cycle is processed.
+func (e *Engine) flushPending() {
+	for _, q := range e.pendingQs {
+		slices.SortFunc(q.pending, func(a, b Entry) int {
+			if a.T.Seq < b.T.Seq {
+				return -1
+			}
+			return 1
+		})
+		e.skyScratch = e.skyScratch[:0]
+		for _, en := range q.pending {
+			e.skyScratch = append(e.skyScratch, skyband.Entry{T: en.T, Score: en.Score})
+		}
+		q.sky.InsertBatch(e.skyScratch)
+		q.skyChanged = true
+		q.pending = q.pending[:0]
+	}
+	e.pendingQs = e.pendingQs[:0]
+}
+
+// expireBatch removes one cycle's expiration run from the index and
+// updates the queries whose influence lists cover the touched cells
+// (Figure 9 lines 8-11 / Figure 11 lines 12-16). Expirations are grouped
+// by cell so each influenced query handles a whole block per lookup;
+// per-event outcomes are order-independent (TMA's affected flag and the
+// threshold set are set-semantics, and an expiring skyband entry dominates
+// nothing, so its removal never touches other entries' counters).
+func (e *Engine) expireBatch(expirations []*stream.Tuple) {
+	buckets := 0
+	for _, t := range expirations {
+		e.stats.Expirations++
+		idx := e.g.IndexOf(t.Vec)
+		e.g.Remove(t)
+		m := e.cellMark[idx]
+		if m == 0 {
+			if buckets == len(e.expBuckets) {
+				e.expBuckets = append(e.expBuckets, expBucket{})
+			}
+			e.expBuckets[buckets].idx = idx
+			e.expBuckets[buckets].tuples = e.expBuckets[buckets].tuples[:0]
+			buckets++
+			m = int32(buckets)
+			e.cellMark[idx] = m
+		}
+		b := &e.expBuckets[m-1]
+		b.tuples = append(b.tuples, t)
+	}
+	for i := 0; i < buckets; i++ {
+		b := &e.expBuckets[i]
+		e.cellMark[b.idx] = 0
+		n := int64(len(b.tuples))
+		for _, id := range e.g.Influence(b.idx) {
+			q, ok := e.queries[id]
+			if !ok {
+				continue
+			}
+			e.stats.InfluenceEvents += n
+			q.cost += n
+			e.applyExpireBlock(q, b.tuples)
+		}
+		// Release the tuple references so expired tuples are not pinned
+		// until the bucket's next reuse.
+		for j := range b.tuples {
+			b.tuples[j] = nil
+		}
+		b.tuples = b.tuples[:0]
+	}
+}
+
+// applyExpireBlock feeds one cell's expired tuples to one query's
+// maintenance state.
+func (e *Engine) applyExpireBlock(q *query, tuples []*stream.Tuple) {
 	switch q.kind {
 	case thresholdKind:
-		if _, ok := q.thr[t.ID]; ok {
-			delete(q.thr, t.ID)
-			e.markDirty(q)
+		for _, t := range tuples {
+			if _, ok := q.thr[t.ID]; ok {
+				delete(q.thr, t.ID)
+				e.markDirty(q)
+			}
 		}
 	case topkKind:
 		if q.spec.Policy == SMA {
-			if q.sky.Remove(t.ID) {
-				q.skyChanged = true
-				e.markDirty(q)
+			for _, t := range tuples {
+				if q.sky.Remove(t.ID) {
+					q.skyChanged = true
+					e.markDirty(q)
+				}
 			}
 			return
 		}
-		if _, ok := q.topIDs[t.ID]; ok {
-			// Result tuple expired: mark affected; recomputation happens
-			// after the whole deletion batch (Figure 9 line 11-13).
-			q.affected = true
-			e.markDirty(q)
+		for _, t := range tuples {
+			if _, ok := q.topIDs[t.ID]; ok {
+				// Result tuple expired: mark affected; recomputation happens
+				// after the whole deletion batch (Figure 9 line 11-13).
+				q.affected = true
+				e.markDirty(q)
+			}
 		}
 	}
 }
@@ -562,11 +756,14 @@ func (e *Engine) finishCycle() []Update {
 	}
 
 	// Report changes to the client (Figure 9 line 22 / Figure 11 line 23).
+	// The Update payloads are freshly allocated — they are handed to the
+	// caller — but the diffing itself runs on pooled scratch, so a cycle
+	// that changes no result allocates nothing here.
 	var updates []Update
-	var scratch []Entry
 	for _, q := range e.dirtyList {
 		q.dirty = false
-		scratch = q.currentResult(scratch[:0])
+		e.resScratch = q.currentResult(e.resScratch[:0])
+		scratch := e.resScratch
 		var upd Update
 		for _, en := range scratch {
 			if _, ok := q.lastIDs[en.T.ID]; !ok {
@@ -574,12 +771,12 @@ func (e *Engine) finishCycle() []Update {
 			}
 		}
 		if len(scratch) != len(q.lastIDs) || len(upd.Added) > 0 {
-			current := make(map[uint64]struct{}, len(scratch))
+			clear(e.curIDs)
 			for _, en := range scratch {
-				current[en.T.ID] = struct{}{}
+				e.curIDs[en.T.ID] = struct{}{}
 			}
 			for id, en := range q.lastIDs {
-				if _, ok := current[id]; !ok {
+				if _, ok := e.curIDs[id]; !ok {
 					upd.Removed = append(upd.Removed, en)
 				}
 			}
@@ -592,18 +789,28 @@ func (e *Engine) finishCycle() []Update {
 		for _, en := range scratch {
 			q.lastIDs[en.T.ID] = en
 		}
-		sort.Slice(upd.Added, func(i, j int) bool {
-			return stream.Better(upd.Added[i].Score, upd.Added[i].T.Seq, upd.Added[j].Score, upd.Added[j].T.Seq)
-		})
-		sort.Slice(upd.Removed, func(i, j int) bool {
-			return stream.Better(upd.Removed[i].Score, upd.Removed[i].T.Seq, upd.Removed[j].Score, upd.Removed[j].T.Seq)
-		})
+		slices.SortFunc(upd.Added, entryBetter)
+		slices.SortFunc(upd.Removed, entryBetter)
 		updates = append(updates, upd)
 		e.stats.ResultUpdates++
 	}
 	e.dirtyList = e.dirtyList[:0]
-	sort.Slice(updates, func(i, j int) bool { return updates[i].Query < updates[j].Query })
+	slices.SortFunc(updates, func(a, b Update) int {
+		if a.Query < b.Query {
+			return -1
+		}
+		return 1
+	})
 	return updates
+}
+
+// entryBetter orders entries by the stream.Better total preference order
+// (descending), as a slices.SortFunc comparator.
+func entryBetter(a, b Entry) int {
+	if stream.Better(a.Score, a.T.Seq, b.Score, b.T.Seq) {
+		return -1
+	}
+	return 1
 }
 
 // computeFromScratch runs the top-k computation module for q, refreshes the
@@ -616,11 +823,11 @@ func (e *Engine) computeFromScratch(q *query) {
 	q.cost += e.s.CellsProcessed + e.s.HeapOps - work
 
 	if q.spec.Policy == SMA {
-		in := make([]skyband.Entry, len(res.Top))
-		for i, en := range res.Top {
-			in[i] = skyband.Entry{T: en.T, Score: en.Score}
+		e.skyScratch = e.skyScratch[:0]
+		for _, en := range res.Top {
+			e.skyScratch = append(e.skyScratch, skyband.Entry{T: en.T, Score: en.Score})
 		}
-		q.sky.Rebuild(in)
+		q.sky.Rebuild(e.skyScratch)
 	} else {
 		q.top = q.top[:0]
 		if q.topIDs == nil {

@@ -734,3 +734,76 @@ func TestEmptyCyclesTimeWindow(t *testing.T) {
 		t.Fatalf("removals reported=%d want 3", removed)
 	}
 }
+
+// TestUpdateStreamErrorsAreAllOrNothing pins the validate-then-apply
+// contract of the batched StepUpdate: a rejected cycle must leave the
+// engine exactly as it was — nothing half-indexed in byID or the grid,
+// no deletions applied before the failing one.
+func TestUpdateStreamErrorsAreAllOrNothing(t *testing.T) {
+	e := mustEngine(t, Options{Dims: 2, Mode: UpdateStream, TargetCells: 64})
+	id, err := e.Register(QuerySpec{F: geom.NewLinear(1, 1), K: 5, Policy: TMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := []*stream.Tuple{
+		{ID: 1, Seq: 1, TS: 0, Vec: geom.Vector{0.5, 0.5}},
+		{ID: 2, Seq: 2, TS: 0, Vec: geom.Vector{0.6, 0.6}},
+	}
+	if _, err := e.StepUpdate(0, seed, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate arrival (vs index and within the batch): nothing indexed.
+	fresh := &stream.Tuple{ID: 3, Seq: 3, TS: 1, Vec: geom.Vector{0.7, 0.7}}
+	dup := &stream.Tuple{ID: 1, Seq: 4, TS: 1, Vec: geom.Vector{0.8, 0.8}}
+	if _, err := e.StepUpdate(1, []*stream.Tuple{fresh, dup}, nil); err == nil {
+		t.Fatal("duplicate arrival must fail")
+	}
+	twin := []*stream.Tuple{
+		{ID: 4, Seq: 5, TS: 1, Vec: geom.Vector{0.3, 0.3}},
+		{ID: 4, Seq: 6, TS: 1, Vec: geom.Vector{0.4, 0.4}},
+	}
+	if _, err := e.StepUpdate(1, twin, nil); err == nil {
+		t.Fatal("within-batch duplicate arrival must fail")
+	}
+	if e.NumPoints() != 2 {
+		t.Fatalf("failed cycles indexed tuples: %d points want 2", e.NumPoints())
+	}
+
+	// Failing deletion list: the valid prefix must not be applied, and the
+	// prefix tuples must remain deletable afterwards.
+	if _, err := e.StepUpdate(2, nil, []uint64{1, 99}); err == nil {
+		t.Fatal("unknown deletion must fail")
+	}
+	if _, err := e.StepUpdate(2, nil, []uint64{2, 2}); err == nil {
+		t.Fatal("duplicate deletion must fail")
+	}
+	if e.NumPoints() != 2 {
+		t.Fatalf("failed deletion cycle mutated the index: %d points want 2", e.NumPoints())
+	}
+	if _, err := e.StepUpdate(3, nil, []uint64{1, 2}); err != nil {
+		t.Fatalf("prefix of failed deletion became undeletable: %v", err)
+	}
+	if e.NumPoints() != 0 {
+		t.Fatalf("points=%d want 0", e.NumPoints())
+	}
+
+	// Same-cycle arrival + deletion still works (insert then delete).
+	pair := []*stream.Tuple{{ID: 7, Seq: 7, TS: 4, Vec: geom.Vector{0.9, 0.9}}}
+	if _, err := e.StepUpdate(4, pair, []uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPoints() != 0 {
+		t.Fatalf("same-cycle insert+delete left %d points", e.NumPoints())
+	}
+	res, err := e.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("result holds %d entries over an empty index", len(res))
+	}
+	if err := e.CheckInfluence(); err != nil {
+		t.Fatal(err)
+	}
+}

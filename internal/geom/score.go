@@ -3,6 +3,8 @@ package geom
 import (
 	"fmt"
 	"strings"
+
+	"topkmon/internal/simd"
 )
 
 // Direction describes the monotonicity of a scoring function along one
@@ -42,6 +44,41 @@ type ScoringFunction interface {
 	Direction(dim int) Direction
 	// String renders the function for logs and experiment reports.
 	String() string
+}
+
+// BlockScorer is the optional batch extension of ScoringFunction: scoring
+// functions that can fill out[j] with the score of point j of a
+// dims-strided coordinate block implement it to opt into the vectorized
+// cell-scoring path. Implementations must produce bit-identical results to
+// calling Score point by point — scores feed total-order comparisons, so a
+// reassociated batch sum would change query results.
+type BlockScorer interface {
+	ScoreBlock(coords []float64, dims int, out []float64)
+}
+
+// ScoreBlockInto fills out[j] with f's score of point j of the
+// dims-strided block coords (len(out) points). The built-in function
+// families dispatch to the internal/simd kernels; other functions use
+// their BlockScorer implementation when present and fall back to pointwise
+// Score calls otherwise. Results are bit-identical to pointwise scoring in
+// every case.
+func ScoreBlockInto(f ScoringFunction, coords []float64, dims int, out []float64) {
+	switch fn := f.(type) {
+	case *Linear:
+		simd.DotBlockInto(out, coords, fn.weights)
+	case *Quadratic:
+		simd.QuadBlockInto(out, coords, fn.weights)
+	case *Product:
+		simd.ProductBlockInto(out, coords, fn.offsets)
+	default:
+		if bs, ok := f.(BlockScorer); ok {
+			bs.ScoreBlock(coords, dims, out)
+			return
+		}
+		for j := range out {
+			out[j] = f.Score(Vector(coords[j*dims : (j+1)*dims]))
+		}
+	}
 }
 
 // BestCornerInto writes into out the corner of r that maximizes f: per

@@ -1,0 +1,213 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"topkmon/internal/stream"
+)
+
+func tupleAt(id uint64, x, y float64) *stream.Tuple {
+	return &stream.Tuple{ID: id, Seq: id, Vec: []float64{x, y}}
+}
+
+// TestDrainedCellReleasesBlock asserts the FIFO-cell memory guarantee: a
+// cell whose last live tuple leaves — via head pops or via the
+// out-of-order fallback — releases its backing columns entirely instead of
+// retaining a nil'd prefix at high-water capacity.
+func TestDrainedCellReleasesBlock(t *testing.T) {
+	for _, order := range []string{"fifo", "out-of-order"} {
+		t.Run(order, func(t *testing.T) {
+			g := New(2, 4, FIFO)
+			var tuples []*stream.Tuple
+			for i := 0; i < 100; i++ {
+				tu := tupleAt(uint64(i), 0.1, 0.1)
+				tuples = append(tuples, tu)
+				g.Insert(tu)
+			}
+			idx := g.IndexOf(tuples[0].Vec)
+			if g.CellCapBytes(idx) == 0 {
+				t.Fatal("cell reports no reserved bytes while full")
+			}
+			if order == "out-of-order" {
+				// Remove back to front, exercising the linear fallback.
+				for i := len(tuples) - 1; i >= 0; i-- {
+					if !g.Remove(tuples[i]) {
+						t.Fatalf("tuple %d not found", i)
+					}
+				}
+			} else {
+				for i, tu := range tuples {
+					if !g.Remove(tu) {
+						t.Fatalf("tuple %d not found", i)
+					}
+				}
+			}
+			if g.CellLen(idx) != 0 || g.NumPoints() != 0 {
+				t.Fatalf("cell not drained: len=%d points=%d", g.CellLen(idx), g.NumPoints())
+			}
+			if got := g.CellCapBytes(idx); got != 0 {
+				t.Fatalf("drained cell retains %d backing bytes", got)
+			}
+		})
+	}
+}
+
+// TestDrainedCellReleasesBlockRandomMode is the same guarantee under the
+// update-stream (hash) mode.
+func TestDrainedCellReleasesBlockRandomMode(t *testing.T) {
+	g := New(2, 4, Random)
+	var tuples []*stream.Tuple
+	for i := 0; i < 50; i++ {
+		tu := tupleAt(uint64(i), 0.9, 0.9)
+		tuples = append(tuples, tu)
+		g.Insert(tu)
+	}
+	idx := g.IndexOf(tuples[0].Vec)
+	rand.New(rand.NewSource(7)).Shuffle(len(tuples), func(i, j int) {
+		tuples[i], tuples[j] = tuples[j], tuples[i]
+	})
+	for _, tu := range tuples {
+		if !g.Remove(tu) {
+			t.Fatalf("tuple %d not found", tu.ID)
+		}
+	}
+	if got := g.CellCapBytes(idx); got != 0 {
+		t.Fatalf("drained cell retains %d backing bytes", got)
+	}
+}
+
+// TestCellBlockColumnsParallel asserts the columnar invariant: every column
+// of a cell block describes the same tuples, in the same order, and the
+// coordinate block is the dims-strided concatenation of their vectors.
+func TestCellBlockColumnsParallel(t *testing.T) {
+	for _, mode := range []Mode{FIFO, Random} {
+		g := New(3, 2, mode)
+		rng := rand.New(rand.NewSource(11))
+		var tuples []*stream.Tuple
+		for i := 0; i < 40; i++ {
+			tu := &stream.Tuple{
+				ID:  uint64(i),
+				Seq: uint64(100 + i),
+				TS:  int64(i / 4),
+				Vec: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			}
+			tuples = append(tuples, tu)
+			g.Insert(tu)
+		}
+		// Delete a few to exercise head advance / swap-fill.
+		for _, i := range []int{0, 7, 13} {
+			g.Remove(tuples[i])
+		}
+		total := 0
+		for idx := 0; idx < g.NumCells(); idx++ {
+			blk := g.CellBlock(idx)
+			if blk.Len() != g.CellLen(idx) {
+				t.Fatalf("mode=%v cell %d: block len %d != cell len %d", mode, idx, blk.Len(), g.CellLen(idx))
+			}
+			for j := 0; j < blk.Len(); j++ {
+				tu := blk.Ptrs[j]
+				if blk.IDs[j] != tu.ID || blk.Seqs[j] != tu.Seq || blk.TSs[j] != tu.TS {
+					t.Fatalf("mode=%v cell %d slot %d: columns diverge from tuple %v", mode, idx, j, tu)
+				}
+				for d := 0; d < 3; d++ {
+					if blk.Coords[j*3+d] != tu.Vec[d] {
+						t.Fatalf("mode=%v cell %d slot %d dim %d: coord %v != vec %v",
+							mode, idx, j, d, blk.Coords[j*3+d], tu.Vec[d])
+					}
+				}
+			}
+			total += blk.Len()
+		}
+		if total != g.NumPoints() {
+			t.Fatalf("mode=%v: blocks hold %d tuples, grid reports %d", mode, total, g.NumPoints())
+		}
+	}
+}
+
+// TestInfluenceListMatchesMapSemantics is the sorted-small-slice property
+// test: under random add/remove/has/iterate sequences the influence list
+// must agree with the reference hash-set semantics the engine was built
+// against, and iteration must visit ascending, duplicate-free query ids.
+func TestInfluenceListMatchesMapSemantics(t *testing.T) {
+	g := New(2, 3, FIFO)
+	const cells = 9
+	model := make([]map[QueryID]struct{}, cells)
+	for i := range model {
+		model[i] = make(map[QueryID]struct{})
+	}
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 20000; op++ {
+		idx := rng.Intn(cells)
+		q := QueryID(rng.Intn(24))
+		switch rng.Intn(4) {
+		case 0:
+			g.AddInfluence(idx, q)
+			model[idx][q] = struct{}{}
+		case 1:
+			_, want := model[idx][q]
+			delete(model[idx], q)
+			if got := g.RemoveInfluence(idx, q); got != want {
+				t.Fatalf("op %d: RemoveInfluence(%d, %d) = %v want %v", op, idx, q, got, want)
+			}
+		case 2:
+			_, want := model[idx][q]
+			if got := g.HasInfluence(idx, q); got != want {
+				t.Fatalf("op %d: HasInfluence(%d, %d) = %v want %v", op, idx, q, got, want)
+			}
+		default:
+			if got, want := g.InfluenceLen(idx), len(model[idx]); got != want {
+				t.Fatalf("op %d: InfluenceLen(%d) = %d want %d", op, idx, got, want)
+			}
+			var seen []QueryID
+			g.InfluenceDo(idx, func(id QueryID) bool {
+				seen = append(seen, id)
+				return true
+			})
+			if len(seen) != len(model[idx]) {
+				t.Fatalf("op %d: iterated %d entries want %d", op, len(seen), len(model[idx]))
+			}
+			for i, id := range seen {
+				if _, ok := model[idx][id]; !ok {
+					t.Fatalf("op %d: iterated unexpected query %d", op, id)
+				}
+				if i > 0 && seen[i-1] >= id {
+					t.Fatalf("op %d: iteration not strictly ascending: %v", op, seen)
+				}
+			}
+		}
+	}
+	want := 0
+	for i := range model {
+		want += len(model[i])
+	}
+	if got := g.TotalInfluenceEntries(); got != want {
+		t.Fatalf("TotalInfluenceEntries = %d want %d", got, want)
+	}
+}
+
+// TestInfluenceSliceAliasing pins the Influence accessor contract: the
+// returned slice reflects the live list and iterates ascending.
+func TestInfluenceSliceAliasing(t *testing.T) {
+	g := New(2, 3, FIFO)
+	for _, q := range []QueryID{9, 3, 14, 3, 7} {
+		g.AddInfluence(4, q)
+	}
+	want := []QueryID{3, 7, 9, 14}
+	got := g.Influence(4)
+	if len(got) != len(want) {
+		t.Fatalf("Influence = %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Influence = %v want %v", got, want)
+		}
+	}
+	g.RemoveInfluence(4, 9)
+	if g.InfluenceLen(4) != 3 || g.HasInfluence(4, 9) {
+		t.Fatal("removal not reflected")
+	}
+	if g.Influence(0) != nil {
+		t.Fatalf("empty cell influence = %v want nil", g.Influence(0))
+	}
+}

@@ -2,13 +2,20 @@
 // in main memory (Section 4.1). Each cell has extent delta = 1/res per
 // axis and stores:
 //
-//   - a point list holding (pointers to) the valid tuples inside the cell.
-//     Under the append-only stream model insertions and deletions hit a
-//     cell in first-in-first-out order, so the list is a deque with O(1)
-//     operations at both ends. Under the update-stream model of Section 7
-//     (explicit deletions) the lists switch to hash tables;
-//   - an influence list IL_c: a hash set with an entry for every query
-//     whose influence region intersects the cell. Influence lists are
+//   - a columnar (struct-of-arrays) point block: tuple coordinates in one
+//     flat dims-strided []float64, with parallel id, arrival-sequence,
+//     timestamp and tuple-pointer columns. Scoring a cell for a query is a
+//     tight loop over the contiguous coordinate block (internal/simd); the
+//     pointer column is touched only for tuples that survive the score
+//     filter. Under the append-only stream model insertions and deletions
+//     hit a cell in first-in-first-out order, so the block is a deque with
+//     O(1) operations at both ends. Under the update-stream model of
+//     Section 7 (explicit deletions) an id->slot hash locates victims and
+//     deletion swaps the last slot in, keeping the block dense;
+//   - an influence list IL_c: a sorted small-slice with an entry for every
+//     query whose influence region intersects the cell (binary-search
+//     add/remove, linear iterate — cheaper than a hash set at the observed
+//     fan-outs and deterministic to iterate). Influence lists are
 //     maintained lazily by the monitoring algorithms, exactly as in the
 //     paper.
 //
@@ -21,6 +28,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"topkmon/internal/geom"
 	"topkmon/internal/stream"
@@ -35,12 +43,13 @@ type Mode int
 
 // Grid modes.
 const (
-	// FIFO stores per-cell point lists as deques; valid under the
+	// FIFO stores per-cell point blocks as deques; valid under the
 	// append-only sliding-window model where expiration order equals
 	// arrival order.
 	FIFO Mode = iota
-	// Random stores per-cell point lists as hash tables, supporting the
-	// explicit-deletion stream model of Section 7 in O(1) expected time.
+	// Random augments the point blocks with an id->slot hash, supporting
+	// the explicit-deletion stream model of Section 7 in O(1) expected
+	// time (deletion swaps the last slot into the hole).
 	Random
 )
 
@@ -56,15 +65,87 @@ func (m Mode) String() string {
 	}
 }
 
+// cell is one grid cell: the columnar point block plus the influence list.
+// Live slots occupy positions [head, len); FIFO expiration advances head,
+// Random-mode deletion swap-fills from the tail (head stays 0 there).
 type cell struct {
-	// FIFO mode: deque over buf[head:].
-	buf  []*stream.Tuple
-	head int
-	// Random mode: id -> tuple.
-	hash map[uint64]*stream.Tuple
-	// Influence list, allocated on first use.
-	infl map[QueryID]struct{}
+	coords []float64 // dims-strided coordinates
+	ids    []uint64
+	seqs   []uint64
+	tss    []int64
+	ptrs   []*stream.Tuple
+	head   int
+	// Random mode: id -> absolute slot position in the columns.
+	slot map[uint64]int
+	// Influence list: query ids in ascending order.
+	infl []QueryID
 }
+
+// len reports the number of live slots.
+func (c *cell) len() int { return len(c.ptrs) - c.head }
+
+// release drops the point columns entirely, returning the cell's backing
+// blocks to the allocator. Called whenever the last live tuple leaves the
+// cell, so a drained cell holds no memory (streams sweep across cells; a
+// cell that was hot an hour ago must not pin its high-water block forever).
+func (c *cell) release() {
+	c.coords, c.ids, c.seqs, c.tss, c.ptrs = nil, nil, nil, nil, nil
+	c.head = 0
+}
+
+// compact moves the live slots to the front of the columns, clearing the
+// vacated pointer tail so tuples are not pinned.
+func (c *cell) compact(dims int) {
+	n := copy(c.ptrs, c.ptrs[c.head:])
+	for i := n; i < len(c.ptrs); i++ {
+		c.ptrs[i] = nil
+	}
+	copy(c.coords, c.coords[c.head*dims:])
+	copy(c.ids, c.ids[c.head:])
+	copy(c.seqs, c.seqs[c.head:])
+	copy(c.tss, c.tss[c.head:])
+	c.coords = c.coords[:n*dims]
+	c.ids = c.ids[:n]
+	c.seqs = c.seqs[:n]
+	c.tss = c.tss[:n]
+	c.ptrs = c.ptrs[:n]
+	c.head = 0
+}
+
+// deleteSlot removes absolute slot pos by swapping the last slot in
+// (Random mode: order is not meaningful there).
+func (c *cell) deleteSlot(pos, dims int) {
+	last := len(c.ptrs) - 1
+	if pos != last {
+		c.ptrs[pos] = c.ptrs[last]
+		c.ids[pos] = c.ids[last]
+		c.seqs[pos] = c.seqs[last]
+		c.tss[pos] = c.tss[last]
+		copy(c.coords[pos*dims:(pos+1)*dims], c.coords[last*dims:(last+1)*dims])
+		c.slot[c.ids[pos]] = pos
+	}
+	c.ptrs[last] = nil
+	c.ptrs = c.ptrs[:last]
+	c.ids = c.ids[:last]
+	c.seqs = c.seqs[:last]
+	c.tss = c.tss[:last]
+	c.coords = c.coords[:last*dims]
+}
+
+// Block is a read-only columnar view of (a suffix of) one cell's live
+// tuples: point j has coordinates Coords[j*dims : (j+1)*dims] and parallel
+// entries in the remaining columns. The view is invalidated by the next
+// mutation of the cell.
+type Block struct {
+	Coords []float64
+	IDs    []uint64
+	Seqs   []uint64
+	TSs    []int64
+	Ptrs   []*stream.Tuple
+}
+
+// Len returns the number of points in the block.
+func (b Block) Len() int { return len(b.Ptrs) }
 
 // Grid is the in-memory index of valid records. It is not safe for
 // concurrent mutation; the engine owns it single-threaded, matching the
@@ -263,76 +344,121 @@ func (g *Grid) BestCellIn(f geom.ScoringFunction, r geom.Rect) int {
 	return idx
 }
 
-// Insert adds t to its covering cell.
-func (g *Grid) Insert(t *stream.Tuple) {
-	c := &g.cells[g.IndexOf(t.Vec)]
+// Insert adds t to its covering cell and returns the cell's index.
+func (g *Grid) Insert(t *stream.Tuple) int {
+	idx := g.IndexOf(t.Vec)
+	g.InsertAt(idx, t)
+	return idx
+}
+
+// InsertAt adds t to cell idx, which must be the cell covering t.Vec
+// (callers that already computed IndexOf avoid recomputing it). The tuple's
+// coordinates are appended to the cell's columnar block.
+func (g *Grid) InsertAt(idx int, t *stream.Tuple) {
+	c := &g.cells[idx]
+	c.coords = append(c.coords, t.Vec...)
+	c.ids = append(c.ids, t.ID)
+	c.seqs = append(c.seqs, t.Seq)
+	c.tss = append(c.tss, t.TS)
+	c.ptrs = append(c.ptrs, t)
 	if g.mode == Random {
-		if c.hash == nil {
-			c.hash = make(map[uint64]*stream.Tuple, 4)
+		if c.slot == nil {
+			c.slot = make(map[uint64]int, 4)
 		}
-		c.hash[t.ID] = t
-	} else {
-		c.buf = append(c.buf, t)
+		c.slot[t.ID] = len(c.ptrs) - 1
 	}
 	g.points++
 }
 
 // Remove deletes t from its covering cell, reporting whether it was found.
 // In FIFO mode the expiring tuple is, by construction, at the head of its
-// cell's list, so the common case is O(1); a linear fallback keeps the
-// structure correct if callers remove out of order.
+// cell's block, so the common case is O(1); a linear fallback keeps the
+// structure correct if callers remove out of order. A cell whose last live
+// tuple leaves releases its backing block entirely (and a long-lived dead
+// prefix is compacted away), so memory tracks the live population.
 func (g *Grid) Remove(t *stream.Tuple) bool {
-	c := &g.cells[g.IndexOf(t.Vec)]
+	idx := g.IndexOf(t.Vec)
+	c := &g.cells[idx]
 	if g.mode == Random {
-		if _, ok := c.hash[t.ID]; !ok {
+		pos, ok := c.slot[t.ID]
+		if !ok {
 			return false
 		}
-		delete(c.hash, t.ID)
+		delete(c.slot, t.ID)
+		c.deleteSlot(pos, g.dims)
+		if len(c.ptrs) == 0 {
+			c.release()
+		}
 		g.points--
 		return true
 	}
-	live := c.buf[c.head:]
-	if len(live) == 0 {
+	n := c.len()
+	if n == 0 {
 		return false
 	}
-	if live[0] == t {
-		c.buf[c.head] = nil
+	if c.ptrs[c.head] == t {
+		c.ptrs[c.head] = nil
 		c.head++
-		if c.head > len(c.buf)/2 && c.head > 16 {
-			n := copy(c.buf, c.buf[c.head:])
-			for i := n; i < len(c.buf); i++ {
-				c.buf[i] = nil
-			}
-			c.buf = c.buf[:n]
-			c.head = 0
+		switch {
+		case c.head == len(c.ptrs):
+			c.release()
+		case c.head > len(c.ptrs)/2 && c.head > 16:
+			c.compact(g.dims)
 		}
 		g.points--
 		return true
 	}
-	for i, p := range live {
-		if p == t {
-			copy(live[i:], live[i+1:])
-			c.buf[len(c.buf)-1] = nil
-			c.buf = c.buf[:len(c.buf)-1]
-			g.points--
-			return true
+	// Out-of-order fallback: locate the tuple among the live slots and
+	// shift the suffix left across every column.
+	for j := c.head; j < len(c.ptrs); j++ {
+		if c.ptrs[j] != t {
+			continue
 		}
+		last := len(c.ptrs) - 1
+		copy(c.ptrs[j:], c.ptrs[j+1:])
+		copy(c.ids[j:], c.ids[j+1:])
+		copy(c.seqs[j:], c.seqs[j+1:])
+		copy(c.tss[j:], c.tss[j+1:])
+		copy(c.coords[j*g.dims:], c.coords[(j+1)*g.dims:])
+		c.ptrs[last] = nil
+		c.ptrs = c.ptrs[:last]
+		c.ids = c.ids[:last]
+		c.seqs = c.seqs[:last]
+		c.tss = c.tss[:last]
+		c.coords = c.coords[:last*g.dims]
+		if c.head == len(c.ptrs) {
+			c.release()
+		}
+		g.points--
+		return true
 	}
 	return false
+}
+
+// CellBlock returns the columnar view of cell idx's live tuples.
+func (g *Grid) CellBlock(idx int) Block {
+	return g.CellBlockFrom(idx, 0)
+}
+
+// CellBlockFrom returns the columnar view of cell idx's live tuples
+// starting at live offset from (0 = the whole cell). The engine uses it to
+// score exactly the sub-block a cycle's arrival batch appended to a cell.
+func (g *Grid) CellBlockFrom(idx, from int) Block {
+	c := &g.cells[idx]
+	lo := c.head + from
+	return Block{
+		Coords: c.coords[lo*g.dims:],
+		IDs:    c.ids[lo:],
+		Seqs:   c.seqs[lo:],
+		TSs:    c.tss[lo:],
+		Ptrs:   c.ptrs[lo:],
+	}
 }
 
 // PointsDo calls fn for every tuple in cell idx until fn returns false.
 func (g *Grid) PointsDo(idx int, fn func(*stream.Tuple) bool) {
 	c := &g.cells[idx]
-	if g.mode == Random {
-		for _, t := range c.hash {
-			if !fn(t) {
-				return
-			}
-		}
-		return
-	}
-	for _, t := range c.buf[c.head:] {
+	for _, t := range c.ptrs[c.head:] {
 		if !fn(t) {
 			return
 		}
@@ -341,46 +467,76 @@ func (g *Grid) PointsDo(idx int, fn func(*stream.Tuple) bool) {
 
 // CellLen returns the number of tuples in cell idx.
 func (g *Grid) CellLen(idx int) int {
+	return g.cells[idx].len()
+}
+
+// CellCapBytes returns the bytes reserved by cell idx's point columns
+// (capacity, not length) — the figure the drained-cell release guarantee
+// is about. Exposed for tests.
+func (g *Grid) CellCapBytes(idx int) int64 {
 	c := &g.cells[idx]
-	if g.mode == Random {
-		return len(c.hash)
-	}
-	return len(c.buf) - c.head
+	return int64(cap(c.coords))*8 + int64(cap(c.ids))*8 + int64(cap(c.seqs))*8 +
+		int64(cap(c.tss))*8 + int64(cap(c.ptrs))*8
+}
+
+// inflFind returns the position of q in cell c's influence list, or the
+// insertion position with ok=false.
+func inflFind(infl []QueryID, q QueryID) (int, bool) {
+	pos := sort.Search(len(infl), func(i int) bool { return infl[i] >= q })
+	return pos, pos < len(infl) && infl[pos] == q
 }
 
 // AddInfluence records query q in the influence list of cell idx.
 func (g *Grid) AddInfluence(idx int, q QueryID) {
 	c := &g.cells[idx]
-	if c.infl == nil {
-		c.infl = make(map[QueryID]struct{}, 2)
+	pos, ok := inflFind(c.infl, q)
+	if ok {
+		return
 	}
-	c.infl[q] = struct{}{}
+	c.infl = append(c.infl, 0)
+	copy(c.infl[pos+1:], c.infl[pos:])
+	c.infl[pos] = q
 }
 
 // RemoveInfluence deletes query q from the influence list of cell idx,
-// reporting whether an entry existed.
+// reporting whether an entry existed. A list that empties releases its
+// backing array.
 func (g *Grid) RemoveInfluence(idx int, q QueryID) bool {
 	c := &g.cells[idx]
-	if _, ok := c.infl[q]; !ok {
+	pos, ok := inflFind(c.infl, q)
+	if !ok {
 		return false
 	}
-	delete(c.infl, q)
+	copy(c.infl[pos:], c.infl[pos+1:])
+	c.infl = c.infl[:len(c.infl)-1]
+	if len(c.infl) == 0 {
+		c.infl = nil
+	}
 	return true
 }
 
 // HasInfluence reports whether query q is in the influence list of cell
 // idx.
 func (g *Grid) HasInfluence(idx int, q QueryID) bool {
-	_, ok := g.cells[idx].infl[q]
+	_, ok := inflFind(g.cells[idx].infl, q)
 	return ok
 }
 
-// InfluenceDo calls fn for every query in the influence list of cell idx
-// until fn returns false. Callers must not mutate the list during
-// iteration; the engine collects affected queries first and processes them
-// after.
+// Influence returns cell idx's influence list: query ids in ascending
+// order. The slice is the internal one — callers must not mutate it and
+// must not hold it across AddInfluence/RemoveInfluence calls. This is the
+// engine's hot-path accessor; InfluenceDo wraps it for callers that prefer
+// a callback.
+func (g *Grid) Influence(idx int) []QueryID {
+	return g.cells[idx].infl
+}
+
+// InfluenceDo calls fn for every query in the influence list of cell idx,
+// in ascending query-id order, until fn returns false. Callers must not
+// mutate the list during iteration; the engine collects affected queries
+// first and processes them after.
 func (g *Grid) InfluenceDo(idx int, fn func(QueryID) bool) {
-	for q := range g.cells[idx].infl {
+	for _, q := range g.cells[idx].infl {
 		if !fn(q) {
 			return
 		}
@@ -400,26 +556,25 @@ func (g *Grid) TotalInfluenceEntries() int {
 	return total
 }
 
-// MemoryBytes estimates the index footprint: the cell directory, the point
-// lists (pointers), the influence-list entries, and the tuple payloads
-// (id + d float64 attributes + seq + timestamp), mirroring the
-// O(N*(d+1) + Q*C) terms of Section 6.
+// MemoryBytes estimates the index footprint: the cell directory, the
+// columnar point blocks (coordinates, ids, sequences, timestamps and tuple
+// pointers at reserved capacity), the influence-list entries, and the
+// tuple payloads (id + d float64 attributes + seq + timestamp), mirroring
+// the O(N*(d+1) + Q*C) terms of Section 6.
 func (g *Grid) MemoryBytes() int64 {
 	const (
-		ptrSize       = 8
-		cellOverhead  = int64(64) // deque header + head + two map pointers
-		inflEntrySize = int64(16) // hash entry incl. bucket overhead
-		hashEntrySize = int64(24) // id->tuple entry incl. bucket overhead
+		cellOverhead  = int64(160) // five column headers + head + map/list pointers
+		inflEntrySize = int64(4)   // one QueryID in the sorted slice
+		slotEntrySize = int64(24)  // id->slot entry incl. bucket overhead
 	)
 	total := int64(len(g.cells)) * cellOverhead
 	for i := range g.cells {
 		c := &g.cells[i]
+		total += g.CellCapBytes(i)
 		if g.mode == Random {
-			total += int64(len(c.hash)) * hashEntrySize
-		} else {
-			total += int64(cap(c.buf)) * ptrSize
+			total += int64(len(c.slot)) * slotEntrySize
 		}
-		total += int64(len(c.infl)) * inflEntrySize
+		total += int64(cap(c.infl)) * inflEntrySize
 	}
 	// Tuple payloads: ID + Seq + TS + vector header and data.
 	tupleSize := int64(8+8+8+24) + int64(g.dims)*8

@@ -640,6 +640,25 @@ func (p *Pipeline) MigrateQuery(id core.QueryID, target int) error {
 	return err
 }
 
+// MigrateQueries forwards a batched live-migration request — N moves under
+// the wrapped monitor's single drain barrier — with the same barrier
+// semantics as MigrateQuery.
+func (p *Pipeline) MigrateQueries(moves []shard.QueryMove) error {
+	var err error
+	if cerr := p.call(func() {
+		if m, ok := p.mon.(interface {
+			MigrateQueries([]shard.QueryMove) error
+		}); ok {
+			err = m.MigrateQueries(moves)
+		} else {
+			err = fmt.Errorf("pipeline: wrapped monitor does not support query migration")
+		}
+	}); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
 // NumPoints implements core.StreamMonitor as a barrier read.
 func (p *Pipeline) NumPoints() int {
 	var n int

@@ -235,3 +235,108 @@ type clumpPlacement struct{}
 
 func (clumpPlacement) Place(core.QueryID, []ShardLoad) int { return 0 }
 func (clumpPlacement) String() string                      { return "clump" }
+
+// TestMigrateQueriesSingleDrain pins the batching contract: moving N
+// queries through MigrateQueries stalls the monitor behind exactly one
+// cycle-barrier drain, where N individual MigrateQuery calls pay N.
+func TestMigrateQueriesSingleDrain(t *testing.T) {
+	opts := core.Options{Dims: 4, Window: window.Count(200), TargetCells: 64}
+	sh, err := NewWithConfig(opts, 3, Config{Placement: clumpPlacement{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	gen := stream.NewGenerator(stream.IND, 4, 21)
+	if _, err := sh.Step(0, gen.Batch(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ids := registerMixedQueries(t, sh, core.AppendOnly, stream.NewQueryGenerator(stream.FuncLinear, 4, 23), 6)
+
+	moves := []QueryMove{
+		{Query: ids[0], Target: 1},
+		{Query: ids[1], Target: 2},
+		{Query: ids[2], Target: 1},
+	}
+	drainsBefore, movesBefore := sh.drains.Load(), sh.Migrations()
+	if err := sh.MigrateQueries(moves); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.drains.Load() - drainsBefore; got != 1 {
+		t.Fatalf("batched 3-move pass drained %d times, want 1", got)
+	}
+	if got := sh.Migrations() - movesBefore; got != 3 {
+		t.Fatalf("batched pass executed %d migrations, want 3", got)
+	}
+
+	// The equivalent single-query calls pay one drain each.
+	drainsBefore = sh.drains.Load()
+	for i, id := range ids[3:6] {
+		if err := sh.MigrateQuery(id, 1+i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sh.drains.Load() - drainsBefore; got != 3 {
+		t.Fatalf("3 individual moves drained %d times, want 3", got)
+	}
+
+	// An empty batch is a no-op without a drain.
+	drainsBefore = sh.drains.Load()
+	if err := sh.MigrateQueries(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.drains.Load() - drainsBefore; got != 0 {
+		t.Fatalf("empty batch drained %d times, want 0", got)
+	}
+
+	// A batch with an invalid target is rejected up front: no drain, no
+	// partial application.
+	drainsBefore, movesBefore = sh.drains.Load(), sh.Migrations()
+	err = sh.MigrateQueries([]QueryMove{{Query: ids[0], Target: 0}, {Query: ids[1], Target: 99}})
+	if err == nil {
+		t.Fatal("out-of-range target in a batch should fail")
+	}
+	if d, m := sh.drains.Load()-drainsBefore, sh.Migrations()-movesBefore; d != 0 || m != 0 {
+		t.Fatalf("rejected batch drained %d times and moved %d queries, want 0/0", d, m)
+	}
+
+	if err := sh.CheckInfluence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalancePassSingleDrain asserts a multi-move rebalance pass drains
+// once: the pass plans its moves from the gathered cost view and applies
+// them as one batch at the barrier it already holds.
+func TestRebalancePassSingleDrain(t *testing.T) {
+	const shards = 4
+	opts := core.Options{Dims: 4, Window: window.Count(800), TargetCells: 256}
+	sh, err := NewWithConfig(opts, shards, Config{
+		Placement: clumpPlacement{},
+		Rebalance: RebalanceConfig{Interval: 1 << 30, Threshold: 1.05, MaxMoves: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	gen := stream.NewGenerator(stream.IND, 4, 31)
+	registerMixedQueries(t, sh, core.AppendOnly, stream.NewQueryGenerator(stream.FuncLinear, 4, 33), 12)
+	for ts := int64(0); ts < 8; ts++ {
+		if _, err := sh.Step(ts, gen.Batch(200, ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drainsBefore, movesBefore := sh.drains.Load(), sh.Migrations()
+	sh.stepMu.Lock()
+	sh.rebalanceLocked()
+	sh.stepMu.Unlock()
+	if got := sh.Migrations() - movesBefore; got < 2 {
+		t.Fatalf("clumped pass moved %d queries, want >= 2", got)
+	}
+	if got := sh.drains.Load() - drainsBefore; got != 1 {
+		t.Fatalf("rebalance pass drained %d times, want 1", got)
+	}
+	if err := sh.CheckInfluence(); err != nil {
+		t.Fatal(err)
+	}
+}

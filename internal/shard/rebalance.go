@@ -91,12 +91,20 @@ func (c RebalanceConfig) maxMoves() int {
 // new cycles are submitted meanwhile) and closeMu.RLock with the monitor
 // open.
 func (s *Sharded) drainWorkers() {
+	s.drains.Add(1)
 	var wg sync.WaitGroup
 	wg.Add(len(s.workers))
 	for _, w := range s.workers {
 		w.jobs <- func() { wg.Done() }
 	}
 	wg.Wait()
+}
+
+// QueryMove names one query's migration target, the unit of a batched
+// migration pass.
+type QueryMove struct {
+	Query  core.QueryID
+	Target int
 }
 
 // MigrateQuery moves a registered query to the given shard at a cycle
@@ -107,6 +115,16 @@ func (s *Sharded) drainWorkers() {
 // stream and attributed cost are unaffected — only the engine doing the
 // work changes.
 func (s *Sharded) MigrateQuery(id core.QueryID, target int) error {
+	return s.MigrateQueries([]QueryMove{{Query: id, Target: target}})
+}
+
+// MigrateQueries executes a batch of migrations under a single cycle
+// barrier: one drain stalls the monitor once, however many queries move.
+// Moves are applied in order; the first failing move stops the batch and
+// returns its error, leaving the already-applied moves in place (each
+// individual move is atomic, so the routing table is always consistent).
+// The rebalancer routes its per-pass moves through the same executor.
+func (s *Sharded) MigrateQueries(moves []QueryMove) error {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
 	s.closeMu.RLock()
@@ -114,11 +132,27 @@ func (s *Sharded) MigrateQuery(id core.QueryID, target int) error {
 	if s.closed {
 		return fmt.Errorf("shard: monitor is closed")
 	}
-	if target < 0 || target >= len(s.workers) {
-		return fmt.Errorf("shard: migration target %d out of range [0,%d)", target, len(s.workers))
+	for _, m := range moves {
+		if m.Target < 0 || m.Target >= len(s.workers) {
+			return fmt.Errorf("shard: migration target %d out of range [0,%d)", m.Target, len(s.workers))
+		}
+	}
+	if len(moves) == 0 {
+		return nil
 	}
 	s.drainWorkers()
-	return s.migrateDrained(id, target)
+	return s.applyMovesDrained(moves)
+}
+
+// applyMovesDrained executes a planned move batch. Callers hold stepMu and
+// closeMu.RLock with the monitor open and the workers drained.
+func (s *Sharded) applyMovesDrained(moves []QueryMove) error {
+	for _, m := range moves {
+		if err := s.migrateDrained(m.Query, m.Target); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // migrateDrained executes one migration. Callers hold stepMu and
@@ -271,7 +305,12 @@ func (s *Sharded) rebalanceLocked() {
 		})
 	}
 
-	for moves := 0; moves < s.rebalance.maxMoves(); moves++ {
+	// Plan the pass's moves on the gathered bookkeeping alone, then apply
+	// them as one batch through the shared drained executor — the workers
+	// are already at the pass's cycle barrier, so the whole pass costs a
+	// single drain no matter how many queries move.
+	var moves []QueryMove
+	for len(moves) < s.rebalance.maxMoves() {
 		hot, cold := 0, 0
 		for i := 1; i < n; i++ {
 			if sums[i] > sums[hot] {
@@ -282,7 +321,7 @@ func (s *Sharded) rebalanceLocked() {
 			}
 		}
 		if float64(sums[hot]) <= thr*mean {
-			return
+			break
 		}
 		// The largest query whose move shrinks the hot/cold gap without
 		// inverting it: delta <= gap/2. A single monster query that *is*
@@ -296,18 +335,17 @@ func (s *Sharded) rebalanceLocked() {
 			}
 		}
 		if pick < 0 {
-			return
+			break
 		}
 		q := per[hot][pick]
-		if err := s.migrateDrained(q.id, cold); err != nil {
-			// A failed move (e.g. the query was unregistered between the
-			// gather and now) invalidates the pass's bookkeeping; stop and
-			// let the next pass re-plan.
-			return
-		}
+		moves = append(moves, QueryMove{Query: q.id, Target: cold})
 		sums[hot] -= q.delta
 		sums[cold] += q.delta
 		per[hot] = append(per[hot][:pick], per[hot][pick+1:]...)
 		per[cold] = append(per[cold], q)
 	}
+	// A failed move (e.g. the query was unregistered between the gather
+	// and now) invalidates the pass's bookkeeping; applyMovesDrained stops
+	// there and the next pass re-plans.
+	_ = s.applyMovesDrained(moves)
 }

@@ -87,8 +87,12 @@ type Sharded struct {
 	cycleCount int64
 	prevCost   map[core.QueryID]int64
 
-	// migrations counts executed live query migrations.
+	// migrations counts executed live query migrations; drains counts
+	// cycle-barrier drains (every drain stalls the whole monitor, which is
+	// why multi-move passes must batch behind a single one — asserted by
+	// tests).
 	migrations atomic.Int64
+	drains     atomic.Int64
 
 	// closeMu guards the worker channels' lifetime: every operation holds
 	// it for reading while it may send jobs, Close holds it for writing

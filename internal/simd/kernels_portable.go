@@ -1,0 +1,11 @@
+//go:build !amd64 && !arm64
+
+package simd
+
+// Fallback for architectures outside the unroll allowlist: the scalar
+// reference implementations. Results are bit-identical either way; this
+// path just avoids betting on register pressure behavior we have not
+// benchmarked.
+func dotBlock(dst, coords, w []float64)     { DotBlockScalar(dst, coords, w) }
+func quadBlock(dst, coords, w []float64)    { QuadBlockScalar(dst, coords, w) }
+func productBlock(dst, coords, o []float64) { ProductBlockScalar(dst, coords, o) }

@@ -1,0 +1,11 @@
+//go:build amd64 || arm64
+
+package simd
+
+// On the mainstream 64-bit targets the four-chain unrolled kernels are the
+// dispatch default. They are pure Go and bit-identical to the scalar
+// references; the build tag only keeps exotic GOARCHes (where the wider
+// register file the unroll assumes may not exist) on the simple loop.
+func dotBlock(dst, coords, w []float64)     { dotBlockUnrolled(dst, coords, w) }
+func quadBlock(dst, coords, w []float64)    { quadBlockUnrolled(dst, coords, w) }
+func productBlock(dst, coords, o []float64) { productBlockUnrolled(dst, coords, o) }

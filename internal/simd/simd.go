@@ -1,0 +1,229 @@
+// Package simd provides batch scoring kernels over dims-strided coordinate
+// blocks — the tight loops behind the grid's columnar cell layout.
+//
+// A block holds n points contiguously: point j occupies
+// coords[j*dims : (j+1)*dims]. Each kernel fills dst[j] with the score of
+// point j under one scoring-function family (linear dot product, product
+// form, quadratic form). The kernels are written as four independent
+// accumulator chains over consecutive points so the Go compiler can keep
+// them in registers and auto-vectorize where the target supports it; on
+// architectures outside the allowlist (see kernels_portable.go) the
+// dispatch falls back to the scalar reference implementations.
+//
+// Bit-exactness contract: every kernel performs the per-point floating
+// point operations in exactly the order the corresponding
+// geom.ScoringFunction.Score method does (accumulate over dimensions in
+// index order), so batch and pointwise scoring yield bit-identical
+// float64 results. The monitoring engine depends on this — scores feed
+// total-order comparisons, and the differential harness asserts
+// byte-identical transcripts against a pointwise reference scorer. The
+// equivalence tests and the fuzz entry in this package pin the contract.
+package simd
+
+// DotBlockInto fills dst[j] with the dot product of w and point j of the
+// dims-strided block coords, where dims = len(w) and the block holds
+// len(dst) points. It mirrors geom.Linear.Score.
+func DotBlockInto(dst, coords, w []float64) {
+	dotBlock(dst, coords, w)
+}
+
+// QuadBlockInto fills dst[j] with sum_i w[i] * x_i * x_i for point j of
+// the block. It mirrors geom.Quadratic.Score.
+func QuadBlockInto(dst, coords, w []float64) {
+	quadBlock(dst, coords, w)
+}
+
+// ProductBlockInto fills dst[j] with prod_i (off[i] + x_i) for point j of
+// the block. It mirrors geom.Product.Score.
+func ProductBlockInto(dst, coords, off []float64) {
+	productBlock(dst, coords, off)
+}
+
+// DotBlockScalar is the reference implementation of DotBlockInto: one
+// point at a time, accumulating over dimensions in index order — the exact
+// loop of geom.Linear.Score.
+func DotBlockScalar(dst, coords, w []float64) {
+	dims := len(w)
+	for j := range dst {
+		b := j * dims
+		var s float64
+		for i, wi := range w {
+			s += wi * coords[b+i]
+		}
+		dst[j] = s
+	}
+}
+
+// QuadBlockScalar is the reference implementation of QuadBlockInto.
+func QuadBlockScalar(dst, coords, w []float64) {
+	dims := len(w)
+	for j := range dst {
+		b := j * dims
+		var s float64
+		for i, wi := range w {
+			x := coords[b+i]
+			s += wi * x * x
+		}
+		dst[j] = s
+	}
+}
+
+// ProductBlockScalar is the reference implementation of ProductBlockInto.
+func ProductBlockScalar(dst, coords, off []float64) {
+	dims := len(off)
+	for j := range dst {
+		b := j * dims
+		s := 1.0
+		for i, oi := range off {
+			s *= oi + coords[b+i]
+		}
+		dst[j] = s
+	}
+}
+
+// dotBlockUnrolled processes four points per iteration with independent
+// accumulator chains. Each chain accumulates over dimensions in index
+// order, so every dst[j] is bit-identical to the scalar reference.
+func dotBlockUnrolled(dst, coords, w []float64) {
+	dims := len(w)
+	n := len(dst)
+	if dims == 0 || n == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	_ = coords[n*dims-1] // one bounds check for the whole block
+	j := 0
+	if dims == 4 {
+		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+		for ; j+4 <= n; j += 4 {
+			c := coords[j*4 : j*4+16 : j*4+16]
+			s0 := w0 * c[0]
+			s0 += w1 * c[1]
+			s0 += w2 * c[2]
+			s0 += w3 * c[3]
+			s1 := w0 * c[4]
+			s1 += w1 * c[5]
+			s1 += w2 * c[6]
+			s1 += w3 * c[7]
+			s2 := w0 * c[8]
+			s2 += w1 * c[9]
+			s2 += w2 * c[10]
+			s2 += w3 * c[11]
+			s3 := w0 * c[12]
+			s3 += w1 * c[13]
+			s3 += w2 * c[14]
+			s3 += w3 * c[15]
+			dst[j] = s0
+			dst[j+1] = s1
+			dst[j+2] = s2
+			dst[j+3] = s3
+		}
+	} else {
+		for ; j+4 <= n; j += 4 {
+			b0 := j * dims
+			b1, b2, b3 := b0+dims, b0+2*dims, b0+3*dims
+			var s0, s1, s2, s3 float64
+			for i, wi := range w {
+				s0 += wi * coords[b0+i]
+				s1 += wi * coords[b1+i]
+				s2 += wi * coords[b2+i]
+				s3 += wi * coords[b3+i]
+			}
+			dst[j] = s0
+			dst[j+1] = s1
+			dst[j+2] = s2
+			dst[j+3] = s3
+		}
+	}
+	for ; j < n; j++ {
+		b := j * dims
+		var s float64
+		for i, wi := range w {
+			s += wi * coords[b+i]
+		}
+		dst[j] = s
+	}
+}
+
+// quadBlockUnrolled is dotBlockUnrolled for the quadratic form. The inner
+// expression keeps the scalar shape wi*x*x, i.e. (wi*x)*x.
+func quadBlockUnrolled(dst, coords, w []float64) {
+	dims := len(w)
+	n := len(dst)
+	if dims == 0 || n == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	_ = coords[n*dims-1]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		b0 := j * dims
+		b1, b2, b3 := b0+dims, b0+2*dims, b0+3*dims
+		var s0, s1, s2, s3 float64
+		for i, wi := range w {
+			x0 := coords[b0+i]
+			x1 := coords[b1+i]
+			x2 := coords[b2+i]
+			x3 := coords[b3+i]
+			s0 += wi * x0 * x0
+			s1 += wi * x1 * x1
+			s2 += wi * x2 * x2
+			s3 += wi * x3 * x3
+		}
+		dst[j] = s0
+		dst[j+1] = s1
+		dst[j+2] = s2
+		dst[j+3] = s3
+	}
+	for ; j < n; j++ {
+		b := j * dims
+		var s float64
+		for i, wi := range w {
+			x := coords[b+i]
+			s += wi * x * x
+		}
+		dst[j] = s
+	}
+}
+
+// productBlockUnrolled is dotBlockUnrolled for the product form, with
+// multiplicative accumulators initialized to 1.
+func productBlockUnrolled(dst, coords, off []float64) {
+	dims := len(off)
+	n := len(dst)
+	if dims == 0 || n == 0 {
+		for j := range dst {
+			dst[j] = 1
+		}
+		return
+	}
+	_ = coords[n*dims-1]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		b0 := j * dims
+		b1, b2, b3 := b0+dims, b0+2*dims, b0+3*dims
+		s0, s1, s2, s3 := 1.0, 1.0, 1.0, 1.0
+		for i, oi := range off {
+			s0 *= oi + coords[b0+i]
+			s1 *= oi + coords[b1+i]
+			s2 *= oi + coords[b2+i]
+			s3 *= oi + coords[b3+i]
+		}
+		dst[j] = s0
+		dst[j+1] = s1
+		dst[j+2] = s2
+		dst[j+3] = s3
+	}
+	for ; j < n; j++ {
+		b := j * dims
+		s := 1.0
+		for i, oi := range off {
+			s *= oi + coords[b+i]
+		}
+		dst[j] = s
+	}
+}

@@ -1,0 +1,165 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// kernelCase names one (dispatch, scalar) pair under test.
+type kernelCase struct {
+	name    string
+	kernel  func(dst, coords, params []float64)
+	scalar  func(dst, coords, params []float64)
+	initial float64 // value the kernel must write for dims == 0
+}
+
+func kernelCases() []kernelCase {
+	return []kernelCase{
+		{"dot", DotBlockInto, DotBlockScalar, 0},
+		{"quad", QuadBlockInto, QuadBlockScalar, 0},
+		{"product", ProductBlockInto, ProductBlockScalar, 1},
+	}
+}
+
+// TestKernelEquivalenceExhaustive sweeps every (dims, n) pair in a dense
+// range — covering all unroll remainders and the dims==4 specialization —
+// and requires bit-identical output between the dispatched kernel and the
+// scalar reference.
+func TestKernelEquivalenceExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, kc := range kernelCases() {
+		t.Run(kc.name, func(t *testing.T) {
+			for dims := 1; dims <= 9; dims++ {
+				for n := 0; n <= 21; n++ {
+					coords := make([]float64, n*dims)
+					for i := range coords {
+						coords[i] = rng.Float64()
+					}
+					params := make([]float64, dims)
+					for i := range params {
+						params[i] = rng.Float64()*2 - 1
+					}
+					want := make([]float64, n)
+					got := make([]float64, n)
+					kc.scalar(want, coords, params)
+					kc.kernel(got, coords, params)
+					for j := range want {
+						if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+							t.Fatalf("dims=%d n=%d point %d: kernel %v != scalar %v",
+								dims, n, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelMatchesUnrolled pins the dispatch-vs-unrolled identity on the
+// allowlisted architectures (on others the dispatch IS the scalar path and
+// the exhaustive test above already covers it).
+func TestKernelZeroDims(t *testing.T) {
+	for _, kc := range kernelCases() {
+		dst := []float64{3, 7}
+		kc.kernel(dst, nil, nil)
+		for j, v := range dst {
+			if v != kc.initial {
+				t.Fatalf("%s: dims=0 wrote dst[%d]=%v, want %v", kc.name, j, v, kc.initial)
+			}
+		}
+	}
+}
+
+// TestKernelSpecialValues exercises denormals, extreme magnitudes, zeros
+// and mixed signs — regions where a reassociated kernel would diverge.
+func TestKernelSpecialValues(t *testing.T) {
+	values := []float64{
+		0, 1, -1, 0.5, -0.5,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		1e-300, -1e-300, 1e300, -1e300,
+		math.Nextafter(1, 2), math.Nextafter(1, 0),
+	}
+	for _, kc := range kernelCases() {
+		t.Run(kc.name, func(t *testing.T) {
+			for dims := 1; dims <= 5; dims++ {
+				n := 13 // one full unroll group plus remainder
+				coords := make([]float64, n*dims)
+				params := make([]float64, dims)
+				for i := range coords {
+					coords[i] = values[i%len(values)]
+				}
+				for i := range params {
+					params[i] = values[(i*3+1)%len(values)]
+				}
+				want := make([]float64, n)
+				got := make([]float64, n)
+				kc.scalar(want, coords, params)
+				kc.kernel(got, coords, params)
+				for j := range want {
+					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("dims=%d point %d: kernel %x != scalar %x",
+							dims, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzKernels drives the (dispatch, scalar) equivalence from fuzzed bytes:
+// the corpus chooses dims, the point count follows from the data length,
+// and every float64 lane is material. NaN payloads are canonicalized to a
+// fixed quiet NaN so the bit comparison stays meaningful (NaN != NaN but
+// the bit patterns must still agree).
+func FuzzKernels(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(1), make([]byte, 8*17))
+	f.Add(uint8(6), make([]byte, 8*6*9))
+	f.Fuzz(func(t *testing.T, dimsRaw uint8, data []byte) {
+		dims := int(dimsRaw%8) + 1
+		floats := bytesToFloats(data)
+		if len(floats) < dims {
+			return
+		}
+		params := floats[:dims]
+		rest := floats[dims:]
+		n := len(rest) / dims
+		if n > 256 {
+			n = 256
+		}
+		coords := rest[:n*dims]
+		for _, kc := range kernelCases() {
+			want := make([]float64, n)
+			got := make([]float64, n)
+			kc.scalar(want, coords, params)
+			kc.kernel(got, coords, params)
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("%s dims=%d n=%d point %d: kernel %x != scalar %x",
+						kc.name, dims, n, j,
+						math.Float64bits(got[j]), math.Float64bits(want[j]))
+				}
+			}
+		}
+	})
+}
+
+// bytesToFloats reinterprets fuzz bytes as float64 lanes, canonicalizing
+// NaNs (arithmetic on differently-payloaded NaNs is not required to
+// preserve payloads, so distinct payloads would fail the bit comparison
+// for reasons unrelated to evaluation order).
+func bytesToFloats(data []byte) []float64 {
+	out := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		bits := uint64(data[0]) | uint64(data[1])<<8 | uint64(data[2])<<16 | uint64(data[3])<<24 |
+			uint64(data[4])<<32 | uint64(data[5])<<40 | uint64(data[6])<<48 | uint64(data[7])<<56
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) {
+			v = math.NaN()
+		}
+		out = append(out, v)
+		data = data[8:]
+	}
+	return out
+}

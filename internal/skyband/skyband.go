@@ -159,6 +159,24 @@ func (s *Skyband) Insert(t *stream.Tuple, score float64) int {
 	return evicted
 }
 
+// InsertBatch inserts one cycle's admitted arrivals, which must be in
+// ascending arrival (sequence) order — each element must be the latest
+// arrival among everything inserted so far, the same contract as Insert.
+// It returns the total number of evicted entries. This is the entry point
+// of the engine's cell-batched insert phase: the batch is the cycle's
+// admissions re-sorted into sequence order after per-cell block scoring.
+func (s *Skyband) InsertBatch(entries []Entry) int {
+	evicted := 0
+	for i := range entries {
+		if i > 0 && entries[i].T.Seq <= entries[i-1].T.Seq {
+			panic(fmt.Sprintf("skyband: InsertBatch out of sequence order: %d after %d",
+				entries[i].T.Seq, entries[i-1].T.Seq))
+		}
+		evicted += s.Insert(entries[i].T, entries[i].Score)
+	}
+	return evicted
+}
+
 // Restore replaces the skyband contents with entries previously exported
 // via Entries() — including their dominance counters — so a query migrated
 // between engines resumes with byte-identical skyband state. The input must

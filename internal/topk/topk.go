@@ -43,7 +43,10 @@ type Request struct {
 	Constraint *geom.Rect
 }
 
-// Result is the outcome of a top-k computation.
+// Result is the outcome of a top-k computation. Its slices alias the
+// searcher's pooled scratch buffers: they are valid until the next TopK or
+// Threshold call on the same searcher, and callers that keep them longer
+// must copy (the engine copies what it retains).
 type Result struct {
 	// Top holds up to K entries in descending total order.
 	Top []Entry
@@ -76,6 +79,15 @@ type Searcher struct {
 	cellRect geom.Rect
 	clipped  geom.Rect
 	corner   geom.Vector
+	// pooled per-computation buffers: cell scores (the vectorized scoring
+	// block), the processed/frontier cell lists, the bounded top list, and
+	// the threshold result list. Reused across calls so steady-state
+	// recomputations allocate nothing; Result documents the aliasing.
+	scores     []float64
+	processed  []int
+	frontier   []int
+	top        topList
+	thrEntries []Entry
 	// CellsProcessed accumulates the number of de-heaped cells across
 	// computations; used by the experiment harness.
 	CellsProcessed int64
@@ -128,6 +140,19 @@ func (s *Searcher) maxScoreOf(idx int, f geom.ScoringFunction, constraint *geom.
 	return f.Score(s.corner), true
 }
 
+// scoreCell fills s.scores with the scores of cell idx's live tuples via
+// the vectorized block kernel and returns the cell's columnar block.
+func (s *Searcher) scoreCell(idx int, f geom.ScoringFunction) grid.Block {
+	blk := s.g.CellBlock(idx)
+	n := blk.Len()
+	if cap(s.scores) < n {
+		s.scores = make([]float64, n, n+n/2+8)
+	}
+	s.scores = s.scores[:n]
+	geom.ScoreBlockInto(f, blk.Coords, s.g.Dims(), s.scores)
+	return blk
+}
+
 // TopK runs the computation module for req and returns the result entries
 // together with the processed and frontier cell sets.
 func (s *Searcher) TopK(req Request) Result {
@@ -136,9 +161,10 @@ func (s *Searcher) TopK(req Request) Result {
 	}
 	s.nextGen()
 	s.heap.Reset()
-
-	var res Result
-	top := newTopList(req.K)
+	s.processed = s.processed[:0]
+	s.frontier = s.frontier[:0]
+	s.top.reset(req.K)
+	dims := s.g.Dims()
 
 	start := s.g.BestCell(req.F)
 	if req.Constraint != nil {
@@ -160,23 +186,24 @@ func (s *Searcher) TopK(req Request) Result {
 		// smaller maxscore (not <=) so that a tuple tying the kth score
 		// but arriving later — preferable under the total order — is
 		// never missed.
-		if kth, full := top.kth(); full && next.maxscore < kth {
+		if kth, full := s.top.kth(); full && next.maxscore < kth {
 			break
 		}
 		s.heap.Pop()
 		s.CellsProcessed++
 		s.HeapOps++
-		res.Processed = append(res.Processed, next.idx)
+		s.processed = append(s.processed, next.idx)
 
-		s.g.PointsDo(next.idx, func(t *stream.Tuple) bool {
-			if req.Constraint != nil && !req.Constraint.Contains(t.Vec) {
-				return true
+		blk := s.scoreCell(next.idx, req.F)
+		for j, sc := range s.scores {
+			if req.Constraint != nil &&
+				!req.Constraint.Contains(geom.Vector(blk.Coords[j*dims:(j+1)*dims])) {
+				continue
 			}
-			top.offer(t, req.F.Score(t.Vec))
-			return true
-		})
+			s.top.offer(blk.Ptrs[j], blk.Seqs[j], sc)
+		}
 
-		for dim := 0; dim < s.g.Dims(); dim++ {
+		for dim := 0; dim < dims; dim++ {
 			n, ok := s.g.StepWorse(next.idx, dim, req.F.Direction(dim))
 			if !ok || s.visited[n] == s.gen {
 				continue
@@ -190,10 +217,9 @@ func (s *Searcher) TopK(req Request) Result {
 	}
 
 	for _, e := range s.heap.Items() {
-		res.Frontier = append(res.Frontier, e.idx)
+		s.frontier = append(s.frontier, e.idx)
 	}
-	res.Top = top.entries
-	return res
+	return Result{Top: s.top.entries, Processed: s.processed, Frontier: s.frontier}
 }
 
 // Threshold collects every tuple with score strictly above the threshold,
@@ -201,17 +227,19 @@ func (s *Searcher) TopK(req Request) Result {
 // visiting order does not matter for threshold queries). It returns the
 // matching entries (unordered) and the set of processed cells, which is
 // exactly the set of cells whose maxscore exceeds the threshold — the
-// query's influence region.
+// query's influence region. Like Result, the returned slices alias pooled
+// searcher buffers valid until the next computation.
 func (s *Searcher) Threshold(f geom.ScoringFunction, threshold float64, constraint *geom.Rect) ([]Entry, []int) {
 	s.nextGen()
-	var entries []Entry
-	var processed []int
+	s.thrEntries = s.thrEntries[:0]
+	s.processed = s.processed[:0]
+	dims := s.g.Dims()
 
 	start := s.g.BestCell(f)
 	if constraint != nil {
 		start = s.g.BestCellIn(f, *constraint)
 	}
-	queue := []int{start}
+	queue := append(s.frontier[:0], start) // reuse the frontier buffer as the DFS stack
 	s.visited[start] = s.gen
 	for len(queue) > 0 {
 		idx := queue[len(queue)-1]
@@ -221,17 +249,19 @@ func (s *Searcher) Threshold(f geom.ScoringFunction, threshold float64, constrai
 			continue
 		}
 		s.CellsProcessed++
-		processed = append(processed, idx)
-		s.g.PointsDo(idx, func(t *stream.Tuple) bool {
-			if constraint != nil && !constraint.Contains(t.Vec) {
-				return true
+		s.processed = append(s.processed, idx)
+		blk := s.scoreCell(idx, f)
+		for j, sc := range s.scores {
+			if sc <= threshold {
+				continue
 			}
-			if sc := f.Score(t.Vec); sc > threshold {
-				entries = append(entries, Entry{T: t, Score: sc})
+			if constraint != nil &&
+				!constraint.Contains(geom.Vector(blk.Coords[j*dims:(j+1)*dims])) {
+				continue
 			}
-			return true
-		})
-		for dim := 0; dim < s.g.Dims(); dim++ {
+			s.thrEntries = append(s.thrEntries, Entry{T: blk.Ptrs[j], Score: sc})
+		}
+		for dim := 0; dim < dims; dim++ {
 			n, ok := s.g.StepWorse(idx, dim, f.Direction(dim))
 			if !ok || s.visited[n] == s.gen {
 				continue
@@ -240,20 +270,23 @@ func (s *Searcher) Threshold(f geom.ScoringFunction, threshold float64, constrai
 			queue = append(queue, n)
 		}
 	}
-	return entries, processed
+	s.frontier = queue[:0]
+	return s.thrEntries, s.processed
 }
 
 // topList maintains the best-k candidates in descending total order during
 // a search (the red-black-tree q.top_list of the analysis; a bounded
 // sorted slice has the same O(log k) search and is faster at the paper's
-// k <= 100 because of locality).
+// k <= 100 because of locality). It is embedded in the Searcher and reset
+// per computation, reusing its backing array.
 type topList struct {
 	k       int
 	entries []Entry
 }
 
-func newTopList(k int) *topList {
-	return &topList{k: k, entries: make([]Entry, 0, k)}
+func (tl *topList) reset(k int) {
+	tl.k = k
+	tl.entries = tl.entries[:0]
 }
 
 // kth returns the current kth score; full is false while fewer than k
@@ -265,17 +298,20 @@ func (tl *topList) kth() (float64, bool) {
 	return tl.entries[tl.k-1].Score, true
 }
 
-func (tl *topList) offer(t *stream.Tuple, score float64) {
+// offer considers one candidate. seq is the tuple's arrival sequence,
+// passed alongside so the bounded-list reject path never dereferences the
+// tuple (block scoring reads it from the cell's sequence column).
+func (tl *topList) offer(t *stream.Tuple, seq uint64, score float64) {
 	if len(tl.entries) == tl.k {
 		last := tl.entries[tl.k-1]
-		if !stream.Better(score, t.Seq, last.Score, last.T.Seq) {
+		if !stream.Better(score, seq, last.Score, last.T.Seq) {
 			return
 		}
 	}
 	lo, hi := 0, len(tl.entries)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if stream.Better(tl.entries[mid].Score, tl.entries[mid].T.Seq, score, t.Seq) {
+		if stream.Better(tl.entries[mid].Score, tl.entries[mid].T.Seq, score, seq) {
 			lo = mid + 1
 		} else {
 			hi = mid

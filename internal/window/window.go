@@ -134,7 +134,13 @@ func (w *Window) Oldest() *stream.Tuple {
 // the oldest tuples beyond capacity N; for a time-based window, those with
 // now - TS >= Span.
 func (w *Window) Expire(now int64) []*stream.Tuple {
-	var out []*stream.Tuple
+	return w.ExpireAppend(now, nil)
+}
+
+// ExpireAppend is Expire appending into a caller-provided buffer — the
+// allocation-free form the engine's per-cycle loop uses (it hands the same
+// pooled slice back every cycle).
+func (w *Window) ExpireAppend(now int64, out []*stream.Tuple) []*stream.Tuple {
 	switch w.spec.Kind {
 	case CountBased:
 		for w.Len() > w.spec.N {

@@ -50,6 +50,9 @@ type (
 	// query-partitioned sharded monitor. Implementations must be
 	// deterministic functions of their inputs; see WithPlacement.
 	Placement = shard.Placement
+	// QueryMove names one query's migration target; a batch of them is
+	// executed under a single drain barrier by Monitor.MigrateQueries.
+	QueryMove = shard.QueryMove
 )
 
 // Monitoring policies.

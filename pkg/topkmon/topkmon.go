@@ -184,6 +184,18 @@ func (m *Monitor) MigrateQuery(id QueryID, target int) error {
 	return fmt.Errorf("topkmon: query migration requires WithShards(n > 1) with PartitionQueries")
 }
 
+// MigrateQueries moves a batch of queries in one pass under a single
+// cycle-barrier drain — the bulk form of MigrateQuery. Prefer it whenever
+// more than one query moves at a time: every drain stalls all shards once.
+func (m *Monitor) MigrateQueries(moves []QueryMove) error {
+	if mig, ok := m.mon.(interface {
+		MigrateQueries([]QueryMove) error
+	}); ok {
+		return mig.MigrateQueries(moves)
+	}
+	return fmt.Errorf("topkmon: query migration requires WithShards(n > 1) with PartitionQueries")
+}
+
 // Register installs a query described by a full spec and returns its id.
 func (m *Monitor) Register(spec QuerySpec) (QueryID, error) {
 	return m.mon.Register(spec)
