@@ -353,6 +353,22 @@ func BenchmarkInfluenceWalk(b *testing.B) { benchsuite.RunGroup(b, "InfluenceWal
 // batch-scoring speedup figure of the regression report.
 func BenchmarkScoreBlock(b *testing.B) { benchsuite.RunGroup(b, "ScoreBlock") }
 
+// BenchmarkMultiQueryKernel compares the GEMM-shaped multi-query block
+// kernel against a per-query single-kernel loop over the same
+// near-duplicate weight rows; the ratio is the multi-query speedup figure
+// of the regression report.
+func BenchmarkMultiQueryKernel(b *testing.B) { benchsuite.RunGroup(b, "MultiQueryKernel") }
+
+// BenchmarkQueryIndexProbe measures the per-cycle dispatch skeleton of the
+// shared query index: probing every cell's cached cluster entries with
+// 10k near-duplicate queries registered.
+func BenchmarkQueryIndexProbe(b *testing.B) { benchsuite.RunGroup(b, "QueryIndexProbe") }
+
+// BenchmarkPubSubCycle is the per-cycle sublinearity benchmark: identical
+// steady-state cycles with 1k/10k/100k near-duplicate threshold queries
+// registered. Ratios across the query counts are the scaling claim.
+func BenchmarkPubSubCycle(b *testing.B) { benchsuite.RunGroup(b, "PubSubCycle") }
+
 // BenchmarkTopKComputation isolates the top-k computation module of
 // Figure 6 (the T_comp term of the Section 6 analysis) on a loaded grid.
 func BenchmarkTopKComputation(b *testing.B) {

@@ -1,13 +1,14 @@
 // Command benchreport runs the repository's hot-path benchmark suite
 // (internal/benchsuite — the paper-figure per-cycle benchmark plus the
-// batch-scoring, influence-walk and top-k-computation microbenchmarks),
+// batch-scoring, multi-query-kernel, query-index-probe, pub/sub
+// per-cycle, influence-walk and top-k-computation microbenchmarks),
 // emits a machine-readable report, and optionally gates against a
 // committed baseline.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport -out BENCH_5.json                 # refresh the baseline
-//	go run ./cmd/benchreport -baseline BENCH_5.json -tol 0.15  # regression gate (CI)
+//	go run ./cmd/benchreport -out BENCH_6.json                 # refresh the baseline
+//	go run ./cmd/benchreport -baseline BENCH_6.json -tol 0.15  # regression gate (CI)
 //
 // Each benchmark runs -count times (default 3) and the fastest run is
 // reported — the minimum is the least noisy statistic for a regression
@@ -40,7 +41,7 @@ type Result struct {
 	MBPerS float64 `json:"mb_per_s"`
 }
 
-// Report is the BENCH_5.json schema.
+// Report is the BENCH_6.json schema.
 type Report struct {
 	Schema     int      `json:"schema"`
 	Go         string   `json:"go"`
@@ -128,9 +129,10 @@ func runBest(bench benchsuite.Bench, count int) Result {
 // environment would fail every benchmark for reasons unrelated to the
 // code — there the deltas are reported informationally and the
 // hardware-independent checks below carry the gate). In every case the
-// batch-scoring speedup invariant is enforced: the ScoreBlock kernel must
-// stay >= 2x the pointwise path, a ratio of two same-run measurements that
-// does not depend on the host. Returns false when anything regresses.
+// speedup invariants are enforced: the ScoreBlock kernel must stay >= 2x
+// the pointwise path and the multi-query kernel >= 2x the per-query loop,
+// each a ratio of two same-run measurements that does not depend on the
+// host. Returns false when anything regresses.
 func compare(base, rep Report, tol float64) bool {
 	byName := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
@@ -193,29 +195,39 @@ func compare(base, rep Report, tol float64) bool {
 	return ok
 }
 
-// checkSpeedup enforces the batch-scoring invariant on the current run:
-// the vectorized kernel must be at least 2x the pointwise interface path.
+// speedupPairs are the hardware-independent invariants: each fast
+// benchmark must beat its slow counterpart from the same run by >= 2x.
+var speedupPairs = []struct {
+	label      string
+	fast, slow string
+}{
+	{"ScoreBlock batch-scoring", "ScoreBlock/kernel-d4", "ScoreBlock/pointwise-d4"},
+	{"MultiQueryKernel multi-query", "MultiQueryKernel/multi-d4", "MultiQueryKernel/perquery-d4"},
+}
+
+// checkSpeedup enforces the speedup invariants on the current run.
 func checkSpeedup(rep Report) bool {
-	var kernel, pointwise float64
+	byName := make(map[string]float64, len(rep.Benchmarks))
 	for _, r := range rep.Benchmarks {
-		switch r.Name {
-		case "ScoreBlock/kernel-d4":
-			kernel = r.NsPerOp
-		case "ScoreBlock/pointwise-d4":
-			pointwise = r.NsPerOp
+		byName[r.Name] = r.NsPerOp
+	}
+	ok := true
+	for _, p := range speedupPairs {
+		fast, slow := byName[p.fast], byName[p.slow]
+		if fast == 0 || slow == 0 {
+			fmt.Printf("REGRESSED %s speedup invariant: %s/%s pair missing from this run\n", p.label, p.fast, p.slow)
+			ok = false
+			continue
 		}
+		speedup := slow / fast
+		if speedup < 2 {
+			fmt.Printf("REGRESSED %s speedup %.2fx, invariant requires >= 2x\n", p.label, speedup)
+			ok = false
+			continue
+		}
+		fmt.Printf("OK        %s speedup %.1fx (>= 2x invariant)\n", p.label, speedup)
 	}
-	if kernel == 0 || pointwise == 0 {
-		fmt.Println("REGRESSED ScoreBlock speedup invariant: kernel/pointwise pair missing from this run")
-		return false
-	}
-	speedup := pointwise / kernel
-	if speedup < 2 {
-		fmt.Printf("REGRESSED ScoreBlock speedup %.2fx, invariant requires >= 2x\n", speedup)
-		return false
-	}
-	fmt.Printf("OK        ScoreBlock batch-scoring speedup %.1fx (>= 2x invariant)\n", speedup)
-	return true
+	return ok
 }
 
 func writeReport(rep Report, path string) error {

@@ -101,9 +101,10 @@ func main() {
 		cfg.Progress = func(cycle int, loads []harness.ShardLoad) {
 			fmt.Printf("  cycle %d loads:", cycle)
 			for _, l := range loads {
-				fmt.Printf(" s%d[q=%d ewma=%s cost=%d mem=%s]",
+				fmt.Printf(" s%d[q=%d ewma=%s cost=%d mem=%s hw=%s cellhw=%s]",
 					l.Shard, l.Queries, harness.FormatDuration(time.Duration(l.EWMACycleNS)),
-					l.Cost, harness.FormatMB(l.MemoryBytes))
+					l.Cost, harness.FormatMB(l.MemoryBytes),
+					harness.FormatMB(l.MemoryHighWater), harness.FormatMB(l.MaxCellBytesHighWater))
 			}
 			fmt.Println()
 		}
@@ -124,6 +125,10 @@ func main() {
 	fmt.Printf("  total maintenance:    %s\n", harness.FormatDuration(res.RunTime))
 	fmt.Printf("  per cycle:            %s\n", harness.FormatDuration(res.PerCycle()))
 	fmt.Printf("  space:                %s\n", harness.FormatMB(res.SpaceBytes))
+	if res.MemoryHighWater > 0 {
+		fmt.Printf("  space high-water:     %s (max cell %s)\n",
+			harness.FormatMB(res.MemoryHighWater), harness.FormatMB(res.MaxCellBytesHighWater))
+	}
 	fmt.Printf("  recomputes/refills:   %d\n", res.Recomputes)
 	if res.CellsProcessed > 0 {
 		fmt.Printf("  cells processed:      %d\n", res.CellsProcessed)

@@ -121,15 +121,45 @@
 // searcher: a steady-state cycle whose results do not change performs no
 // allocations beyond the Update payloads it returns.
 //
+// At pub/sub-scale query counts the dual batching kicks in: instead of
+// per-query influence lists (O(queries × cells) memory, every arrival
+// scored once per influenced query), the engine maintains one shared
+// query index (internal/qindex). Queries clump into columnar clusters by
+// preference-function family — weight vectors packed dims-strided next to
+// a parallel bound column, exactly the layout the multi-query kernels
+// want — and each cluster keeps the minimum of its members' kth-score
+// bounds. A cycle probes the index once per touched cell: per-cell
+// cluster upper bounds (cached, epoch-invalidated when a member's bound
+// moves) prune whole clusters whose best member cannot be affected, a
+// second filter scores the actual block against the cluster's weight
+// envelope (the componentwise member maximum — one single-query kernel
+// call bounding every member bitwise) and skips the cluster when even
+// that cannot reach its minimum bound, surviving clusters score the
+// cell's new sub-block for all members in one GEMM-shaped internal/simd
+// call (DotBlockMulti and friends — four query rows share each
+// coordinate load, every row bit-identical to the single-query kernel),
+// and a per-member row-max filter delivers only the (member, block)
+// pairs containing a score reaching that member's exact bound. Delivery is superset-safe — handlers re-check scores against
+// per-query state — so transcripts stay byte-identical to the
+// influence-list engine (kept behind WithoutQueryIndex and differentially
+// fuzzed against). The `querycount` experiment measures the payoff:
+// per-cycle cost sublinear in registered queries out to 1M
+// near-duplicate subscriptions, with index memory O(queries + cells).
+//
 // The performance trajectory is pinned by a benchmark-regression harness:
 // internal/benchsuite defines the hot-path benchmarks (the Figure 14
 // per-cycle benchmark plus InsertTupleBatch, InfluenceWalk, ScoreBlock
-// kernel-vs-pointwise and TopKComputation), reachable both via `go test
-// -bench` and via `go run ./cmd/benchreport`, which emits BENCH_5.json
-// (ns/op, allocs/op, MB/s per benchmark). CI regenerates the report on
-// every push and gates it against the committed baseline at ±15%; refresh
-// the baseline with `go run ./cmd/benchreport -out BENCH_5.json` when a
-// PR intentionally shifts it.
+// kernel-vs-pointwise, MultiQueryKernel multi-vs-per-query,
+// QueryIndexProbe, the PubSubCycle query-count series and
+// TopKComputation), reachable both via `go test -bench` and via `go run
+// ./cmd/benchreport`, which emits BENCH_6.json (ns/op, allocs/op, MB/s
+// per benchmark). CI regenerates the report on every push and gates it
+// against the committed baseline at ±15%, plus two hardware-independent
+// ≥2x speedup invariants (batch kernel vs pointwise, multi-query kernel
+// vs per-query loop); a native arm64 job re-runs the kernel equivalence
+// tests and fuzz smokes to pin bit-identity on a fusing architecture.
+// Refresh the baseline with `go run ./cmd/benchreport -out BENCH_6.json`
+// when a PR intentionally shifts it.
 //
 // Use pkg/topkmon — the public facade with functional options — as the
 // entry point:
@@ -149,6 +179,7 @@
 //	internal/tsl       the TSL baseline
 //	internal/geom      scoring functions and workspace geometry
 //	internal/grid      the grid index: columnar cells, sorted influence lists
+//	internal/qindex    the shared query index: columnar clusters, cell-probe caches
 //	internal/simd      batch scoring kernels over dims-strided blocks
 //	internal/topk      the top-k computation module (best-first cell search)
 //	internal/benchsuite the hot-path benchmarks behind cmd/benchreport

@@ -8,11 +8,17 @@ import (
 
 	"topkmon/internal/geom"
 	"topkmon/internal/grid"
+	"topkmon/internal/qindex"
 	"topkmon/internal/skyband"
 	"topkmon/internal/stream"
 	"topkmon/internal/topk"
 	"topkmon/internal/window"
 )
+
+// qTile is the member-tile width of the query-index probe: one cell
+// block is scored against at most qTile cluster members per multi-query
+// kernel call, bounding the score scratch at qTile × block length.
+const qTile = 64
 
 type queryKind int
 
@@ -87,6 +93,18 @@ type Engine struct {
 	w    *window.Window // nil in UpdateStream mode
 	s    *topk.Searcher
 
+	// qi is the shared query index (nil under Options.DisableQueryIndex,
+	// which selects the paper's per-cell influence lists instead). The
+	// two structures answer the same question — which queries must see a
+	// stream event in this cell — with opposite scaling: influence lists
+	// cost O(queries × cells) memory and a pruning walk per
+	// recomputation, the query index costs O(queries + cells) and a
+	// bound update. Event delivery through the index is a superset of
+	// the influence-list delivery, which the admission filters and
+	// membership-test expire handlers absorb, so transcripts are
+	// byte-identical either way.
+	qi *qindex.Index
+
 	// byID locates tuples for explicit deletions (UpdateStream mode only).
 	byID map[uint64]*stream.Tuple
 
@@ -117,11 +135,23 @@ type Engine struct {
 	expFilter  []*stream.Tuple
 	pendingQs  []*query
 	scoreBuf   []float64
+	mqDst      []float64
+	expCoords  []float64
+	ubRow      []float64
 	skyScratch []skyband.Entry
 	resScratch []Entry
 	curIDs     map[uint64]struct{}
 	batchIDs   map[uint64]struct{}
 	goneIDs    map[uint64]struct{}
+
+	// numSMA counts registered SMA queries, so cycles without any skip
+	// the per-cycle skyband sampling loop (O(queries) — the one loop
+	// that would break sublinear per-cycle cost at pub/sub query
+	// counts).
+	numSMA int
+	// memHW is the high-water of MemoryBytes results (pull-model: only
+	// MemoryBytes calls move it).
+	memHW int64
 
 	stats Stats
 }
@@ -155,6 +185,9 @@ func NewEngine(opts Options) (*Engine, error) {
 		walkVisited: make([]uint32, g.NumCells()),
 		cellMark:    make([]int32, g.NumCells()),
 		curIDs:      make(map[uint64]struct{}),
+	}
+	if !opts.DisableQueryIndex {
+		e.qi = qindex.New(opts.Dims, g)
 	}
 	if opts.Mode == AppendOnly {
 		if !opts.ExternalExpiry {
@@ -190,8 +223,16 @@ func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.CellsProcessed = e.s.CellsProcessed
 	s.HeapOps = e.s.HeapOps
+	s.MemoryHighWater = e.memHW
+	s.MaxCellBytesHighWater = e.g.MaxCellBytesHighWater()
 	return s
 }
+
+// MemoryHighWater returns the largest MemoryBytes figure observed so
+// far. Pull-model: it only moves when MemoryBytes is called (the shard
+// load gatherer does every pass), keeping the per-cycle path free of
+// O(cells) scans.
+func (e *Engine) MemoryHighWater() int64 { return e.memHW }
 
 // Register implements Monitor.
 func (e *Engine) Register(spec QuerySpec) (QueryID, error) {
@@ -227,19 +268,34 @@ func (e *Engine) Register(spec QuerySpec) (QueryID, error) {
 		q.kind = topkKind
 		if spec.Policy == SMA {
 			q.sky = skyband.New(spec.K)
+			e.numSMA++
 		}
 	}
 	e.nextID++
 	e.queries[q.id] = q
+	if e.qi != nil {
+		// Parked at +Inf: invisible to probes until the initial
+		// computation below installs the real bound (no cycle can run in
+		// between).
+		if err := e.qi.Add(q.id, spec.F, math.Inf(1)); err != nil {
+			panic(err)
+		}
+	}
 
 	// Initial result computation (Figure 6), registering influence lists
-	// over the processed cells.
+	// over the processed cells (or the query-index bound).
 	if q.kind == thresholdKind {
 		work := e.s.CellsProcessed
 		entries, processed := e.s.Threshold(spec.F, *spec.Threshold, spec.Constraint)
 		q.cost += e.s.CellsProcessed - work
-		for _, idx := range processed {
-			e.g.AddInfluence(idx, q.id)
+		if e.qi != nil {
+			if err := e.qi.SetBound(q.id, *spec.Threshold); err != nil {
+				panic(err)
+			}
+		} else {
+			for _, idx := range processed {
+				e.g.AddInfluence(idx, q.id)
+			}
 		}
 		for _, en := range entries {
 			q.thr[en.T.ID] = Entry{T: en.T, Score: en.Score}
@@ -264,11 +320,20 @@ func (e *Engine) Unregister(id QueryID) error {
 		return fmt.Errorf("core: unknown query %d", id)
 	}
 	delete(e.queries, id)
-	start := e.g.BestCell(q.spec.F)
-	if q.spec.Constraint != nil {
-		start = e.g.BestCellIn(q.spec.F, *q.spec.Constraint)
+	if q.sky != nil {
+		e.numSMA--
 	}
-	e.walkInfluence(q, []int{start})
+	if e.qi != nil {
+		if err := e.qi.Remove(id); err != nil {
+			panic(err)
+		}
+	} else {
+		start := e.g.BestCell(q.spec.F)
+		if q.spec.Constraint != nil {
+			start = e.g.BestCellIn(q.spec.F, *q.spec.Constraint)
+		}
+		e.walkInfluence(q, []int{start})
+	}
 	// Drop the query from the dirty list if the current cycle touched it.
 	for i, dq := range e.dirtyList {
 		if dq == q {
@@ -540,6 +605,13 @@ func (e *Engine) insertBatch(arrivals []*stream.Tuple, skip map[uint64]struct{})
 	for _, idx := range e.touched {
 		from := int(e.cellMark[idx]) - 1
 		e.cellMark[idx] = 0
+		if e.qi != nil {
+			blk := e.g.CellBlockFrom(idx, from)
+			if blk.Len() > 0 {
+				e.probeInsert(idx, blk, dims)
+			}
+			continue
+		}
 		il := e.g.Influence(idx)
 		if len(il) == 0 {
 			continue
@@ -566,6 +638,100 @@ func (e *Engine) insertBatch(arrivals []*stream.Tuple, skip map[uint64]struct{})
 	}
 	e.touched = e.touched[:0]
 	e.flushPending()
+}
+
+// probeInsert delivers one cell's new sub-block through the query index:
+// for each cluster cached on the cell whose score upper bound reaches
+// the cluster's lowest member bound, the block is scored against up to
+// qTile members per multi-query kernel call, and each member at least
+// one of whose block scores reaches its own bound receives the scored
+// block through the same applyInsertBlock as the influence-list path.
+// Skipped members could not admit anything — every insert handler
+// filters on score ≥ the member's current bound (threshold, TMA kth,
+// SMA topScore), so a member none of whose scores reach it sees only
+// no-ops — and skipping them (without charging their counters) leaves
+// the transcript exactly what per-query delivery would produce. The one
+// place a handler admits below the bound — a TMA top list underfull
+// mid-cycle after losing a result tuple — is already marked affected and
+// recomputed from scratch at finishCycle, erasing any difference before
+// updates are emitted.
+func (e *Engine) probeInsert(idx int, blk grid.Block, dims int) {
+	n := blk.Len()
+	for _, ce := range e.qi.CellEntries(idx) {
+		cl := ce.C
+		m := cl.Len()
+		if m == 0 || ce.UB < cl.MinBound() {
+			continue
+		}
+		if e.skipByEnvelope(cl, blk.Coords, n) {
+			continue
+		}
+		for base := 0; base < m; base += qTile {
+			end := base + qTile
+			if end > m {
+				end = m
+			}
+			need := (end - base) * n
+			if cap(e.mqDst) < need {
+				e.mqDst = make([]float64, 0, need+need/2+8)
+			}
+			dst := e.mqDst[:need]
+			cl.ScoreMembers(dst, blk.Coords, base, end, dims)
+			for j := base; j < end; j++ {
+				bnd := cl.BoundAt(j)
+				if ce.UB < bnd {
+					continue
+				}
+				row := dst[(j-base)*n : (j-base+1)*n]
+				if !rowReaches(row, bnd) {
+					continue
+				}
+				q := e.queries[cl.IDAt(j)]
+				e.stats.InfluenceEvents += int64(n)
+				q.cost += int64(n)
+				e.applyInsertBlock(q, blk, row, dims)
+			}
+		}
+	}
+}
+
+// envMinMembers is the cluster size from which the envelope prefilter
+// pays: scoring the envelope costs one extra member's worth of kernel
+// work, so tiny clusters go straight to member scoring.
+const envMinMembers = 8
+
+// skipByEnvelope reports whether a whole cluster can be skipped for the
+// given block: the block's n points are scored once against the
+// cluster's weight envelope (a bitwise upper bound on every member's
+// score of the same point), and if not even that bound reaches the
+// cluster's minimum member bound, no member's own score can reach its
+// own (>= minimum) bound and the member loop would deliver nothing.
+// This is what keeps a hot cell's probe sublinear in cluster size: a
+// near-duplicate cluster is pruned for the common blocks that score
+// below its threshold band at the cost of one single-query kernel call,
+// instead of scoring every member.
+func (e *Engine) skipByEnvelope(cl *qindex.Cluster, coords []float64, n int) bool {
+	if cl.Len() < envMinMembers {
+		return false
+	}
+	if cap(e.ubRow) < n {
+		e.ubRow = make([]float64, 0, n+8)
+	}
+	ub := e.ubRow[:n]
+	return cl.ScoreEnvelope(ub, coords) && !rowReaches(ub, cl.MinBound())
+}
+
+// rowReaches reports whether any score in row reaches bound. Equality
+// counts as reaching: tie-break admissions (stream.Better on equal
+// scores) and entries sitting exactly on a member's bound must keep
+// flowing; only members strictly out of reach are skipped.
+func rowReaches(row []float64, bound float64) bool {
+	for _, s := range row {
+		if s >= bound {
+			return true
+		}
+	}
+	return false
 }
 
 // applyInsertBlock feeds one scored cell block to one query's maintenance
@@ -679,14 +845,18 @@ func (e *Engine) expireBatch(expirations []*stream.Tuple) {
 		b := &e.expBuckets[i]
 		e.cellMark[b.idx] = 0
 		n := int64(len(b.tuples))
-		for _, id := range e.g.Influence(b.idx) {
-			q, ok := e.queries[id]
-			if !ok {
-				continue
+		if e.qi != nil {
+			e.probeExpire(b.idx, b.tuples)
+		} else {
+			for _, id := range e.g.Influence(b.idx) {
+				q, ok := e.queries[id]
+				if !ok {
+					continue
+				}
+				e.stats.InfluenceEvents += n
+				q.cost += n
+				e.applyExpireBlock(q, b.tuples)
 			}
-			e.stats.InfluenceEvents += n
-			q.cost += n
-			e.applyExpireBlock(q, b.tuples)
 		}
 		// Release the tuple references so expired tuples are not pinned
 		// until the bucket's next reuse.
@@ -694,6 +864,65 @@ func (e *Engine) expireBatch(expirations []*stream.Tuple) {
 			b.tuples[j] = nil
 		}
 		b.tuples = b.tuples[:0]
+	}
+}
+
+// probeExpire delivers one cell's expired tuples through the query index,
+// mirroring probeInsert's two-level skip: clusters whose cell upper bound
+// misses their lowest member bound are dropped wholesale, the rest have
+// the expired coordinates scored per member with the multi-query kernels,
+// and only members with at least one score reaching their own bound run
+// the membership-test handler. The skip is exact for expirations too:
+// every entry a query holds scores at or above the query's current bound
+// (threshold results are strictly above the threshold; top lists and
+// skybands are rebuilt against the bound at every from-scratch
+// recomputation and admit only at-or-above it in between), so an expired
+// tuple scoring below the bound cannot be held and its removal is a
+// no-op.
+func (e *Engine) probeExpire(idx int, tuples []*stream.Tuple) {
+	n := len(tuples)
+	dims := e.g.Dims()
+	if cap(e.expCoords) < n*dims {
+		e.expCoords = make([]float64, 0, n*dims+n*dims/2+8)
+	}
+	coords := e.expCoords[:0]
+	for _, t := range tuples {
+		coords = append(coords, t.Vec...)
+	}
+	for _, ce := range e.qi.CellEntries(idx) {
+		cl := ce.C
+		m := cl.Len()
+		if m == 0 || ce.UB < cl.MinBound() {
+			continue
+		}
+		if e.skipByEnvelope(cl, coords, n) {
+			continue
+		}
+		for base := 0; base < m; base += qTile {
+			end := base + qTile
+			if end > m {
+				end = m
+			}
+			need := (end - base) * n
+			if cap(e.mqDst) < need {
+				e.mqDst = make([]float64, 0, need+need/2+8)
+			}
+			dst := e.mqDst[:need]
+			cl.ScoreMembers(dst, coords, base, end, dims)
+			for j := base; j < end; j++ {
+				bnd := cl.BoundAt(j)
+				if ce.UB < bnd {
+					continue
+				}
+				if !rowReaches(dst[(j-base)*n:(j-base+1)*n], bnd) {
+					continue
+				}
+				q := e.queries[cl.IDAt(j)]
+				e.stats.InfluenceEvents += int64(n)
+				q.cost += int64(n)
+				e.applyExpireBlock(q, tuples)
+			}
+		}
 	}
 }
 
@@ -747,11 +976,15 @@ func (e *Engine) finishCycle() []Update {
 		}
 	}
 
-	// Sample skyband sizes for Table 2.
-	for _, q := range e.queries {
-		if q.kind == topkKind && q.spec.Policy == SMA {
-			e.stats.SkybandSizeSum += int64(q.sky.Len())
-			e.stats.SkybandSamples++
+	// Sample skyband sizes for Table 2. Guarded so query sets without
+	// any SMA member (the pub/sub-scale workloads) keep per-cycle cost
+	// independent of the query count.
+	if e.numSMA > 0 {
+		for _, q := range e.queries {
+			if q.kind == topkKind && q.spec.Policy == SMA {
+				e.stats.SkybandSizeSum += int64(q.sky.Len())
+				e.stats.SkybandSamples++
+			}
 		}
 	}
 
@@ -847,6 +1080,14 @@ func (e *Engine) computeFromScratch(q *query) {
 	}
 	q.regScore = q.topScore
 
+	if e.qi != nil {
+		// The query index replaces both the registration loop and the
+		// pruning walk with one bound update.
+		if err := e.qi.SetBound(q.id, q.regScore); err != nil {
+			panic(err)
+		}
+		return
+	}
 	// Register the new influence region...
 	for _, idx := range res.Processed {
 		e.g.AddInfluence(idx, q.id)
@@ -987,6 +1228,12 @@ func (e *Engine) MemoryBytes() int64 {
 		}
 		total += int64(len(q.thr)) * (entrySize + mapEntrySize)
 		total += int64(len(q.lastIDs)) * (entrySize + mapEntrySize)
+	}
+	if e.qi != nil {
+		total += e.qi.MemoryBytes()
+	}
+	if total > e.memHW {
+		e.memHW = total
 	}
 	return total
 }

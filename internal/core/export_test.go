@@ -1,10 +1,26 @@
 package core
 
-// InfluenceEntriesFor counts the cells referencing the query; used by the
-// unregister test. (CheckInfluence itself lives in invariant.go: the shard
-// and pipeline suites verify the invariant cross-package, continuously.)
+// InfluenceEntriesFor counts the cells of the query's influence region;
+// used by the unregister test. In query-index mode the region is implied by
+// the indexed bound, so it is reconstructed from the registration rule —
+// the same cardinality the influence lists would hold. (CheckInfluence
+// itself lives in invariant.go: the shard and pipeline suites verify the
+// invariant cross-package, continuously.)
 func (e *Engine) InfluenceEntriesFor(id QueryID) int {
 	count := 0
+	if e.qi != nil {
+		q, ok := e.queries[id]
+		if !ok {
+			return 0
+		}
+		r := e.scratchRect()
+		for idx := 0; idx < e.g.NumCells(); idx++ {
+			if e.ruleWants(q, idx, &r) {
+				count++
+			}
+		}
+		return count
+	}
 	for idx := 0; idx < e.g.NumCells(); idx++ {
 		if e.g.HasInfluence(idx, id) {
 			count++

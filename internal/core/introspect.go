@@ -32,15 +32,29 @@ type QueryInfo struct {
 }
 
 // Queries returns a snapshot of every registered query, ordered by id.
-// It is O(Q + cells) because influence-list cardinalities are gathered in
-// one pass over the grid.
+// In influence-list mode it is O(Q + cells): cardinalities are gathered in
+// one pass over the grid. In query-index mode the grid holds no entries, so
+// InfluenceCells is reconstructed from the registration rule — O(Q × cells),
+// acceptable for an introspection surface and identical in value to what
+// the influence lists would report.
 func (e *Engine) Queries() []QueryInfo {
 	perQuery := make(map[QueryID]int, len(e.queries))
-	for idx := 0; idx < e.g.NumCells(); idx++ {
-		e.g.InfluenceDo(idx, func(id QueryID) bool {
-			perQuery[id]++
-			return true
-		})
+	if e.qi != nil {
+		r := e.scratchRect()
+		for id, q := range e.queries {
+			for idx := 0; idx < e.g.NumCells(); idx++ {
+				if e.ruleWants(q, idx, &r) {
+					perQuery[id]++
+				}
+			}
+		}
+	} else {
+		for idx := 0; idx < e.g.NumCells(); idx++ {
+			e.g.InfluenceDo(idx, func(id QueryID) bool {
+				perQuery[id]++
+				return true
+			})
+		}
 	}
 	out := make([]QueryInfo, 0, len(e.queries))
 	for id, q := range e.queries {

@@ -7,40 +7,89 @@ import (
 	"topkmon/internal/geom"
 )
 
-// CheckInfluence verifies the influence-list invariant for every registered
-// query: the set of cells holding an entry for the query is exactly the
-// influence region at the time the lists were last registered —
+// ruleWants reports whether cell idx belongs to query q's influence region
+// under the registration rule of Section 6 —
 //
 //	top-k queries:     cells whose (constraint-clipped) maxscore is
 //	                   >= regScore (all cells intersecting the constraint
-//	                   while the result was underfull, regScore = -Inf);
+//	                   while the result is underfull, regScore = -Inf);
 //	threshold queries: cells whose clipped maxscore is > the threshold.
+//
+// r is caller-provided scratch sized to the workspace dimensionality; its
+// contents are overwritten. The rule is the single source of truth for
+// both engine modes: the influence lists materialize it per (query, cell)
+// pair, the query index reproduces it from per-query bounds, and the
+// introspection surface reports it identically for either.
+func (e *Engine) ruleWants(q *query, idx int, r *geom.Rect) bool {
+	e.g.RectInto(idx, r)
+	if q.spec.Constraint != nil {
+		if !r.IntersectInto(*q.spec.Constraint, r) {
+			return false
+		}
+	}
+	ms := geom.MaxScore(q.spec.F, *r)
+	if q.kind == thresholdKind {
+		return ms > *q.spec.Threshold
+	}
+	if math.IsInf(q.regScore, -1) {
+		return true
+	}
+	return ms >= q.regScore
+}
+
+// scratchRect allocates a workspace-sized rectangle for ruleWants loops.
+func (e *Engine) scratchRect() geom.Rect {
+	d := e.opts.Dims
+	return geom.Rect{Lo: make(geom.Vector, d), Hi: make(geom.Vector, d)}
+}
+
+// CheckInfluence verifies the per-query delivery bookkeeping.
+//
+// In influence-list mode it checks, for every registered query, that the
+// set of cells holding an entry for the query is exactly the influence
+// region given by ruleWants at the time the lists were last registered.
+//
+// In query-index mode the grid holds no influence entries at all; instead
+// the check validates the index's internal invariants (locator
+// consistency, weight-envelope dominance, bound ordering, cell-cache
+// completeness), that every query's indexed bound equals its registration
+// score (threshold queries: the threshold), and that the grid's influence
+// store is empty.
 //
 // It is O(Q × cells) and intended for continuous verification in tests:
 // the shard monitors and the ingestion pipeline expose it as well, so
 // stress and differential suites can assert the invariant after every
 // processing cycle rather than only at end-of-run.
 func (e *Engine) CheckInfluence() error {
+	if e.qi != nil {
+		if err := e.qi.Validate(); err != nil {
+			return err
+		}
+		for id, q := range e.queries {
+			want := q.regScore
+			if q.kind == thresholdKind {
+				want = *q.spec.Threshold
+			}
+			got, ok := e.qi.BoundOf(id)
+			if !ok {
+				return fmt.Errorf("query %d: not present in the query index", id)
+			}
+			if got != want {
+				return fmt.Errorf("query %d: indexed bound %g, want %g", id, got, want)
+			}
+		}
+		if e.qi.NumQueries() != len(e.queries) {
+			return fmt.Errorf("query index holds %d queries, engine %d", e.qi.NumQueries(), len(e.queries))
+		}
+		if n := e.g.TotalInfluenceEntries(); n != 0 {
+			return fmt.Errorf("grid holds %d influence entries in query-index mode, want 0", n)
+		}
+		return nil
+	}
+	r := e.scratchRect()
 	for id, q := range e.queries {
 		for idx := 0; idx < e.g.NumCells(); idx++ {
-			r := e.g.Rect(idx)
-			want := true
-			if q.spec.Constraint != nil {
-				clipped, ok := r.Intersect(*q.spec.Constraint)
-				if !ok {
-					want = false
-				} else {
-					r = clipped
-				}
-			}
-			if want {
-				ms := geom.MaxScore(q.spec.F, r)
-				if q.kind == thresholdKind {
-					want = ms > *q.spec.Threshold
-				} else if !math.IsInf(q.regScore, -1) {
-					want = ms >= q.regScore
-				}
-			}
+			want := e.ruleWants(q, idx, &r)
 			got := e.g.HasInfluence(idx, id)
 			if got != want {
 				return fmt.Errorf("query %d cell %d: registered=%v want %v (regScore=%g, maxscore=%g)",

@@ -107,9 +107,21 @@ func (e *Engine) ExportQuery(id QueryID) (QuerySnapshot, error) {
 		snap.LastReported = append(snap.LastReported, en)
 	}
 	sortEntriesBetter(snap.LastReported)
-	for idx := 0; idx < e.g.NumCells(); idx++ {
-		if e.g.HasInfluence(idx, id) {
-			snap.InfluenceCells = append(snap.InfluenceCells, idx)
+	if e.qi != nil {
+		// The index stores no per-cell entries; reconstruct the influence
+		// region from the registration rule so snapshots stay portable to
+		// engines running in either mode.
+		r := e.scratchRect()
+		for idx := 0; idx < e.g.NumCells(); idx++ {
+			if e.ruleWants(q, idx, &r) {
+				snap.InfluenceCells = append(snap.InfluenceCells, idx)
+			}
+		}
+	} else {
+		for idx := 0; idx < e.g.NumCells(); idx++ {
+			if e.g.HasInfluence(idx, id) {
+				snap.InfluenceCells = append(snap.InfluenceCells, idx)
+			}
 		}
 	}
 	return snap, nil
@@ -187,8 +199,24 @@ func (e *Engine) ImportQuery(snap QuerySnapshot) (QueryID, error) {
 
 	e.nextID++
 	e.queries[q.id] = q
-	for _, idx := range snap.InfluenceCells {
-		e.g.AddInfluence(idx, q.id)
+	if q.sky != nil {
+		e.numSMA++
+	}
+	if e.qi != nil {
+		// The snapshot's cell list is implied by the bound; index the query
+		// directly at its registration score (threshold queries: the fixed
+		// threshold).
+		bound := snap.RegScore
+		if q.kind == thresholdKind {
+			bound = *snap.Spec.Threshold
+		}
+		if err := e.qi.Add(q.id, snap.Spec.F, bound); err != nil {
+			panic(err)
+		}
+	} else {
+		for _, idx := range snap.InfluenceCells {
+			e.g.AddInfluence(idx, q.id)
+		}
 	}
 	return q.id, nil
 }

@@ -185,6 +185,15 @@ type Options struct {
 	// recomputations become more frequent. This exists purely as an
 	// ablation of the design decision; leave it false in production.
 	DeletionsFirst bool
+	// DisableQueryIndex falls back to the per-query influence lists of
+	// the paper (each query registered on every cell of its influence
+	// region) instead of the shared query index. The index is the
+	// default: it collapses the O(queries × cells) influence memory to
+	// O(queries + cells) and makes per-cycle cost sublinear in the query
+	// count for clustered workloads. Results are byte-identical either
+	// way; this switch exists for comparison runs and as an escape
+	// hatch.
+	DisableQueryIndex bool
 	// ExternalExpiry hands window management to the caller: the engine
 	// holds no window of its own and cycles run through StepExternal, which
 	// receives the expiring tuples alongside the arrivals. Expirations must
@@ -262,6 +271,16 @@ type Stats struct {
 	// Migrations counts live query migrations executed by a rebalancing
 	// sharded monitor (internal/shard). Zero elsewhere.
 	Migrations int64
+	// MemoryHighWater is the largest MemoryBytes figure observed so far.
+	// It is pull-model: refreshed whenever MemoryBytes is called (every
+	// ShardLoads pass does), never by the cycle path itself, so sampling
+	// cost stays with the reader. Memory-aware placement reads it.
+	MemoryHighWater int64
+	// MaxCellBytesHighWater is the largest single grid cell's allocated
+	// (capacity) byte footprint ever reached — the tuple-hash-skew
+	// signal for memory-aware placement. Maintained by the grid at cell
+	// growth time, so it is exact, not sampled.
+	MaxCellBytesHighWater int64
 }
 
 // AvgSkybandSize returns the average skyband cardinality per SMA query per

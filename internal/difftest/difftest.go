@@ -54,6 +54,11 @@ type Scenario struct {
 	// Prefill is the size of the ts=0 batch applied before the initial
 	// query registrations.
 	Prefill int
+	// NearDup marks a pub/sub-style scenario: every query is a jittered
+	// copy of one of a handful of base preference vectors, so the query
+	// index collapses the set into few clusters — the workload its
+	// whole-cluster skips and multi-query kernels exist for.
+	NearDup bool
 	// Initial is the query set registered after the prefill.
 	Initial []core.QuerySpec
 	// Cycles are the processing cycles at ts=1,2,...
@@ -62,8 +67,12 @@ type Scenario struct {
 
 // String summarizes the scenario shape for failure messages.
 func (s Scenario) String() string {
-	return fmt.Sprintf("seed=%d d=%d mode=%v win=%v cells=%d prefill=%d q0=%d cycles=%d",
-		s.Seed, s.Dims, s.Mode, s.Window, s.TargetCells, s.Prefill, len(s.Initial), len(s.Cycles))
+	shape := ""
+	if s.NearDup {
+		shape = " near-dup"
+	}
+	return fmt.Sprintf("seed=%d d=%d mode=%v win=%v cells=%d prefill=%d q0=%d cycles=%d%s",
+		s.Seed, s.Dims, s.Mode, s.Window, s.TargetCells, s.Prefill, len(s.Initial), len(s.Cycles), shape)
 }
 
 // randSpec draws one query spec: TMA, SMA (append-only only), constrained
@@ -115,6 +124,54 @@ func randSpec(rng *rand.Rand, zipf *rand.Zipf, qg *stream.QueryGenerator, dims i
 	return spec
 }
 
+// nearDupGen draws queries for a NearDup scenario: jittered copies (±2%
+// per weight) of a few base linear preference vectors, mostly threshold
+// queries with jittered thresholds plus some jittered-k top-k queries.
+// The jitter keeps every spec distinct while the quantized cluster keys
+// still coincide, which is what makes the scenario exercise shared-cluster
+// member skips, swap-deletes of clustered members, and bound churn within
+// one cluster.
+type nearDupGen struct {
+	rng   *rand.Rand
+	dims  int
+	bases [][]float64
+}
+
+func newNearDupGen(rng *rand.Rand, dims int) *nearDupGen {
+	g := &nearDupGen{rng: rng, dims: dims}
+	for i, n := 0, 2+rng.Intn(2); i < n; i++ {
+		w := make([]float64, dims)
+		for d := range w {
+			w[d] = 0.2 + rng.Float64()*0.8
+		}
+		g.bases = append(g.bases, w)
+	}
+	return g
+}
+
+func (g *nearDupGen) next(mode core.StreamMode) core.QuerySpec {
+	base := g.bases[g.rng.Intn(len(g.bases))]
+	w := make([]float64, g.dims)
+	var sum float64
+	for d, b := range base {
+		w[d] = b * (1 + 0.02*(g.rng.Float64()*2-1))
+		sum += w[d]
+	}
+	spec := core.QuerySpec{F: geom.NewLinear(w...)}
+	if g.rng.Intn(4) != 0 {
+		// High thresholds relative to the weight mass: small influence
+		// regions, the pub/sub matching regime.
+		thr := sum * (0.75 + g.rng.Float64()*0.2)
+		spec.Threshold = &thr
+		return spec
+	}
+	spec.K = 1 + g.rng.Intn(8)
+	if mode != core.UpdateStream && g.rng.Intn(2) == 0 {
+		spec.Policy = core.SMA
+	}
+	return spec
+}
+
 // GenScenario derives a random scenario from a seed. The bounds keep one
 // replay in the low milliseconds so thousands of seeds (and the fuzzer)
 // stay cheap, while still crossing every feature: both stream modes, both
@@ -137,12 +194,26 @@ func GenScenario(seed int64) Scenario {
 		s.Window = window.Time(2 + int64(rng.Intn(7)))
 	}
 	s.Prefill = 50 + rng.Intn(250)
+	s.NearDup = rng.Intn(4) == 0
 	qg := stream.NewQueryGenerator(stream.FunctionKind(rng.Intn(4)), s.Dims, seed+1)
 	// k ~ 1 + Zipf(1.4) capped at 64: mostly small, a heavy tail of
 	// expensive queries.
 	zipf := rand.NewZipf(rng, 1.4, 1, 63)
-	for i, n := 0, 3+rng.Intn(8); i < n; i++ {
-		s.Initial = append(s.Initial, randSpec(rng, zipf, qg, s.Dims, s.Mode))
+	ndg := newNearDupGen(rng, s.Dims)
+	draw := func() core.QuerySpec {
+		if s.NearDup {
+			return ndg.next(s.Mode)
+		}
+		return randSpec(rng, zipf, qg, s.Dims, s.Mode)
+	}
+	nq := 3 + rng.Intn(8)
+	if s.NearDup {
+		// More queries than the general mix: cluster sharing only shows up
+		// with enough members per cluster.
+		nq = 12 + rng.Intn(20)
+	}
+	for i := 0; i < nq; i++ {
+		s.Initial = append(s.Initial, draw())
 	}
 
 	// Precompute the churn and deletion schedules by simulating the
@@ -169,7 +240,7 @@ func GenScenario(seed int64) Scenario {
 			liveQ = append(liveQ[:j], liveQ[j+1:]...)
 		}
 		if rng.Intn(4) == 0 {
-			ops.Register = append(ops.Register, randSpec(rng, zipf, qg, s.Dims, s.Mode))
+			ops.Register = append(ops.Register, draw())
 			liveQ = append(liveQ, nextQ)
 			nextQ++
 		}

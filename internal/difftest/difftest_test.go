@@ -63,6 +63,15 @@ func sync(build func(opts core.Options) (core.StreamMonitor, error)) func(core.O
 }
 
 func engineBuild(opts core.Options) (core.StreamMonitor, error) { return core.NewEngine(opts) }
+
+// legacyBuild runs the single engine with the shared query index disabled
+// — per-cell influence lists, the paper's original bookkeeping. Keeping it
+// in the matrix makes every scenario a direct index-vs-influence-list
+// differential on top of the naive reference.
+func legacyBuild(opts core.Options) (core.StreamMonitor, error) {
+	opts.DisableQueryIndex = true
+	return core.NewEngine(opts)
+}
 func shardedBuild(n int) func(core.Options) (core.StreamMonitor, error) {
 	return func(opts core.Options) (core.StreamMonitor, error) { return shard.New(opts, n) }
 }
@@ -91,6 +100,7 @@ func rebalancedBuild(n int) func(core.Options) (core.StreamMonitor, error) {
 func allModes() []execMode {
 	return []execMode{
 		{name: "engine", build: sync(engineBuild)},
+		{name: "legacy-influence-engine", build: sync(legacyBuild)},
 		{name: "query-sharded-3", build: sync(shardedBuild(diffShards))},
 		{name: "data-sharded-3", build: sync(dataShardedBuild(diffShards))},
 		{name: "rebalanced-query-sharded-3", build: sync(rebalancedBuild(diffShards)), forceMigrate: true},
@@ -164,6 +174,14 @@ func TestDifferentialSeeds(t *testing.T) {
 func FuzzDifferential(f *testing.F) {
 	for _, seed := range []int64{1, 2, 7, 42, 1234, -99} {
 		f.Add(seed)
+	}
+	// Seeds whose scenarios come out NearDup (pub/sub-style clustered
+	// query sets), so the fuzzer starts with the query index's sharing
+	// machinery already exercised.
+	for seed := int64(1); seed <= 64; seed++ {
+		if GenScenario(seed).NearDup {
+			f.Add(seed)
+		}
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		runDifferential(t, seed, false)

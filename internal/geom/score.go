@@ -193,6 +193,13 @@ func NewProduct(offsets ...float64) *Product {
 	return &Product{offsets: a}
 }
 
+// Offsets returns a copy of the offset vector.
+func (p *Product) Offsets() []float64 {
+	out := make([]float64, len(p.offsets))
+	copy(out, p.offsets)
+	return out
+}
+
 // Dims implements ScoringFunction.
 func (p *Product) Dims() int { return len(p.offsets) }
 
@@ -236,6 +243,13 @@ func NewQuadratic(weights ...float64) *Quadratic {
 	w := make([]float64, len(weights))
 	copy(w, weights)
 	return &Quadratic{weights: w}
+}
+
+// Weights returns a copy of the coefficient vector.
+func (q *Quadratic) Weights() []float64 {
+	out := make([]float64, len(q.weights))
+	copy(out, q.weights)
+	return out
 }
 
 // Dims implements ScoringFunction.

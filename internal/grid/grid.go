@@ -158,6 +158,11 @@ type Grid struct {
 	cells  []cell
 	stride []int // stride[i] = res^i, for index arithmetic
 	points int
+	// maxCellBytesHW is the largest single cell's capacity byte footprint
+	// ever reached — the tuple-hash-skew signal for memory-aware shard
+	// placement. Updated only when an append grows a cell's backing
+	// block, so the insert hot path pays one capacity comparison.
+	maxCellBytesHW int64
 }
 
 // New constructs a grid over the unit workspace [0,1]^dims with res cells
@@ -356,11 +361,17 @@ func (g *Grid) Insert(t *stream.Tuple) int {
 // coordinates are appended to the cell's columnar block.
 func (g *Grid) InsertAt(idx int, t *stream.Tuple) {
 	c := &g.cells[idx]
+	pc, cc := cap(c.ptrs), cap(c.coords)
 	c.coords = append(c.coords, t.Vec...)
 	c.ids = append(c.ids, t.ID)
 	c.seqs = append(c.seqs, t.Seq)
 	c.tss = append(c.tss, t.TS)
 	c.ptrs = append(c.ptrs, t)
+	if cap(c.ptrs) != pc || cap(c.coords) != cc {
+		if b := g.CellCapBytes(idx); b > g.maxCellBytesHW {
+			g.maxCellBytesHW = b
+		}
+	}
 	if g.mode == Random {
 		if c.slot == nil {
 			c.slot = make(map[uint64]int, 4)
@@ -478,6 +489,13 @@ func (g *Grid) CellCapBytes(idx int) int64 {
 	return int64(cap(c.coords))*8 + int64(cap(c.ids))*8 + int64(cap(c.seqs))*8 +
 		int64(cap(c.tss))*8 + int64(cap(c.ptrs))*8
 }
+
+// MaxCellBytesHighWater returns the largest capacity byte footprint any
+// single cell's point columns ever reached. Unlike MemoryBytes it never
+// shrinks — it records the worst skew the tuple hash produced, which is
+// the signal memory-aware placement needs even after the hot cell
+// drained and released its block.
+func (g *Grid) MaxCellBytesHighWater() int64 { return g.maxCellBytesHW }
 
 // inflFind returns the position of q in cell c's influence list, or the
 // insertion position with ok=false.

@@ -76,6 +76,48 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// queryCounts is the pub/sub-scale query-count axis: 1k..1M log-spaced at
+// full scale, shrunk linearly with the sweep scale.
+func queryCounts(scale float64) []int {
+	var out []int
+	for _, q := range []int{1000, 10000, 100000, 1000000} {
+		n := int(float64(q) * scale)
+		if n < 8 {
+			n = 8
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// pubsubBase is the shared base of the query-count sweeps: near-duplicate
+// threshold queries (the pub/sub matching workload the query index
+// targets) over a fixed modest stream, so per-cycle cost differences are
+// attributable to the query count alone.
+func pubsubBase(scale float64, seed int64) Config {
+	cfg := Defaults(scale, seed)
+	cfg.Algo = AlgoTMA
+	cfg.NearDupQueries = true
+	cfg.ThresholdFrac = 0.95
+	cfg.Cycles = 10
+	cfg.N = maxInt(int(5e4*scale), 2000)
+	cfg.R = maxInt(cfg.N/100, 20)
+	// A fixed 8^4 grid regardless of N: the high-threshold influence
+	// regions are thin slabs at the top corner, and the grid must resolve
+	// them for cell-level skips to bite — the derived points-per-cell
+	// resolution at small N (res 2) hands half the workspace to every
+	// cluster and the sweep degenerates to linear-in-Q.
+	cfg.GridRes = 8
+	// The sweeps own their comparisons; clear whatever global defaults
+	// cmd/experiments installed.
+	cfg.DataPartition = false
+	cfg.Placement = ""
+	cfg.RebalanceInterval = 0
+	cfg.Pipeline = 0
+	cfg.Shards = 0
+	return cfg
+}
+
 // Experiment regenerates one table or figure of the evaluation.
 type Experiment struct {
 	ID    string
@@ -451,7 +493,72 @@ func Experiments() []Experiment {
 					spaceTbl.Rows = append(spaceTbl.Rows, spaceRow)
 					shardSpaceTbl.Rows = append(shardSpaceTbl.Rows, shardRow)
 				}
-				return []Table{timeTbl, spaceTbl, shardSpaceTbl}, nil
+				// Query-count axis: how each layout carries pub/sub-scale
+				// query sets. Query partitioning splits the set across
+				// shards; data partitioning replicates it onto every shard.
+				qTbl := Table{
+					Title:  "Partitioning: run time vs query count (near-dup threshold queries, shards=4)",
+					XLabel: "Q",
+					Cols:   []string{"query-part", "data-part"},
+				}
+				for _, q := range queryCounts(scale) {
+					row := Row{X: fmt.Sprintf("%d", q)}
+					for _, dataPart := range []bool{false, true} {
+						cfg := pubsubBase(scale, seed)
+						cfg.Shards = 4
+						cfg.DataPartition = dataPart
+						cfg.Q = q
+						res, err := Run(cfg)
+						if err != nil {
+							return nil, fmt.Errorf("partition querycount [Q=%d data=%v]: %w", q, dataPart, err)
+						}
+						row.Cells = append(row.Cells, FormatDuration(res.RunTime))
+					}
+					qTbl.Rows = append(qTbl.Rows, row)
+				}
+				return []Table{timeTbl, spaceTbl, shardSpaceTbl, qTbl}, nil
+			},
+		},
+		{
+			ID:    "querycount",
+			Title: "Query count: per-cycle cost at pub/sub-scale query counts — shared query index vs per-query influence lists (beyond the paper)",
+			Run: func(scale float64, seed int64) ([]Table, error) {
+				// The influence-list leg is the O(queries × cells) baseline
+				// this sweep exists to retire; cap it so the sweep completes.
+				const legacyCap = 20000
+				tbl := Table{
+					Title:  "Query count: per-cycle CPU time and space, near-dup threshold queries (d=4, IND)",
+					XLabel: "Q",
+					Cols:   []string{"index/cycle", "lists/cycle", "index space", "index space HW", "lists space"},
+				}
+				// The query-count axis is deliberately NOT scaled: the point
+				// of this sweep is registration scale itself, so even the CI
+				// smoke slice must carry the full 1M-query leg (scale shrinks
+				// only the data volume via pubsubBase).
+				for _, q := range []int{1000, 10000, 100000, 1000000} {
+					cfg := pubsubBase(scale, seed)
+					cfg.Q = q
+					res, err := Run(cfg)
+					if err != nil {
+						return nil, fmt.Errorf("querycount [Q=%d]: %w", q, err)
+					}
+					row := Row{X: fmt.Sprintf("%d", q)}
+					legCycle, legSpace := "-", "-"
+					if q <= legacyCap {
+						cfg.DisableQueryIndex = true
+						leg, err := Run(cfg)
+						if err != nil {
+							return nil, fmt.Errorf("querycount legacy [Q=%d]: %w", q, err)
+						}
+						legCycle = FormatDuration(leg.PerCycle())
+						legSpace = FormatMB(leg.SpaceBytes)
+					}
+					row.Cells = append(row.Cells,
+						FormatDuration(res.PerCycle()), legCycle,
+						FormatMB(res.SpaceBytes), FormatMB(res.MemoryHighWater), legSpace)
+					tbl.Rows = append(tbl.Rows, row)
+				}
+				return []Table{tbl}, nil
 			},
 		},
 		{
@@ -565,7 +672,38 @@ func Experiments() []Experiment {
 					ratioTbl.Rows = append(ratioTbl.Rows, ratioRow)
 					timeTbl.Rows = append(timeTbl.Rows, timeRow)
 				}
-				return []Table{costTbl, maxTbl, ratioTbl, timeTbl}, nil
+				// Query-count axis: rebalancing machinery (cost gathering,
+				// trigger, migration) must stay cheap relative to the cycle
+				// even at pub/sub-scale query counts.
+				qTbl := Table{
+					Title:  "Rebalancing: run time vs query count (near-dup threshold queries, shards=4)",
+					XLabel: "Q",
+					Cols:   []string{"static-hash", "rebalance", "moves"},
+				}
+				for _, q := range queryCounts(scale) {
+					row := Row{X: fmt.Sprintf("%d", q)}
+					var moves int64
+					for _, rebal := range []bool{false, true} {
+						cfg := pubsubBase(scale, seed)
+						cfg.Shards = 4
+						cfg.Q = q
+						if rebal {
+							cfg.RebalanceInterval = 5
+							cfg.RebalanceThreshold = 1.1
+						}
+						res, err := Run(cfg)
+						if err != nil {
+							return nil, fmt.Errorf("rebalance querycount [Q=%d rebal=%v]: %w", q, rebal, err)
+						}
+						row.Cells = append(row.Cells, FormatDuration(res.RunTime))
+						if rebal {
+							moves = res.Migrations
+						}
+					}
+					row.Cells = append(row.Cells, fmt.Sprintf("%d", moves))
+					qTbl.Rows = append(qTbl.Rows, row)
+				}
+				return []Table{costTbl, maxTbl, ratioTbl, timeTbl, qTbl}, nil
 			},
 		},
 		{

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"topkmon/internal/core"
+	"topkmon/internal/geom"
 	"topkmon/internal/pipeline"
 	"topkmon/internal/shard"
 	"topkmon/internal/stream"
@@ -114,6 +115,21 @@ type Config struct {
 	// the rebalance sweep needs (a few expensive queries among many cheap
 	// ones).
 	ZipfK float64
+	// NearDupQueries draws the query set as ±1% jittered copies of eight
+	// base preference vectors instead of independent functions — the
+	// pub/sub-style workload where the shared query index collapses the
+	// set into a handful of clusters. Grid algorithms only.
+	NearDupQueries bool
+	// ThresholdFrac, when > 0, registers threshold queries instead of
+	// top-k: each query's threshold is this fraction of its function's
+	// maximum achievable score on the unit workspace (0.95 ≈ the pub/sub
+	// matching regime, where most cycles deliver nothing to most
+	// queries). Grid algorithms only; K/ZipfK are ignored.
+	ThresholdFrac float64
+	// DisableQueryIndex runs the grid engines on per-query influence
+	// lists (the paper's original bookkeeping) instead of the shared
+	// query index — the comparison leg of the query-count sweeps.
+	DisableQueryIndex bool
 	// Placement names the query placement policy for query-partitioned
 	// sharded runs: "hash" (default) or "least-loaded".
 	Placement string
@@ -168,6 +184,9 @@ func (c Config) Validate() error {
 	if (c.Placement != "" || c.RebalanceInterval > 0) && (c.Shards <= 1 || c.DataPartition) {
 		return fmt.Errorf("harness: Placement/RebalanceInterval require Shards > 1 with query partitioning")
 	}
+	if (c.ThresholdFrac > 0 || c.NearDupQueries || c.DisableQueryIndex) && c.Algo == AlgoTSL {
+		return fmt.Errorf("harness: ThresholdFrac/NearDupQueries/DisableQueryIndex apply to the grid algorithms only")
+	}
 	return nil
 }
 
@@ -206,6 +225,12 @@ type Result struct {
 	AvgAuxSize float64
 	// CellsProcessed counts de-heaped cells (grid algorithms).
 	CellsProcessed int64
+	// MemoryHighWater is the largest footprint the monitor observed across
+	// the run (grid engines; summed over shards). At least SpaceBytes.
+	MemoryHighWater int64
+	// MaxCellBytesHighWater is the largest single grid cell ever
+	// allocated, in bytes — the tuple-skew figure (grid engines).
+	MaxCellBytesHighWater int64
 }
 
 // PerCycle returns the average maintenance time per processing cycle.
@@ -238,11 +263,12 @@ func NewMonitor(cfg Config) (core.Monitor, *stream.Generator, int64, error) {
 		mon = m
 	case AlgoTMA, AlgoSMA:
 		opts := core.Options{
-			Dims:           cfg.Dims,
-			Window:         window.Count(cfg.N),
-			GridRes:        cfg.GridRes,
-			TargetCells:    cfg.TargetCells,
-			DeletionsFirst: cfg.DeletionsFirst,
+			Dims:              cfg.Dims,
+			Window:            window.Count(cfg.N),
+			GridRes:           cfg.GridRes,
+			TargetCells:       cfg.TargetCells,
+			DeletionsFirst:    cfg.DeletionsFirst,
+			DisableQueryIndex: cfg.DisableQueryIndex,
 		}
 		if cfg.Shards > 1 && cfg.DataPartition {
 			s, err := shard.NewData(opts, cfg.Shards)
@@ -297,12 +323,44 @@ func NewMonitor(cfg Config) (core.Monitor, *stream.Generator, int64, error) {
 	if cfg.ZipfK > 1 {
 		zipf = rand.NewZipf(rand.New(rand.NewSource(cfg.Seed+2)), cfg.ZipfK, 1, uint64(4*cfg.K-1))
 	}
-	for i := 0; i < cfg.Q; i++ {
-		k := cfg.K
-		if zipf != nil {
-			k = 1 + int(zipf.Uint64())
+	// Near-duplicate mode: jittered copies of a few base vectors, so the
+	// quantized cluster keys coincide and the query index shares work.
+	var ndRng *rand.Rand
+	var ndBases [][]float64
+	if cfg.NearDupQueries {
+		ndRng = rand.New(rand.NewSource(cfg.Seed + 3))
+		for i := 0; i < 8; i++ {
+			w := make([]float64, cfg.Dims)
+			for d := range w {
+				w[d] = 0.2 + ndRng.Float64()*0.8
+			}
+			ndBases = append(ndBases, w)
 		}
-		spec := core.QuerySpec{F: qg.Next(), K: k, Policy: policy}
+	}
+	unit := geom.UnitRect(cfg.Dims)
+	for i := 0; i < cfg.Q; i++ {
+		var f geom.ScoringFunction
+		if cfg.NearDupQueries {
+			base := ndBases[i%len(ndBases)]
+			w := make([]float64, cfg.Dims)
+			for d := range w {
+				w[d] = base[d] * (1 + 0.01*(ndRng.Float64()*2-1))
+			}
+			f = geom.NewLinear(w...)
+		} else {
+			f = qg.Next()
+		}
+		var spec core.QuerySpec
+		if cfg.ThresholdFrac > 0 {
+			thr := cfg.ThresholdFrac * geom.MaxScore(f, unit)
+			spec = core.QuerySpec{F: f, Threshold: &thr}
+		} else {
+			k := cfg.K
+			if zipf != nil {
+				k = 1 + int(zipf.Uint64())
+			}
+			spec = core.QuerySpec{F: f, K: k, Policy: policy}
+		}
 		if _, err := mon.Register(spec); err != nil {
 			return nil, nil, 0, err
 		}
@@ -411,6 +469,8 @@ func Run(cfg Config) (Result, error) {
 		res.CellsProcessed = s.CellsProcessed
 		res.AvgAuxSize = s.AvgSkybandSize()
 		res.Migrations = s.Migrations
+		res.MemoryHighWater = s.MemoryHighWater
+		res.MaxCellBytesHighWater = s.MaxCellBytesHighWater
 		_ = m.Close()
 	case *tsl.Monitor:
 		s := m.Stats()

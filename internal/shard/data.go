@@ -555,6 +555,10 @@ func (d *DataSharded) Stats() core.Stats {
 		agg.CellsWalked += st.CellsWalked
 		agg.SkybandSizeSum += st.SkybandSizeSum
 		agg.SkybandSamples += st.SkybandSamples
+		agg.MemoryHighWater += st.MemoryHighWater
+		if st.MaxCellBytesHighWater > agg.MaxCellBytesHighWater {
+			agg.MaxCellBytesHighWater = st.MaxCellBytesHighWater
+		}
 	}
 	agg.ResultUpdates = d.resultUpdates.Load()
 	return agg

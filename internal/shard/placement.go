@@ -37,6 +37,14 @@ type ShardLoad struct {
 	Cost int64
 	// MemoryBytes is the shard engine's footprint.
 	MemoryBytes int64
+	// MemoryHighWater is the largest MemoryBytes figure the shard engine
+	// has observed (refreshed by every footprint read, including this
+	// gather) — the burst-memory signal for capacity-aware placement.
+	MemoryHighWater int64
+	// MaxCellBytesHighWater is the largest single grid cell the shard
+	// ever allocated, in bytes: the tuple-skew signal. Exact, maintained
+	// by the grid at cell-growth time.
+	MaxCellBytesHighWater int64
 }
 
 // gatherLoad reads one shard engine's current load. It must run on the
@@ -47,12 +55,18 @@ func gatherLoad(i int, w *worker) ShardLoad {
 	for _, qc := range w.eng.AppendQueryCosts(nil) {
 		cost += qc.Cost
 	}
+	// MemoryBytes also refreshes the engine's high-water mark, so the
+	// accessor below reads a figure at least as fresh as this gather.
+	mem := w.eng.MemoryBytes()
+	st := w.eng.Stats()
 	return ShardLoad{
-		Shard:       i,
-		Queries:     w.eng.NumQueries(),
-		EWMACycleNS: w.ewmaNS,
-		Cost:        cost,
-		MemoryBytes: w.eng.MemoryBytes(),
+		Shard:                 i,
+		Queries:               w.eng.NumQueries(),
+		EWMACycleNS:           w.ewmaNS,
+		Cost:                  cost,
+		MemoryBytes:           mem,
+		MemoryHighWater:       st.MemoryHighWater,
+		MaxCellBytesHighWater: st.MaxCellBytesHighWater,
 	}
 }
 

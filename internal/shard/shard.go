@@ -543,6 +543,13 @@ func (s *Sharded) Stats() core.Stats {
 		agg.SkybandSizeSum += st.SkybandSizeSum
 		agg.SkybandSamples += st.SkybandSamples
 		agg.ResultUpdates += st.ResultUpdates
+		// Per-shard memory peaks sum (each engine really holds its own
+		// structures, possibly replicated); the per-cell peak is a max —
+		// it flags the single worst cell anywhere in the fleet.
+		agg.MemoryHighWater += st.MemoryHighWater
+		if st.MaxCellBytesHighWater > agg.MaxCellBytesHighWater {
+			agg.MaxCellBytesHighWater = st.MaxCellBytesHighWater
+		}
 	}
 	agg.Migrations = s.migrations.Load()
 	return agg

@@ -9,3 +9,9 @@ package simd
 func dotBlock(dst, coords, w []float64)     { DotBlockScalar(dst, coords, w) }
 func quadBlock(dst, coords, w []float64)    { QuadBlockScalar(dst, coords, w) }
 func productBlock(dst, coords, o []float64) { ProductBlockScalar(dst, coords, o) }
+
+func dotBlockMulti(dst, coords, w []float64, dims int)  { DotBlockMultiScalar(dst, coords, w, dims) }
+func quadBlockMulti(dst, coords, w []float64, dims int) { QuadBlockMultiScalar(dst, coords, w, dims) }
+func productBlockMulti(dst, coords, o []float64, dims int) {
+	ProductBlockMultiScalar(dst, coords, o, dims)
+}

@@ -9,3 +9,9 @@ package simd
 func dotBlock(dst, coords, w []float64)     { dotBlockUnrolled(dst, coords, w) }
 func quadBlock(dst, coords, w []float64)    { quadBlockUnrolled(dst, coords, w) }
 func productBlock(dst, coords, o []float64) { productBlockUnrolled(dst, coords, o) }
+
+func dotBlockMulti(dst, coords, w []float64, dims int)  { dotBlockMultiUnrolled(dst, coords, w, dims) }
+func quadBlockMulti(dst, coords, w []float64, dims int) { quadBlockMultiUnrolled(dst, coords, w, dims) }
+func productBlockMulti(dst, coords, o []float64, dims int) {
+	productBlockMultiUnrolled(dst, coords, o, dims)
+}

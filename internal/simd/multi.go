@@ -1,0 +1,240 @@
+package simd
+
+// Multi-query block kernels: the dual of the per-query kernels. Where
+// DotBlockInto scores one weight vector against a block of points, the
+// Multi variants score a whole block of nq query weight vectors (packed
+// dims-strided in w, exactly like a coordinate block) against the same
+// point block in one GEMM-shaped loop, filling dst row-major: row q is
+// dst[q*n : (q+1)*n] with n = len(coords)/dims points.
+//
+// Bit-exactness contract: row q of dst is bit-identical to calling the
+// corresponding single-query kernel with w[q*dims:(q+1)*dims] — each
+// (query, point) score accumulates over dimensions in index order, same
+// as geom.ScoringFunction.Score. The unrolled variants only change which
+// scores are computed together (four queries share each coordinate
+// load), never the per-score operation order.
+
+// DotBlockMulti fills dst with the dot products of nq = len(w)/dims
+// query weight vectors against the n = len(coords)/dims points of the
+// block: dst[q*n+j] = <w_q, p_j>. len(dst) must be nq*n.
+func DotBlockMulti(dst, coords, w []float64, dims int) {
+	dotBlockMulti(dst, coords, w, dims)
+}
+
+// QuadBlockMulti is DotBlockMulti for the quadratic form:
+// dst[q*n+j] = sum_i w_q[i] * x_i * x_i.
+func QuadBlockMulti(dst, coords, w []float64, dims int) {
+	quadBlockMulti(dst, coords, w, dims)
+}
+
+// ProductBlockMulti is DotBlockMulti for the product form:
+// dst[q*n+j] = prod_i (off_q[i] + x_i).
+func ProductBlockMulti(dst, coords, off []float64, dims int) {
+	productBlockMulti(dst, coords, off, dims)
+}
+
+// DotBlockMultiScalar is the reference implementation of DotBlockMulti:
+// one query row at a time through the single-query scalar kernel.
+func DotBlockMultiScalar(dst, coords, w []float64, dims int) {
+	nq, n := multiShape(dst, coords, w, dims)
+	for q := 0; q < nq; q++ {
+		DotBlockScalar(dst[q*n:(q+1)*n], coords, w[q*dims:(q+1)*dims])
+	}
+}
+
+// QuadBlockMultiScalar is the reference implementation of QuadBlockMulti.
+func QuadBlockMultiScalar(dst, coords, w []float64, dims int) {
+	nq, n := multiShape(dst, coords, w, dims)
+	for q := 0; q < nq; q++ {
+		QuadBlockScalar(dst[q*n:(q+1)*n], coords, w[q*dims:(q+1)*dims])
+	}
+}
+
+// ProductBlockMultiScalar is the reference implementation of
+// ProductBlockMulti.
+func ProductBlockMultiScalar(dst, coords, off []float64, dims int) {
+	nq, n := multiShape(dst, coords, off, dims)
+	for q := 0; q < nq; q++ {
+		ProductBlockScalar(dst[q*n:(q+1)*n], coords, off[q*dims:(q+1)*dims])
+	}
+}
+
+// multiShape derives (nq, n) from the packed arguments. dims == 0 is
+// degenerate: every score is the empty accumulation, handled by the
+// single-query kernels' own zero-dims paths with n = len(dst) per row —
+// callers never pass dims == 0 with nq > 1, so treat dst as one row.
+func multiShape(dst, coords, w []float64, dims int) (nq, n int) {
+	if dims == 0 {
+		return 1, len(dst)
+	}
+	return len(w) / dims, len(coords) / dims
+}
+
+// dotBlockMultiUnrolled processes four query rows per iteration: each
+// coordinate load feeds four independent accumulator chains, one per
+// query, each accumulating over dimensions in index order. Leftover rows
+// fall back to the single-query unrolled kernel.
+func dotBlockMultiUnrolled(dst, coords, w []float64, dims int) {
+	nq, n := multiShape(dst, coords, w, dims)
+	if dims == 0 || n == 0 || nq == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	_ = coords[n*dims-1]
+	q := 0
+	if dims == 4 {
+		// Mirror dotBlockUnrolled's dims==4 form exactly — sixteen
+		// weights hoisted to registers, scores built as w0*x0 then three
+		// adds — so every row stays bit-identical to the single-query
+		// kernel while each coordinate load feeds four query chains.
+		for ; q+4 <= nq; q += 4 {
+			wq := w[q*4 : q*4+16 : q*4+16]
+			a0, a1, a2, a3 := wq[0], wq[1], wq[2], wq[3]
+			b0, b1, b2, b3 := wq[4], wq[5], wq[6], wq[7]
+			c0, c1, c2, c3 := wq[8], wq[9], wq[10], wq[11]
+			d0, d1, d2, d3 := wq[12], wq[13], wq[14], wq[15]
+			da := dst[q*n : (q+1)*n : (q+1)*n]
+			db := dst[(q+1)*n : (q+2)*n : (q+2)*n]
+			dc := dst[(q+2)*n : (q+3)*n : (q+3)*n]
+			dd := dst[(q+3)*n : (q+4)*n : (q+4)*n]
+			for j := 0; j < n; j++ {
+				c := coords[j*4 : j*4+4 : j*4+4]
+				x0, x1, x2, x3 := c[0], c[1], c[2], c[3]
+				s0 := a0 * x0
+				s0 += a1 * x1
+				s0 += a2 * x2
+				s0 += a3 * x3
+				s1 := b0 * x0
+				s1 += b1 * x1
+				s1 += b2 * x2
+				s1 += b3 * x3
+				s2 := c0 * x0
+				s2 += c1 * x1
+				s2 += c2 * x2
+				s2 += c3 * x3
+				s3 := d0 * x0
+				s3 += d1 * x1
+				s3 += d2 * x2
+				s3 += d3 * x3
+				da[j] = s0
+				db[j] = s1
+				dc[j] = s2
+				dd[j] = s3
+			}
+		}
+	}
+	for ; q+4 <= nq; q += 4 {
+		wa := w[q*dims : (q+1)*dims : (q+1)*dims]
+		wb := w[(q+1)*dims : (q+2)*dims : (q+2)*dims]
+		wc := w[(q+2)*dims : (q+3)*dims : (q+3)*dims]
+		wd := w[(q+3)*dims : (q+4)*dims : (q+4)*dims]
+		da := dst[q*n : (q+1)*n : (q+1)*n]
+		db := dst[(q+1)*n : (q+2)*n : (q+2)*n]
+		dc := dst[(q+2)*n : (q+3)*n : (q+3)*n]
+		dd := dst[(q+3)*n : (q+4)*n : (q+4)*n]
+		for j := 0; j < n; j++ {
+			b := j * dims
+			var s0, s1, s2, s3 float64
+			for i := 0; i < dims; i++ {
+				x := coords[b+i]
+				s0 += wa[i] * x
+				s1 += wb[i] * x
+				s2 += wc[i] * x
+				s3 += wd[i] * x
+			}
+			da[j] = s0
+			db[j] = s1
+			dc[j] = s2
+			dd[j] = s3
+		}
+	}
+	for ; q < nq; q++ {
+		dotBlockUnrolled(dst[q*n:(q+1)*n], coords, w[q*dims:(q+1)*dims])
+	}
+}
+
+// quadBlockMultiUnrolled is dotBlockMultiUnrolled for the quadratic
+// form. The inner expression keeps the scalar shape wi*x*x.
+func quadBlockMultiUnrolled(dst, coords, w []float64, dims int) {
+	nq, n := multiShape(dst, coords, w, dims)
+	if dims == 0 || n == 0 || nq == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	_ = coords[n*dims-1]
+	q := 0
+	for ; q+4 <= nq; q += 4 {
+		wa := w[q*dims : (q+1)*dims : (q+1)*dims]
+		wb := w[(q+1)*dims : (q+2)*dims : (q+2)*dims]
+		wc := w[(q+2)*dims : (q+3)*dims : (q+3)*dims]
+		wd := w[(q+3)*dims : (q+4)*dims : (q+4)*dims]
+		da := dst[q*n : (q+1)*n : (q+1)*n]
+		db := dst[(q+1)*n : (q+2)*n : (q+2)*n]
+		dc := dst[(q+2)*n : (q+3)*n : (q+3)*n]
+		dd := dst[(q+3)*n : (q+4)*n : (q+4)*n]
+		for j := 0; j < n; j++ {
+			b := j * dims
+			var s0, s1, s2, s3 float64
+			for i := 0; i < dims; i++ {
+				x := coords[b+i]
+				s0 += wa[i] * x * x
+				s1 += wb[i] * x * x
+				s2 += wc[i] * x * x
+				s3 += wd[i] * x * x
+			}
+			da[j] = s0
+			db[j] = s1
+			dc[j] = s2
+			dd[j] = s3
+		}
+	}
+	for ; q < nq; q++ {
+		quadBlockUnrolled(dst[q*n:(q+1)*n], coords, w[q*dims:(q+1)*dims])
+	}
+}
+
+// productBlockMultiUnrolled is dotBlockMultiUnrolled for the product
+// form, with multiplicative accumulators initialized to 1.
+func productBlockMultiUnrolled(dst, coords, off []float64, dims int) {
+	nq, n := multiShape(dst, coords, off, dims)
+	if dims == 0 || n == 0 || nq == 0 {
+		for j := range dst {
+			dst[j] = 1
+		}
+		return
+	}
+	_ = coords[n*dims-1]
+	q := 0
+	for ; q+4 <= nq; q += 4 {
+		wa := off[q*dims : (q+1)*dims : (q+1)*dims]
+		wb := off[(q+1)*dims : (q+2)*dims : (q+2)*dims]
+		wc := off[(q+2)*dims : (q+3)*dims : (q+3)*dims]
+		wd := off[(q+3)*dims : (q+4)*dims : (q+4)*dims]
+		da := dst[q*n : (q+1)*n : (q+1)*n]
+		db := dst[(q+1)*n : (q+2)*n : (q+2)*n]
+		dc := dst[(q+2)*n : (q+3)*n : (q+3)*n]
+		dd := dst[(q+3)*n : (q+4)*n : (q+4)*n]
+		for j := 0; j < n; j++ {
+			b := j * dims
+			s0, s1, s2, s3 := 1.0, 1.0, 1.0, 1.0
+			for i := 0; i < dims; i++ {
+				x := coords[b+i]
+				s0 *= wa[i] + x
+				s1 *= wb[i] + x
+				s2 *= wc[i] + x
+				s3 *= wd[i] + x
+			}
+			da[j] = s0
+			db[j] = s1
+			dc[j] = s2
+			dd[j] = s3
+		}
+	}
+	for ; q < nq; q++ {
+		productBlockUnrolled(dst[q*n:(q+1)*n], coords, off[q*dims:(q+1)*dims])
+	}
+}

@@ -1,0 +1,156 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// multiKernelCase names one (dispatch, scalar, single-query) triple of the
+// multi-query kernels under test.
+type multiKernelCase struct {
+	name    string
+	kernel  func(dst, coords, params []float64, dims int)
+	scalar  func(dst, coords, params []float64, dims int)
+	single  func(dst, coords, params []float64)
+	initial float64 // value the kernel must write for dims == 0
+}
+
+func multiKernelCases() []multiKernelCase {
+	return []multiKernelCase{
+		{"dot", DotBlockMulti, DotBlockMultiScalar, DotBlockInto, 0},
+		{"quad", QuadBlockMulti, QuadBlockMultiScalar, QuadBlockInto, 0},
+		{"product", ProductBlockMulti, ProductBlockMultiScalar, ProductBlockInto, 1},
+	}
+}
+
+// TestMultiKernelEquivalenceExhaustive sweeps (dims, n, nq) densely —
+// covering every 4-query unroll remainder — and requires bit-identical
+// output among the dispatched multi kernel, the scalar reference, and a
+// per-query loop over the single-query dispatch kernel.
+func TestMultiKernelEquivalenceExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, kc := range multiKernelCases() {
+		t.Run(kc.name, func(t *testing.T) {
+			for dims := 1; dims <= 6; dims++ {
+				for n := 0; n <= 9; n++ {
+					for nq := 0; nq <= 9; nq++ {
+						coords := make([]float64, n*dims)
+						for i := range coords {
+							coords[i] = rng.Float64()
+						}
+						params := make([]float64, nq*dims)
+						for i := range params {
+							params[i] = rng.Float64()*2 - 1
+						}
+						want := make([]float64, nq*n)
+						got := make([]float64, nq*n)
+						perQ := make([]float64, nq*n)
+						kc.scalar(want, coords, params, dims)
+						kc.kernel(got, coords, params, dims)
+						for q := 0; q < nq; q++ {
+							kc.single(perQ[q*n:(q+1)*n], coords, params[q*dims:(q+1)*dims])
+						}
+						for j := range want {
+							if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+								t.Fatalf("dims=%d n=%d nq=%d slot %d: kernel %v != scalar %v",
+									dims, n, nq, j, got[j], want[j])
+							}
+							if math.Float64bits(perQ[j]) != math.Float64bits(want[j]) {
+								t.Fatalf("dims=%d n=%d nq=%d slot %d: per-query %v != scalar %v",
+									dims, n, nq, j, perQ[j], want[j])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiKernelZeroDims pins the degenerate dims==0 behavior: the empty
+// accumulation for every dst slot.
+func TestMultiKernelZeroDims(t *testing.T) {
+	for _, kc := range multiKernelCases() {
+		dst := []float64{3, 7}
+		kc.kernel(dst, nil, nil, 0)
+		for j, v := range dst {
+			if v != kc.initial {
+				t.Fatalf("%s: dims=0 wrote dst[%d]=%v, want %v", kc.name, j, v, kc.initial)
+			}
+		}
+	}
+}
+
+// TestMultiKernelSpecialValues exercises denormals, extreme magnitudes,
+// zeros and mixed signs across the query block.
+func TestMultiKernelSpecialValues(t *testing.T) {
+	values := []float64{
+		0, 1, -1, 0.5, -0.5,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		1e-300, -1e-300, 1e300, -1e300,
+		math.Nextafter(1, 2), math.Nextafter(1, 0),
+	}
+	for _, kc := range multiKernelCases() {
+		t.Run(kc.name, func(t *testing.T) {
+			for dims := 1; dims <= 5; dims++ {
+				n, nq := 7, 13 // unroll groups plus remainders on both axes
+				coords := make([]float64, n*dims)
+				params := make([]float64, nq*dims)
+				for i := range coords {
+					coords[i] = values[i%len(values)]
+				}
+				for i := range params {
+					params[i] = values[(i*3+1)%len(values)]
+				}
+				want := make([]float64, nq*n)
+				got := make([]float64, nq*n)
+				kc.scalar(want, coords, params, dims)
+				kc.kernel(got, coords, params, dims)
+				for j := range want {
+					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("dims=%d slot %d: kernel %x != scalar %x",
+							dims, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzMultiKernels drives the (dispatch, scalar) equivalence of the
+// multi-query kernels from fuzzed bytes: the corpus chooses dims and the
+// query count, the point count follows from the data length.
+func FuzzMultiKernels(f *testing.F) {
+	f.Add(uint8(4), uint8(5), make([]byte, 8*4*9))
+	f.Add(uint8(1), uint8(9), make([]byte, 8*17))
+	f.Add(uint8(6), uint8(2), make([]byte, 8*6*7))
+	f.Fuzz(func(t *testing.T, dimsRaw, nqRaw uint8, data []byte) {
+		dims := int(dimsRaw%8) + 1
+		nq := int(nqRaw % 16)
+		floats := bytesToFloats(data)
+		if len(floats) < nq*dims {
+			return
+		}
+		params := floats[:nq*dims]
+		rest := floats[nq*dims:]
+		n := len(rest) / dims
+		if n > 64 {
+			n = 64
+		}
+		coords := rest[:n*dims]
+		for _, kc := range multiKernelCases() {
+			want := make([]float64, nq*n)
+			got := make([]float64, nq*n)
+			kc.scalar(want, coords, params, dims)
+			kc.kernel(got, coords, params, dims)
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("%s dims=%d n=%d nq=%d slot %d: kernel %x != scalar %x",
+						kc.name, dims, n, nq, j,
+						math.Float64bits(got[j]), math.Float64bits(want[j]))
+				}
+			}
+		}
+	})
+}

@@ -121,6 +121,7 @@ type config struct {
 	pipeDepth          int
 	pipeMaxDepth       int
 	backpressure       Backpressure
+	noQueryIndex       bool
 }
 
 // Option configures a Monitor.
@@ -223,6 +224,16 @@ func WithCountWindow(n int) Option { return func(c *config) { c.window = window.
 // (time-based window).
 func WithTimeWindow(span int64) Option { return func(c *config) { c.window = window.Time(span) } }
 
+// WithoutQueryIndex falls back to per-query influence lists — the paper's
+// original bookkeeping, where every query registers itself on every cell
+// of its influence region — instead of the shared columnar query index.
+// Results are byte-identical either way; the index is the default because
+// it keeps memory O(queries + cells) instead of O(queries × cells) and
+// per-cycle cost sublinear in the query count when queries share
+// preference directions (the pub/sub regime). This switch exists for
+// comparison runs and as an escape hatch.
+func WithoutQueryIndex() Option { return func(c *config) { c.noQueryIndex = true } }
+
 // WithGridRes fixes the number of grid cells per axis, overriding the
 // tuned default.
 func WithGridRes(res int) Option { return func(c *config) { c.gridRes = res } }
@@ -241,10 +252,11 @@ func (c *config) engineOptions(dims int) (core.Options, error) {
 		return core.Options{}, fmt.Errorf("topkmon: append-only mode needs WithCountWindow or WithTimeWindow")
 	}
 	return core.Options{
-		Dims:        dims,
-		Window:      c.window,
-		Mode:        c.mode,
-		GridRes:     c.gridRes,
-		TargetCells: c.cells,
+		Dims:              dims,
+		Window:            c.window,
+		Mode:              c.mode,
+		GridRes:           c.gridRes,
+		TargetCells:       c.cells,
+		DisableQueryIndex: c.noQueryIndex,
 	}, nil
 }
