@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"topkmon/internal/analysis"
+)
+
+// runEscapes implements `topklint escapes [-update] [packages...]`.
+//
+// It runs `go build -gcflags=-m` from the module root, keeps every escape
+// diagnostic inside a //topk:hot function, and diffs the normalized set
+// against internal/analysis/escapes.txt. With -update it rewrites the
+// allowlist instead. The compiler output replays from the build cache, so
+// repeated runs are cheap.
+func runEscapes(args []string) int {
+	update := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-update", "--update":
+			update = true
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "topklint escapes: unknown flag %q\n", a)
+				return 2
+			}
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topklint escapes:", err)
+		return 2
+	}
+	allowPath := filepath.Join(root, "internal", "analysis", "escapes.txt")
+
+	// -gcflags applies to the packages named on the command line, so ./...
+	// covers the whole module. Run from the module root so the compiler's
+	// relative paths match the allowlist keys.
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, patterns...)...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// -m output goes to stderr even on success; a build failure is the
+		// only true error and its output is the best explanation.
+		if _, ok := err.(*exec.ExitError); !ok {
+			fmt.Fprintln(os.Stderr, "topklint escapes:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "topklint escapes: go build failed:\n%s", out)
+		return 2
+	}
+
+	hot, err := analysis.CollectHotRanges(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topklint escapes:", err)
+		return 2
+	}
+	got := analysis.ParseEscapes(string(out), hot)
+
+	if update {
+		if err := os.WriteFile(allowPath, []byte(analysis.FormatEscapeAllowlist(got)), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "topklint escapes:", err)
+			return 2
+		}
+		fmt.Printf("topklint escapes: wrote %d entries to %s\n", len(got), allowPath)
+		return 0
+	}
+
+	want, err := analysis.ReadEscapeAllowlist(allowPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topklint escapes:", err)
+		return 2
+	}
+	missing, extra := analysis.DiffEscapes(got, want)
+	if len(missing) == 0 && len(extra) == 0 {
+		fmt.Printf("topklint escapes: %d allowlisted hot-path escapes, no drift\n", len(got))
+		return 0
+	}
+	for _, e := range extra {
+		fmt.Fprintf(os.Stderr, "topklint escapes: NEW hot-path escape not in allowlist:\n  %s\n", e)
+	}
+	for _, m := range missing {
+		fmt.Fprintf(os.Stderr, "topklint escapes: stale allowlist entry (escape no longer occurs):\n  %s\n", m)
+	}
+	fmt.Fprintln(os.Stderr, "topklint escapes: run `go run ./cmd/topklint escapes -update` and review the diff")
+	return 1
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("locating module root: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}

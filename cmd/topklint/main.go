@@ -1,0 +1,409 @@
+// Command topklint runs the topkmon analyzer suite (internal/analysis)
+// over Go packages. It speaks the `go vet -vettool` unitchecker protocol,
+// so CI can run it as
+//
+//	go vet -vettool=$(command -v topklint) ./...
+//
+// and it also works as a standalone driver that re-execs `go vet` against
+// itself:
+//
+//	topklint [-json] [-fix] [packages...]
+//
+// Exit codes in standalone mode: 0 = clean, 1 = findings reported,
+// 2 = the build or type-check failed before analysis could finish.
+//
+// The `escapes` subcommand checks the hot-path escape-analysis allowlist:
+//
+//	topklint escapes [-update] [packages...]
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"topkmon/internal/analysis"
+)
+
+const jsonDirEnv = "TOPKLINT_JSON_DIR"
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// We expose no analyzer flags through the vet front end.
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	if len(args) > 0 && args[0] == "escapes" {
+		os.Exit(runEscapes(args[1:]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion answers cmd/go's vettool handshake. The last field must be
+// `buildID=<hex>`; hashing our own executable means the go command's vet
+// cache is invalidated whenever the linter binary changes.
+func printVersion() {
+	exe, err := os.Executable()
+	if err == nil {
+		if data, rerr := os.ReadFile(exe); rerr == nil {
+			sum := sha256.Sum256(data)
+			fmt.Printf("topklint version devel comments-go-here buildID=%02x\n", sum)
+			return
+		}
+	}
+	fmt.Println("topklint version devel comments-go-here buildID=00")
+}
+
+// unitConfig mirrors the JSON config cmd/go hands a vettool per package.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// finding is the JSON wire format for one diagnostic, shared between the
+// per-package unitchecker children and the standalone merger.
+type finding struct {
+	File     string      `json:"file"`
+	Line     int         `json:"line"`
+	Col      int         `json:"col"`
+	Analyzer string      `json:"analyzer"`
+	Rule     string      `json:"rule"`
+	Message  string      `json:"message"`
+	Fix      *findingFix `json:"fix,omitempty"`
+}
+
+type findingFix struct {
+	Message string        `json:"message"`
+	Edits   []findingEdit `json:"edits"`
+}
+
+type findingEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"` // byte offset
+	End     int    `json:"end"`
+	NewText string `json:"new"`
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runUnit analyzes one package as directed by a cmd/go vet config file.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "topklint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// We compute no cross-package facts, so the vetx output is always empty,
+	// and dependency-only invocations are a no-op.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+		Error:    func(error) {}, // keep going; the first error is returned by Check
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "topklint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	dir := cfg.Dir
+	if dir == "" && len(cfg.GoFiles) > 0 {
+		dir = filepath.Dir(cfg.GoFiles[0])
+	}
+
+	var findings []finding
+	exit := 0
+	for _, a := range analysis.All() {
+		a := a
+		pass := analysis.NewPass(a, fset, files, pkg, info, dir, func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			fmt.Fprintf(os.Stderr, "%s: %s [%s/%s]\n", pos, d.Message, a.Name, d.Rule)
+			findings = append(findings, toFinding(fset, a.Name, d))
+			exit = 1
+		})
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "topklint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			exit = 1
+		}
+	}
+
+	if dir := os.Getenv(jsonDirEnv); dir != "" && len(findings) > 0 {
+		name := fmt.Sprintf("%x.json", sha256.Sum256([]byte(cfg.ImportPath)))
+		if out, err := json.Marshal(findings); err == nil {
+			_ = os.WriteFile(filepath.Join(dir, name), out, 0o666)
+		}
+	}
+	return exit
+}
+
+func toFinding(fset *token.FileSet, analyzer string, d analysis.Diagnostic) finding {
+	pos := fset.Position(d.Pos)
+	f := finding{
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: analyzer,
+		Rule:     d.Rule,
+		Message:  d.Message,
+	}
+	if d.Fix != nil {
+		fix := &findingFix{Message: d.Fix.Message}
+		for _, e := range d.Fix.Edits {
+			start := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			fix.Edits = append(fix.Edits, findingEdit{
+				File:    start.Filename,
+				Start:   start.Offset,
+				End:     end.Offset,
+				NewText: e.NewText,
+			})
+		}
+		f.Fix = fix
+	}
+	return f
+}
+
+// runStandalone re-execs `go vet -vettool=<self>` so the go command does
+// package loading and caching, then merges the per-package JSON findings.
+func runStandalone(args []string) int {
+	jsonMode := false
+	fixMode := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonMode = true
+		case "-fix", "--fix":
+			fixMode = true
+		case "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: topklint [-json] [-fix] [packages...]")
+			return 0
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "topklint: unknown flag %q\n", a)
+				return 2
+			}
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topklint:", err)
+		return 2
+	}
+	tmp, err := os.MkdirTemp("", "topklint-json-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topklint:", err)
+		return 2
+	}
+	defer os.RemoveAll(tmp)
+
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Env = append(os.Environ(), jsonDirEnv+"="+tmp)
+	var stderr bytes.Buffer
+	if jsonMode {
+		cmd.Stderr = &stderr
+	} else {
+		cmd.Stderr = io.MultiWriter(os.Stderr, &stderr)
+	}
+	cmd.Stdout = os.Stdout
+	vetErr := cmd.Run()
+
+	findings, err := readFindings(tmp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topklint:", err)
+		return 2
+	}
+	if fixMode {
+		if err := applyFixes(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "topklint: applying fixes:", err)
+			return 2
+		}
+	}
+	if jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "topklint:", err)
+			return 2
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	if vetErr != nil {
+		// go vet failed but no analyzer findings were recorded: the build or
+		// type-check broke before analysis.
+		if jsonMode {
+			os.Stderr.Write(stderr.Bytes())
+		}
+		return 2
+	}
+	return 0
+}
+
+func readFindings(dir string) ([]finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var all []finding
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var fs []finding
+		if err := json.Unmarshal(data, &fs); err != nil {
+			return nil, fmt.Errorf("merging %s: %w", e.Name(), err)
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		return all[i].Col < all[j].Col
+	})
+	return all, nil
+}
+
+// applyFixes rewrites source files with the suggested fixes, applying edits
+// back-to-front per file so earlier offsets stay valid.
+func applyFixes(findings []finding) error {
+	byFile := make(map[string][]findingEdit)
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	for file, edits := range byFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		prev := len(data) + 1
+		for _, e := range edits {
+			if e.End > prev || e.Start > e.End || e.End > len(data) {
+				fmt.Fprintf(os.Stderr, "topklint: skipping overlapping fix in %s\n", file)
+				continue
+			}
+			data = append(data[:e.Start], append([]byte(e.NewText), data[e.End:]...)...)
+			prev = e.Start
+		}
+		if err := os.WriteFile(file, data, 0o666); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce compiles the linter binary one time for all e2e tests.
+var buildOnce = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "topklint-bin-")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "topklint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", &buildError{string(out), err}
+	}
+	return bin, nil
+})
+
+type buildError struct {
+	out string
+	err error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + "\n" + e.out }
+
+func linter(t *testing.T) string {
+	t.Helper()
+	bin, err := buildOnce()
+	if err != nil {
+		t.Fatalf("building topklint: %v", err)
+	}
+	return bin
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module lintfixture\n\ngo 1.21\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runLinter(t *testing.T, dir string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(linter(t), args...)
+	cmd.Dir = dir
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running topklint: %v", err)
+	}
+	return out.String(), errb.String(), exit
+}
+
+const cleanSrc = `// Package fx has no annotations, so no scoped rules fire.
+package fx
+
+func Add(a, b int) int { return a + b }
+`
+
+const violatingSrc = `// Package fx is scoped deterministic.
+//
+//topk:deterministic
+package fx
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+
+const contractibleSrc = `// Package fx is scoped bitexact.
+//
+//topk:bitexact
+package fx
+
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+`
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{"fx.go": cleanSrc})
+	_, stderr, exit := runLinter(t, dir, "./...")
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", exit, stderr)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{"fx.go": violatingSrc})
+	_, stderr, exit := runLinter(t, dir, "./...")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", exit, stderr)
+	}
+	if !strings.Contains(stderr, "time.Now") || !strings.Contains(stderr, "[determinism/time]") {
+		t.Fatalf("stderr missing determinism diagnostic:\n%s", stderr)
+	}
+}
+
+func TestExitCodeBuildError(t *testing.T) {
+	dir := writeModule(t, map[string]string{"fx.go": "package fx\n\nfunc broken(\n"})
+	_, stderr, exit := runLinter(t, dir, "./...")
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", exit, stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"fx.go": violatingSrc})
+	stdout, stderr, exit := runLinter(t, dir, "-json", "./...")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", exit, stderr)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Rule     string `json:"rule"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, stdout)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "determinism" || f.Rule != "time" || f.Line != 8 {
+		t.Fatalf("unexpected finding: %+v", f)
+	}
+}
+
+func TestFixAppliesConversion(t *testing.T) {
+	dir := writeModule(t, map[string]string{"fx.go": contractibleSrc})
+	_, stderr, exit := runLinter(t, dir, "-fix", "./...")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1 (findings reported even when fixed); stderr:\n%s", exit, stderr)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "fx.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "s += float64(a[i] * b[i])") {
+		t.Fatalf("-fix did not insert the conversion:\n%s", fixed)
+	}
+	// The fixed file must now lint clean.
+	_, stderr, exit = runLinter(t, dir, "./...")
+	if exit != 0 {
+		t.Fatalf("exit after fix = %d, want 0; stderr:\n%s", exit, stderr)
+	}
+}

@@ -161,6 +161,52 @@
 // Refresh the baseline with `go run ./cmd/benchreport -out BENCH_6.json`
 // when a PR intentionally shifts it.
 //
+// # Invariants and annotations
+//
+// The engine's correctness story rests on invariants no test can pin
+// exhaustively — transcripts must be a pure function of the input stream,
+// floating-point scores must be bit-identical across batch/pointwise
+// paths and across architectures, the hot path must not allocate, and
+// locks must nest in one order. These are enforced mechanically by
+// topklint (cmd/topklint), a go/analysis-style suite built on
+// internal/analysis and run in CI as `go vet -vettool` on both amd64 and
+// arm64. The invariants are declared in the source with //topk:
+// directives:
+//
+//   - //topk:deterministic (package doc or function doc) scopes the
+//     determinism rules: no time.Now/Since/Until, no unseeded math/rand,
+//     no goroutine spawns or multi-case selects, and no map-range whose
+//     iteration order can leak into an output slice, channel, or float
+//     accumulation without an intervening sort.
+//   - //topk:bitexact (package doc) scopes the float rules: math.FMA is
+//     forbidden, any a*b±c shape must wrap the product in an explicit
+//     float64(...) conversion (the gc compiler contracts multiply-adds
+//     into fused FMA on arm64 but never on amd64, so the conversion is a
+//     no-op on amd64 and makes arm64 bit-identical to it), build-tag
+//     kernel legs must keep identical exported shapes, and functions
+//     annotated //topk:acc N must carry exactly N accumulator chains in
+//     their widest loop — the chain count fixes the rounding order.
+//   - //topk:hot (function doc) marks hot-path functions: no defer, no
+//     goroutine spawns, no variable-capturing closures, no fmt/errors/log
+//     calls, no make(map)/make(chan), no string<->[]byte conversions.
+//     Heap escapes inside hot functions are budgeted by the committed
+//     allowlist internal/analysis/escapes.txt, checked in CI against
+//     `go build -gcflags=-m` output and refreshed with
+//     `go run ./cmd/topklint escapes -update` (amd64 only — escape
+//     decisions are arch-dependent).
+//   - //topk:lockrank N [leaf] (mutex field comment) declares the lock
+//     order: a lock may only be acquired while holding locks of strictly
+//     lower rank, and leaf locks (the innermost hot locks) additionally
+//     forbid channel operations and calls to //topk:blocking functions
+//     while held.
+//
+// A diagnostic that is a considered false positive is suppressed in place
+// with `//topk:allow <analyzer> <reason>` on the flagged line or the line
+// above; the reason is mandatory documentation, and suppressions are
+// grep-able for audit. Run the suite locally with `go run ./cmd/topklint
+// ./...` (exit 0 clean / 1 findings / 2 build error; -json for tooling,
+// -fix to apply the suggested float64 conversions).
+//
 // Use pkg/topkmon — the public facade with functional options — as the
 // entry point:
 //

@@ -1,0 +1,116 @@
+// Package analysis is topklint's analyzer framework: a deliberately small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis API shape.
+//
+// The engine's correctness story rests on three mechanical invariants —
+// deterministic (transcript-reproducible) cycle paths, bit-identical
+// floating-point accumulation across every kernel variant and architecture,
+// and a bounded allocation budget on the per-cycle hot path. Runtime tests
+// (the differential fuzz harness, the kernel equivalence suites, the bench
+// gate) *detect* violations after the fact; the analyzers in this package
+// reject them at `go vet` time, before a seed ever has to find them.
+//
+// The package is stdlib-only on purpose: the module carries zero external
+// dependencies, so the lint layer cannot be the thing that drags one in.
+// The API mirrors go/analysis closely enough that migrating to the real
+// x/tools framework later is a rename, not a rewrite.
+//
+// See doc.go at the repository root ("Invariants and annotations") for the
+// annotation vocabulary (//topk:deterministic, //topk:hot, //topk:bitexact,
+// //topk:lockrank, //topk:blocking, //topk:acc, //topk:allow) and for when a
+// suppression is acceptable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one topklint check. It mirrors the x/tools
+// analysis.Analyzer surface that the drivers (cmd/topklint, the fixture
+// harness) need.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -json output, and
+	// //topk:allow suppressions.
+	Name string
+	// Doc is a one-paragraph description, shown by `topklint -help`.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dir is the package directory on disk. The bitexact parity rule
+	// parses sibling files that the current build configuration excludes
+	// (other GOARCH legs of a kernel), so it needs the directory, not just
+	// the active file set.
+	Dir string
+
+	// Report receives diagnostics. Drivers install it; analyzers call
+	// Pass.Report/Reportf which route through it after suppression
+	// filtering.
+	report func(Diagnostic)
+
+	dirs *directives // lazily built //topk: directive index
+}
+
+// NewPass assembles a Pass. report receives every non-suppressed
+// diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, dir string, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Dir: dir, report: report}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Rule    string    // sub-rule id within the analyzer (e.g. "time", "contract")
+	Message string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// diagnostic (applied by `topklint -fix`).
+	Fix *SuggestedFix
+}
+
+// SuggestedFix is a set of textual edits that resolves a diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Report emits d unless a //topk:allow suppression covers it. The
+// suppression comment must name the analyzer or the specific rule and
+// carry a reason: `//topk:allow determinism timestamp only feeds logs`.
+// It applies to the diagnostic's own line or the line above it.
+func (p *Pass) Report(d Diagnostic) {
+	if p.directives().allows(p.Fset, d.Pos, p.Analyzer.Name, d.Rule) {
+		return
+	}
+	p.report(d)
+}
+
+// Reportf is Report with fmt formatting and no fix.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Rule: rule, Message: fmt.Sprintf(format, args...)})
+}
+
+// directives returns the lazily built //topk: directive index for the pass.
+func (p *Pass) directives() *directives {
+	if p.dirs == nil {
+		p.dirs = parseDirectives(p.Fset, p.Files)
+	}
+	return p.dirs
+}

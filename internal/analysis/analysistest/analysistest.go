@@ -1,0 +1,204 @@
+// Package analysistest runs topklint analyzers over fixture packages and
+// checks their diagnostics against `// want` comments, mirroring the
+// x/tools analysistest contract on a hermetic, stdlib-only loader.
+//
+// Fixtures live in a GOPATH-style tree: testdata/src/<importpath>/*.go.
+// Imports inside fixtures resolve against sibling fixture directories
+// first (so "time", "sync", "fmt" are tiny stubs under testdata/src/,
+// keeping tests fast and independent of the host toolchain's sources).
+//
+// A want comment asserts diagnostics on its line:
+//
+//	x := time.Now() // want `calls time\.Now`
+//
+// The payload is a Go regular expression in backquotes or double quotes.
+// Several expectations may sit on one line, separated by whitespace. The
+// run fails on any unmatched diagnostic and any unmatched expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"topkmon/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> under dir and applies each analyzer,
+// comparing diagnostics against // want comments. It returns the
+// diagnostics for further assertions (e.g. on suggested fixes).
+func Run(t *testing.T, dir, pkg string, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	ld := &loader{root: filepath.Join(dir, "src"), fset: token.NewFileSet(), pkgs: map[string]*loaded{}}
+	lp, err := ld.load(pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+
+	var got []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, ld.fset, lp.files, lp.pkg, lp.info, filepath.Join(ld.root, pkg), func(d analysis.Diagnostic) {
+			got = append(got, d)
+		})
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	checkWants(t, ld.fset, lp.files, got)
+	return got
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+	std  types.Importer
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// Fixtures are loaded in a fixed GOARCH=amd64 view so multi-leg
+		// parity fixtures behave identically on every host.
+		if !analysis.ActiveForArch(f, "amd64") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if p, err := l.load(ipath); err == nil {
+			return p.pkg, nil
+		}
+		// Fall back to compiling the real package from source for the
+		// rare fixture that needs an unstubbed stdlib dependency.
+		if l.std == nil {
+			l.std = importer.ForCompiler(l.fset, "source", nil)
+		}
+		return l.std.Import(ipath)
+	})}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// checkWants matches diagnostics against // want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	type expectation struct {
+		file    string
+		line    int
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				payload := text[len("want "):]
+				pos := fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(payload, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no quoted pattern): %s", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d:%d: unexpected diagnostic [%s]: %s", pos.Filename, pos.Line, pos.Column, d.Rule, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

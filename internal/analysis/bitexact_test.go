@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"topkmon/internal/analysis"
+	"topkmon/internal/analysis/analysistest"
+)
+
+func TestBitexactRules(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "bitex", analysis.Bitexact)
+
+	// Every contract diagnostic must carry the conversion fix -fix applies.
+	fixes := 0
+	for _, d := range diags {
+		if d.Rule != "contract" {
+			continue
+		}
+		if d.Fix == nil || len(d.Fix.Edits) != 2 {
+			t.Errorf("contract diagnostic %q has no two-edit suggested fix", d.Message)
+			continue
+		}
+		if !strings.HasPrefix(d.Fix.Edits[0].NewText, "float") {
+			t.Errorf("contract fix inserts %q, want a float conversion", d.Fix.Edits[0].NewText)
+		}
+		fixes++
+	}
+	if fixes == 0 {
+		t.Fatalf("expected contract diagnostics with suggested fixes, got none")
+	}
+}
+
+func TestBitexactBuildLegParity(t *testing.T) {
+	analysistest.Run(t, "testdata", "bitexparity", analysis.Bitexact)
+}

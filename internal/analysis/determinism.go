@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism flags constructs that can make an annotated scope produce
+// different output across runs of the same input. The engine's contract —
+// asserted end to end by the differential fuzz harness — is that every
+// mode produces byte-identical transcripts; these rules reject the usual
+// ways that property silently rots:
+//
+//   - rule "time": time.Now/Since/Until on a deterministic path. Wall-clock
+//     reads belong in the clock-driven ingestion layer, never inside cycle
+//     processing (the engine's `now` is an input, not an observation).
+//   - rule "rand": package-level math/rand functions (they draw from the
+//     globally seeded source). Explicit rand.New(rand.NewSource(seed))
+//     instances are fine and are not flagged.
+//   - rule "maprange": a `range` over a map whose body lets the iteration
+//     order reach output — appending to a slice that is never subsequently
+//     sorted, accumulating into a float (float addition is not associative,
+//     so even a commutative-looking reduction is order-sensitive), or
+//     sending on a channel. Writes into other maps, integer accumulation,
+//     and counting are order-free and not flagged.
+//   - rule "go": spawning a goroutine. Concurrency on the cycle path means
+//     scheduler-dependent interleaving; shard fan-out happens in the
+//     dedicated worker layer, which is annotated at function granularity
+//     instead of package granularity.
+//   - rule "select": a select with multiple ready cases is decided by the
+//     scheduler.
+//
+// Scope: packages annotated //topk:deterministic (excluding _test.go
+// files) and individually annotated functions anywhere.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock reads, global randomness, map-iteration-order leaks, goroutine spawns, and selects in //topk:deterministic scopes",
+	Run:  runDeterminism,
+}
+
+// randConstructors are math/rand package-level functions that build an
+// explicitly seeded generator rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	dirs := pass.directives()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !dirs.deterministicScope(pass.Fset, fn) {
+				continue
+			}
+			checkDeterministicFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkDeterministicFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Literals inherit the enclosing scope's contract; keep walking.
+			return true
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go", "goroutine spawned on a deterministic path: interleaving is scheduler-dependent")
+		case *ast.SelectStmt:
+			if n.Body != nil && len(n.Body.List) > 1 {
+				pass.Reportf(n.Pos(), "select", "select with multiple cases on a deterministic path: case choice is scheduler-dependent")
+			}
+		case *ast.CallExpr:
+			checkDeterministicCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, fn, n)
+		}
+		return true
+	})
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on an explicitly seeded *rand.Rand) are fine
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time", "deterministic path calls time.%s: wall-clock reads make transcripts run-dependent; thread the cycle timestamp in as an input", obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[obj.Name()] {
+			pass.Reportf(call.Pos(), "rand", "deterministic path calls %s.%s: the global source is randomly seeded; use an explicitly seeded rand.New(rand.NewSource(seed))", obj.Pkg().Name(), obj.Name())
+		}
+	}
+}
+
+// checkMapRange flags map-iteration-order leaks out of a `range` over a
+// map: appends to outer slices that are never sorted afterwards, float
+// accumulation, and channel sends.
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, loop *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(loop.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "maprange", "channel send inside range over map: receive order follows map iteration order")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fn, loop, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, fn *ast.FuncDecl, loop *ast.RangeStmt, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(lhs)
+	if obj == nil || !declaredOutside(obj, loop) {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if isFloat(obj.Type()) {
+			pass.Reportf(as.Pos(), "maprange", "float accumulation into %s inside range over map: float %s is order-sensitive, so the result depends on map iteration order", lhs.Name, as.Tok)
+		}
+	case token.ASSIGN:
+		// s = append(s, ...) — the slice picks up map order; require a
+		// sort between the loop and any use.
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) {
+			// x = x + v float accumulation written long-form.
+			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && isFloat(obj.Type()) && mentionsObject(pass, bin, obj) {
+				switch bin.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					pass.Reportf(as.Pos(), "maprange", "float accumulation into %s inside range over map: float %s is order-sensitive, so the result depends on map iteration order", lhs.Name, bin.Op)
+				}
+			}
+			return
+		}
+		if sortedAfter(pass, fn, loop, obj) {
+			return
+		}
+		pass.Reportf(as.Pos(), "maprange", "append to %s inside range over map without a subsequent sort: slice order follows map iteration order", lhs.Name)
+	}
+}
+
+func declaredOutside(obj types.Object, loop *ast.RangeStmt) bool {
+	return obj.Pos() < loop.Pos() || obj.Pos() > loop.End()
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortFuncs maps package path -> function names that impose a
+// deterministic order on their first argument.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether obj is passed to a sorting function
+// somewhere in fn after loop ends.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, loop *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		cobj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || cobj.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[cobj.Pkg().Path()]
+		if names == nil || !names[cobj.Name()] {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(arg) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

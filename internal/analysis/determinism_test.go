@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"topkmon/internal/analysis"
+	"topkmon/internal/analysis/analysistest"
+)
+
+func TestDeterminismPackageScope(t *testing.T) {
+	analysistest.Run(t, "testdata", "det", analysis.Determinism)
+}
+
+func TestDeterminismFunctionScope(t *testing.T) {
+	analysistest.Run(t, "testdata", "detfn", analysis.Determinism)
+}

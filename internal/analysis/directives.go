@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The //topk: directive vocabulary. Directives are ordinary line comments
+// with no space after "//", matching the //go: convention:
+//
+//	//topk:deterministic        package doc or function doc — the scope must
+//	                            produce transcript-identical output across runs
+//	//topk:hot                  function doc — on the per-cycle hot path;
+//	                            hotalloc's syntactic rules and the escape
+//	                            allowlist apply
+//	//topk:bitexact             package doc — float accumulation order in this
+//	                            package is load-bearing; bitexact rules apply
+//	//topk:acc N                function doc — the function's widest loop must
+//	                            carry exactly N accumulator chains
+//	//topk:lockrank N [leaf]    mutex field doc/line comment — locks must be
+//	                            acquired in strictly increasing rank order;
+//	                            leaf locks additionally forbid channel ops and
+//	                            //topk:blocking calls while held
+//	//topk:blocking             function doc — the function may block on
+//	                            channel/worker communication; must not be
+//	                            called under a leaf lock
+//	//topk:allow RULE REASON    statement line (or the line above) — suppress
+//	                            RULE (an analyzer name or analyzer sub-rule)
+//	                            here; REASON is mandatory
+const directivePrefix = "//topk:"
+
+// allow records one //topk:allow suppression.
+type allow struct {
+	rule   string // analyzer name or rule id
+	reason string
+}
+
+// directives indexes every //topk: comment of a package.
+type directives struct {
+	pkgDeterministic bool
+	pkgBitexact      bool
+
+	// funcDet / funcHot / funcBlocking hold *ast.FuncDecl nodes annotated
+	// //topk:deterministic, //topk:hot, //topk:blocking respectively.
+	funcDet      map[*ast.FuncDecl]bool
+	funcHot      map[*ast.FuncDecl]bool
+	funcBlocking map[*ast.FuncDecl]bool
+	// funcAcc maps a function to its declared accumulator-chain count.
+	funcAcc map[*ast.FuncDecl]int
+
+	// lockRanks maps "TypeName.fieldName" to the declared rank.
+	lockRanks map[string]lockRank
+
+	// allows maps file -> line -> suppressions on that line.
+	allowLines map[string]map[int][]allow
+}
+
+type lockRank struct {
+	rank int
+	leaf bool
+}
+
+// parseDirectives scans all comments of files and builds the index.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{
+		funcDet:      map[*ast.FuncDecl]bool{},
+		funcHot:      map[*ast.FuncDecl]bool{},
+		funcBlocking: map[*ast.FuncDecl]bool{},
+		funcAcc:      map[*ast.FuncDecl]int{},
+		lockRanks:    map[string]lockRank{},
+		allowLines:   map[string]map[int][]allow{},
+	}
+	for _, f := range files {
+		if doc := f.Doc; doc != nil {
+			for _, c := range doc.List {
+				switch verb, _ := splitDirective(c.Text); verb {
+				case "deterministic":
+					d.pkgDeterministic = true
+				case "bitexact":
+					d.pkgBitexact = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Doc == nil {
+					continue
+				}
+				for _, c := range decl.Doc.List {
+					verb, rest := splitDirective(c.Text)
+					switch verb {
+					case "deterministic":
+						d.funcDet[decl] = true
+					case "hot":
+						d.funcHot[decl] = true
+					case "blocking":
+						d.funcBlocking[decl] = true
+					case "acc":
+						if n, err := strconv.Atoi(strings.TrimSpace(rest)); err == nil {
+							d.funcAcc[decl] = n
+						}
+					}
+				}
+			case *ast.GenDecl:
+				d.scanLockRanks(decl)
+			}
+		}
+		// //topk:allow suppressions can sit anywhere: index every comment.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, rest := splitDirective(c.Text)
+				if verb != "allow" {
+					continue
+				}
+				rule, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if rule == "" || strings.TrimSpace(reason) == "" {
+					continue // malformed: no rule or no reason — inert by design
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.allowLines[pos.Filename]
+				if lines == nil {
+					lines = map[int][]allow{}
+					d.allowLines[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], allow{rule: rule, reason: reason})
+			}
+		}
+	}
+	return d
+}
+
+// scanLockRanks records //topk:lockrank directives attached to struct
+// fields (doc comment or trailing line comment).
+func (d *directives) scanLockRanks(decl *ast.GenDecl) {
+	if decl.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			var groups []*ast.CommentGroup
+			if field.Doc != nil {
+				groups = append(groups, field.Doc)
+			}
+			if field.Comment != nil {
+				groups = append(groups, field.Comment)
+			}
+			for _, cg := range groups {
+				for _, c := range cg.List {
+					verb, rest := splitDirective(c.Text)
+					if verb != "lockrank" {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					n, err := strconv.Atoi(fields[0])
+					if err != nil {
+						continue
+					}
+					lr := lockRank{rank: n, leaf: len(fields) > 1 && fields[1] == "leaf"}
+					for _, name := range field.Names {
+						d.lockRanks[ts.Name.Name+"."+name.Name] = lr
+					}
+				}
+			}
+		}
+	}
+}
+
+// splitDirective returns the directive verb and its argument text, or
+// ("", "") if the comment is not a //topk: directive.
+func splitDirective(text string) (verb, rest string) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", ""
+	}
+	body := text[len(directivePrefix):]
+	verb, rest, _ = strings.Cut(body, " ")
+	return verb, rest
+}
+
+// allows reports whether a suppression for analyzer or rule covers pos:
+// a //topk:allow on the same line or the line immediately above.
+func (d *directives) allows(fset *token.FileSet, pos token.Pos, analyzer, rule string) bool {
+	p := fset.Position(pos)
+	lines := d.allowLines[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [...]int{p.Line, p.Line - 1} {
+		for _, a := range lines[line] {
+			if a.rule == analyzer || (rule != "" && a.rule == rule) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deterministicScope reports whether fn is in determinism scope: the
+// package is annotated (and fn is not in a _test.go file) or fn itself is.
+func (d *directives) deterministicScope(fset *token.FileSet, fn *ast.FuncDecl) bool {
+	if d.funcDet[fn] {
+		return true
+	}
+	if !d.pkgDeterministic {
+		return false
+	}
+	return !strings.HasSuffix(fset.Position(fn.Pos()).Filename, "_test.go")
+}

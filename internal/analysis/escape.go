@@ -1,0 +1,211 @@
+package analysis
+
+// Hot-path escape accounting. `topklint escapes` runs
+// `go build -gcflags=-m` and keeps every "escapes to heap" / "moved to
+// heap" diagnostic that lands inside a function annotated //topk:hot,
+// then diffs that set against the committed allowlist
+// internal/analysis/escapes.txt. The allowlist entries are normalized to
+// (file, function, message) with no line numbers, so routine edits that
+// shift lines don't churn the file — only a genuinely new escape (or a
+// fixed one) shows up in the diff.
+//
+// The compiler's -m output replays from the build cache, so the check is
+// cheap in CI once the build itself is cached. Escape decisions are
+// architecture-dependent; CI runs this step on amd64 only (see
+// .github/workflows/ci.yml) and the allowlist is maintained against
+// GOARCH=amd64.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotRange is the line span of one //topk:hot function in a file.
+type HotRange struct {
+	Name       string // function name, with "(Recv)." prefix for methods
+	Start, End int    // 1-based line range, inclusive
+}
+
+// CollectHotRanges walks the module rooted at root and returns the line
+// ranges of every //topk:hot function, keyed by slash-separated path
+// relative to root (the same form the compiler prints when the go command
+// runs from root).
+func CollectHotRanges(root string) (map[string][]HotRange, error) {
+	hot := make(map[string][]HotRange)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return nil // unbuildable files can't have escapes either
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		for _, r := range hotRangesInFile(fset, f) {
+			hot[rel] = append(hot[rel], r)
+		}
+		return nil
+	})
+	return hot, err
+}
+
+var escapeLineRe = regexp.MustCompile(`^([^\s:]+\.go):(\d+):\d+: (.*)$`)
+
+// ParseEscapes extracts the normalized allowlist entries from compiler -m
+// output, keeping only diagnostics inside the given hot ranges. Entries
+// are "file func: message", deduplicated and sorted.
+func ParseEscapes(output string, hot map[string][]HotRange) []string {
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(output, "\n") {
+		m := escapeLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(strings.TrimSpace(m[3]), ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := filepath.ToSlash(m[1])
+		lineNo, _ := strconv.Atoi(m[2])
+		for _, r := range hot[file] {
+			if lineNo >= r.Start && lineNo <= r.End {
+				seen[fmt.Sprintf("%s %s: %s", file, r.Name, msg)] = true
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DiffEscapes compares the observed entries against the allowlist.
+// missing = allowlisted but no longer observed (stale entries);
+// extra = observed but not allowlisted (new escapes on hot paths).
+func DiffEscapes(got, want []string) (missing, extra []string) {
+	gotSet := make(map[string]bool, len(got))
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	wantSet := make(map[string]bool, len(want))
+	for _, w := range want {
+		wantSet[w] = true
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			missing = append(missing, w)
+		}
+	}
+	for _, g := range got {
+		if !wantSet[g] {
+			extra = append(extra, g)
+		}
+	}
+	return missing, extra
+}
+
+// ReadEscapeAllowlist parses escapes.txt: one entry per line, '#' starts a
+// comment, blank lines ignored.
+func ReadEscapeAllowlist(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FormatEscapeAllowlist renders entries in the committed escapes.txt form.
+func FormatEscapeAllowlist(entries []string) string {
+	var b strings.Builder
+	b.WriteString("# Heap escapes permitted inside //topk:hot functions (GOARCH=amd64).\n")
+	b.WriteString("# Regenerate with: go run ./cmd/topklint escapes -update\n")
+	b.WriteString("# Each entry is \"file func: compiler message\" with line numbers stripped.\n")
+	for _, e := range entries {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// hotRangesInFile returns the line span of each //topk:hot function in f.
+func hotRangesInFile(fset *token.FileSet, f *ast.File) []HotRange {
+	var out []HotRange
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		isHot := false
+		for _, c := range fn.Doc.List {
+			if strings.TrimSpace(c.Text) == "//topk:hot" {
+				isHot = true
+				break
+			}
+		}
+		if !isHot {
+			continue
+		}
+		name := fn.Name.Name
+		if fn.Recv != nil && len(fn.Recv.List) > 0 {
+			name = "(" + recvTypeName(fn.Recv.List[0].Type) + ")." + name
+		}
+		out = append(out, HotRange{
+			Name:  name,
+			Start: fset.Position(fn.Pos()).Line,
+			End:   fset.Position(fn.End()).Line,
+		})
+	}
+	return out
+}
+
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return "*" + recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return "?"
+}

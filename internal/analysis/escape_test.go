@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"topkmon/internal/analysis"
+)
+
+const cannedEscapeOutput = `# topkmon/internal/core
+internal/core/engine.go:10:6: can inline helper
+internal/core/engine.go:22:13: e escapes to heap:
+internal/core/engine.go:22:13:   flow: {heap} = &e:
+internal/core/engine.go:30:9: moved to heap: buf
+internal/core/engine.go:90:13: q escapes to heap:
+internal/qindex/index.go:5:10: x escapes to heap:
+`
+
+func cannedHotRanges() map[string][]analysis.HotRange {
+	return map[string][]analysis.HotRange{
+		"internal/core/engine.go": {
+			{Name: "(*Engine).insertBatch", Start: 15, End: 40},
+			// Lines 80+ belong to a cold function: its escapes don't count.
+		},
+		"internal/qindex/index.go": {
+			{Name: "Probe", Start: 1, End: 20},
+		},
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	got := analysis.ParseEscapes(cannedEscapeOutput, cannedHotRanges())
+	want := []string{
+		"internal/core/engine.go (*Engine).insertBatch: e escapes to heap",
+		"internal/core/engine.go (*Engine).insertBatch: moved to heap: buf",
+		"internal/qindex/index.go Probe: x escapes to heap",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseEscapes:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestDiffEscapes(t *testing.T) {
+	got := []string{"a", "b", "d"}
+	allow := []string{"a", "b", "c"}
+	missing, extra := analysis.DiffEscapes(got, allow)
+	if !reflect.DeepEqual(missing, []string{"c"}) {
+		t.Fatalf("missing = %q, want [c]", missing)
+	}
+	if !reflect.DeepEqual(extra, []string{"d"}) {
+		t.Fatalf("extra = %q, want [d]", extra)
+	}
+}
+
+func TestAllowlistRoundTrip(t *testing.T) {
+	entries := []string{
+		"internal/core/engine.go (*Engine).insertBatch: e escapes to heap",
+		"internal/qindex/index.go Probe: x escapes to heap",
+	}
+	path := filepath.Join(t.TempDir(), "escapes.txt")
+	if err := os.WriteFile(path, []byte(analysis.FormatEscapeAllowlist(entries)), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	back, err := analysis.ReadEscapeAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, entries) {
+		t.Fatalf("round trip:\n got %q\nwant %q", back, entries)
+	}
+}
+
+func TestCollectHotRanges(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+//topk:hot
+func Hot(a []int) int { return len(a) }
+
+func cold() {}
+
+//topk:hot
+func (e *Engine) insertBatch() {}
+
+type Engine struct{}
+`
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "p"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "p", "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := analysis.CollectHotRanges(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := hot["internal/p/p.go"]
+	if len(ranges) != 2 {
+		t.Fatalf("got %d hot ranges, want 2: %+v", len(ranges), ranges)
+	}
+	if ranges[0].Name != "Hot" || ranges[1].Name != "(*Engine).insertBatch" {
+		t.Fatalf("unexpected names: %+v", ranges)
+	}
+	if ranges[0].Start == 0 || ranges[0].End < ranges[0].Start {
+		t.Fatalf("bad range: %+v", ranges[0])
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"topkmon/internal/analysis"
+	"topkmon/internal/analysis/analysistest"
+)
+
+func TestLocks(t *testing.T) {
+	analysistest.Run(t, "testdata", "locksfix", analysis.Locks)
+}

@@ -1,0 +1,16 @@
+package analysis
+
+// All returns every topklint analyzer, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Bitexact, Hotalloc, Locks}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Package bitex exercises the bitexact analyzer's fma, contract, and acc
+// rules.
+//
+//topk:bitexact
+package bitex
+
+import "math"
+
+func usesFMA(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math\.FMA rounds once`
+}
+
+func contractible(a, b, c float64) float64 {
+	return a*b + c // want `float multiply feeding \+ may be contracted`
+}
+
+func contractibleCompound(s float64, w, x []float64) float64 {
+	for i := range w {
+		s += w[i] * x[i] // want `float multiply feeding \+ may be contracted`
+	}
+	return s
+}
+
+func contractibleSub(a, b, c float64) float64 {
+	return c - a*b // want `float multiply feeding \- may be contracted`
+}
+
+func contractibleBoth(a, b, c, d float64) float64 {
+	return a*b + c*d // want `float multiply feeding \+` `float multiply feeding \+`
+}
+
+func parenthesesDoNotHelp(a, b, c float64) float64 {
+	return (a * b) + c // want `float multiply feeding \+ may be contracted`
+}
+
+func convertedOK(a, b, c float64) float64 {
+	// The explicit conversion forces the intermediate rounding: safe.
+	return float64(a*b) + c
+}
+
+func intsOK(a, b, c int) int {
+	return a*b + c // integer arithmetic is exact: no contraction hazard
+}
+
+func mulChainOK(a, b, c float64) float64 {
+	return a * b * c // no add/sub: nothing to contract
+}
+
+func suppressedFMA(a, b, c float64) float64 {
+	return math.FMA(a, b, c) //topk:allow bitexact opt-in fused leg, equivalence relaxed to ULP-bounded
+}
+
+// fourChains matches its annotation: four independent accumulators.
+//
+//topk:acc 4
+func fourChains(dst, coords, w []float64) {
+	var s0, s1, s2, s3 float64
+	for i, wi := range w {
+		s0 += float64(wi * coords[4*i])
+		s1 += float64(wi * coords[4*i+1])
+		s2 += float64(wi * coords[4*i+2])
+		s3 += float64(wi * coords[4*i+3])
+	}
+	dst[0], dst[1], dst[2], dst[3] = s0, s1, s2, s3
+}
+
+// wrongChains claims four chains but carries two: the rounding order
+// silently changed.
+//
+//topk:acc 4
+func wrongChains(dst, coords, w []float64) { // want `annotated //topk:acc 4 but its widest loop carries 2`
+	var s0, s1 float64
+	for i, wi := range w {
+		s0 += float64(wi * coords[2*i])
+		s1 += float64(wi * coords[2*i+1])
+	}
+	dst[0], dst[1] = s0, s1
+}

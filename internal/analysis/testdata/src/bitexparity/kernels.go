@@ -1,0 +1,11 @@
+// Package bitexparity exercises the bitexact parity rule: kernels
+// dispatched from this unconstrained file must keep identical signatures
+// in every build leg and tile the whole GOARCH space.
+//
+//topk:bitexact
+package bitexparity
+
+func dispatch(dst []float64) {
+	kern(dst)
+	kern3(dst)
+}

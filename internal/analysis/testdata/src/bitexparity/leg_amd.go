@@ -1,0 +1,26 @@
+//go:build amd64 || arm64
+
+package bitexparity
+
+// kern has a matching portable leg: no findings.
+func kern(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func kern2(dst []float64, n int) { // want `kern2 has diverging signatures across build legs`
+	for i := 0; i < n; i++ {
+		dst[i] = 0
+	}
+}
+
+func kern3(dst []float64) { // want `kern3 is dispatched from an unconstrained file but has no build leg covering GOARCH 386`
+	for i := range dst {
+		dst[i] = 1
+	}
+}
+
+// helper is arch-local and not referenced from an unconstrained file:
+// no coverage requirement.
+func helper(x float64) float64 { return x }

@@ -1,0 +1,106 @@
+// Package det exercises the determinism analyzer: the package is
+// annotated, so every function in it is in scope.
+//
+//topk:deterministic
+package det
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()   // want `deterministic path calls time\.Now`
+	_ = time.Since(t) // want `deterministic path calls time\.Since`
+	return t.UnixNano()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `deterministic path calls rand\.Intn`
+}
+
+func seededRandOK() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10) // methods on an explicit source are fine
+}
+
+func spawn(f func()) {
+	go f() // want `goroutine spawned on a deterministic path`
+}
+
+func racingSelect(a, b chan int) int {
+	select { // want `select with multiple cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func singleSelectOK(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+func mapOrderLeaks(m map[string]int, ch chan string) ([]string, float64) {
+	var keys []string
+	var sum float64
+	for k, v := range m {
+		keys = append(keys, k) // want `append to keys inside range over map without a subsequent sort`
+		sum += float64(v)      // want `float accumulation into sum inside range over map`
+		ch <- k                // want `channel send inside range over map`
+	}
+	return keys, sum
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapOrderSortedFunc(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b string) int {
+		if a < b {
+			return -1
+		}
+		return 1
+	})
+	return keys
+}
+
+func mapOrderFreeOK(m map[string]int) (int, map[string]bool) {
+	// Integer accumulation and writes into another map are order-free.
+	total := 0
+	seen := make(map[string]bool)
+	for k, v := range m {
+		total += v
+		seen[k] = true
+	}
+	return total, seen
+}
+
+func suppressed() int64 {
+	t := time.Now() //topk:allow determinism timestamp only feeds the debug log
+	return t.UnixNano()
+}
+
+func sliceRangeOK(xs []float64) float64 {
+	// Slice iteration is ordered; float accumulation here is fine.
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

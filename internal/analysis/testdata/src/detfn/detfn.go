@@ -1,0 +1,17 @@
+// Package detfn exercises function-granularity determinism scope: the
+// package is NOT annotated, so only the annotated function is checked.
+package detfn
+
+import "time"
+
+// mergePath is on a deterministic path even though its package is not.
+//
+//topk:deterministic
+func mergePath() int64 {
+	return time.Now().UnixNano() // want `deterministic path calls time\.Now`
+}
+
+func setupPath() int64 {
+	// Unannotated function in an unannotated package: out of scope.
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,8 @@
+// Package errors is a fixture stub: hotalloc flags calls into it.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error { return &errorString{s: text} }

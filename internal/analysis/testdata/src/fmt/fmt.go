@@ -1,0 +1,6 @@
+// Package fmt is a fixture stub: hotalloc flags calls into it.
+package fmt
+
+func Sprintf(format string, args ...any) string { return format }
+func Errorf(format string, args ...any) error   { return nil }
+func Sprint(args ...any) string                 { return "" }

@@ -1,0 +1,101 @@
+// Package locksfix exercises the locks analyzer: rank-ordered
+// acquisition and the leaf-lock channel ban.
+package locksfix
+
+import "sync"
+
+type router struct {
+	regMu   sync.Mutex   //topk:lockrank 10
+	stepMu  sync.Mutex   //topk:lockrank 20
+	closeMu sync.RWMutex //topk:lockrank 30
+	mu      sync.Mutex   //topk:lockrank 40 leaf
+
+	jobs    chan func()
+	updates chan int
+}
+
+// call submits a job to a worker and waits: never under a leaf lock.
+//
+//topk:blocking
+func (r *router) call(fn func()) {
+	r.jobs <- fn
+}
+
+func (r *router) goodOrder() {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	r.mu.Lock()
+	n := len(r.updates)
+	r.mu.Unlock()
+	// Leaf released before touching the worker: fine.
+	r.call(func() { _ = n })
+	r.updates <- n
+}
+
+func (r *router) badOrder() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.regMu.Lock() // want `acquiring r\.regMu \(rank 10\) while holding r\.mu \(rank 40\)`
+	r.regMu.Unlock()
+}
+
+func (r *router) badOrderRead() {
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	r.stepMu.Lock() // want `acquiring r\.stepMu \(rank 20\) while holding r\.closeMu \(rank 30\)`
+	r.stepMu.Unlock()
+}
+
+func (r *router) sendUnderLeaf(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.updates <- n // want `channel send while holding leaf lock r\.mu`
+}
+
+func (r *router) receiveUnderLeaf() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return <-r.updates // want `channel receive while holding leaf lock r\.mu`
+}
+
+func (r *router) selectUnderLeaf() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want `select while holding leaf lock r\.mu`
+	case <-r.updates:
+	default:
+	}
+}
+
+func (r *router) blockingCallUnderLeaf(n int) {
+	r.mu.Lock()
+	r.call(func() { _ = n }) // want `call to //topk:blocking call while holding leaf lock r\.mu`
+	r.mu.Unlock()
+}
+
+func (r *router) sendUnderCoarseOK(n int) {
+	// regMu is a coarse serialization lock, not a leaf: sends are fine.
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	r.updates <- n
+	r.call(func() { _ = n })
+}
+
+func (r *router) branchRelease(n int) {
+	r.mu.Lock()
+	if n > 0 {
+		r.mu.Unlock()
+		// Released on this branch before the send: fine.
+		r.updates <- n
+		return
+	}
+	r.mu.Unlock()
+}
+
+func (r *router) suppressed(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.updates <- n //topk:allow locks buffered diagnostics channel, never blocks
+}

@@ -1,0 +1,6 @@
+// Package math is a fixture stub: bitexact flags math.FMA.
+package math
+
+func FMA(x, y, z float64) float64 { return x*y + z }
+
+func Sqrt(x float64) float64 { return x }

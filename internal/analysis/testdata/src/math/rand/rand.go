@@ -1,0 +1,21 @@
+// Package rand is a fixture stub mirroring math/rand's split between
+// package-level functions (global source) and explicit *Rand instances.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{ src Source }
+
+type src struct{ s int64 }
+
+func (s *src) Int63() int64 { return s.s }
+
+func New(s Source) *Rand          { return &Rand{src: s} }
+func NewSource(seed int64) Source { return &src{s: seed} }
+
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }

@@ -1,0 +1,12 @@
+// Package slices is a fixture stub: the determinism analyzer recognizes
+// these names as order-imposing sinks, and hotalloc exempts callback
+// literals passed to them.
+package slices
+
+type ordered interface {
+	~int | ~int64 | ~uint64 | ~float64 | ~string
+}
+
+func Sort[S ~[]E, E ordered](x S)                             {}
+func SortFunc[S ~[]E, E any](x S, cmp func(a, b E) int)       {}
+func SortStableFunc[S ~[]E, E any](x S, cmp func(a, b E) int) {}

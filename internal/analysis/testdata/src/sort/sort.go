@@ -1,0 +1,8 @@
+// Package sort is a fixture stub: the determinism analyzer recognizes
+// these names as order-imposing sinks.
+package sort
+
+func Slice(x any, less func(i, j int) bool) {}
+func Ints(x []int)                          {}
+func Strings(x []string)                    {}
+func Float64s(x []float64)                  {}

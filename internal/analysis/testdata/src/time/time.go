@@ -1,0 +1,14 @@
+// Package time is a fixture stub: just enough surface for the
+// determinism analyzer to resolve time.Now/Since/Until by package path.
+package time
+
+type Time struct{ ns int64 }
+
+type Duration int64
+
+func Now() Time               { return Time{} }
+func Since(t Time) Duration   { return 0 }
+func Until(t Time) Duration   { return 0 }
+func Unix(sec, ns int64) Time { return Time{} }
+
+func (t Time) UnixNano() int64 { return t.ns }

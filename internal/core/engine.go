@@ -586,6 +586,8 @@ func (e *Engine) Result(id QueryID) ([]Entry, error) {
 // replayed in sequence order by flushPending), so the cell-grouped order
 // produces exactly the per-arrival transcript. skip lists same-batch
 // tuple ids that must not be indexed (DeletionsFirst).
+//
+//topk:hot
 func (e *Engine) insertBatch(arrivals []*stream.Tuple, skip map[uint64]struct{}) {
 	for _, t := range arrivals {
 		if skip != nil {
@@ -655,6 +657,8 @@ func (e *Engine) insertBatch(arrivals []*stream.Tuple, skip map[uint64]struct{})
 // mid-cycle after losing a result tuple — is already marked affected and
 // recomputed from scratch at finishCycle, erasing any difference before
 // updates are emitted.
+//
+//topk:hot
 func (e *Engine) probeInsert(idx int, blk grid.Block, dims int) {
 	n := blk.Len()
 	for _, ce := range e.qi.CellEntries(idx) {
@@ -710,6 +714,8 @@ const envMinMembers = 8
 // near-duplicate cluster is pruned for the common blocks that score
 // below its threshold band at the cost of one single-query kernel call,
 // instead of scoring every member.
+//
+//topk:hot
 func (e *Engine) skipByEnvelope(cl *qindex.Cluster, coords []float64, n int) bool {
 	if cl.Len() < envMinMembers {
 		return false
@@ -725,6 +731,8 @@ func (e *Engine) skipByEnvelope(cl *qindex.Cluster, coords []float64, n int) boo
 // counts as reaching: tie-break admissions (stream.Better on equal
 // scores) and entries sitting exactly on a member's bound must keep
 // flowing; only members strictly out of reach are skipped.
+//
+//topk:hot
 func rowReaches(row []float64, bound float64) bool {
 	for _, s := range row {
 		if s >= bound {
@@ -737,6 +745,8 @@ func rowReaches(row []float64, bound float64) bool {
 // applyInsertBlock feeds one scored cell block to one query's maintenance
 // state — the per-event logic of the old per-tuple path, with the score
 // already computed.
+//
+//topk:hot
 func (e *Engine) applyInsertBlock(q *query, blk grid.Block, scores []float64, dims int) {
 	cons := q.spec.Constraint
 	switch q.kind {
@@ -795,6 +805,8 @@ func (e *Engine) applyInsertBlock(q *query, blk grid.Block, scores []float64, di
 // order — the order skyband insertion requires (each insert must be the
 // latest arrival among the entries). It runs at the end of every insert
 // phase, before any expiration of the same cycle is processed.
+//
+//topk:hot
 func (e *Engine) flushPending() {
 	for _, q := range e.pendingQs {
 		slices.SortFunc(q.pending, func(a, b Entry) int {
@@ -821,6 +833,8 @@ func (e *Engine) flushPending() {
 // per-event outcomes are order-independent (TMA's affected flag and the
 // threshold set are set-semantics, and an expiring skyband entry dominates
 // nothing, so its removal never touches other entries' counters).
+//
+//topk:hot
 func (e *Engine) expireBatch(expirations []*stream.Tuple) {
 	buckets := 0
 	for _, t := range expirations {
@@ -879,6 +893,8 @@ func (e *Engine) expireBatch(expirations []*stream.Tuple) {
 // recomputation and admit only at-or-above it in between), so an expired
 // tuple scoring below the bound cannot be held and its removal is a
 // no-op.
+//
+//topk:hot
 func (e *Engine) probeExpire(idx int, tuples []*stream.Tuple) {
 	n := len(tuples)
 	dims := e.g.Dims()
@@ -928,6 +944,8 @@ func (e *Engine) probeExpire(idx int, tuples []*stream.Tuple) {
 
 // applyExpireBlock feeds one cell's expired tuples to one query's
 // maintenance state.
+//
+//topk:hot
 func (e *Engine) applyExpireBlock(q *query, tuples []*stream.Tuple) {
 	switch q.kind {
 	case thresholdKind:
@@ -960,6 +978,8 @@ func (e *Engine) applyExpireBlock(q *query, tuples []*stream.Tuple) {
 
 // finishCycle recomputes affected queries, samples statistics, and emits
 // result deltas ordered by query id.
+//
+//topk:hot
 func (e *Engine) finishCycle() []Update {
 	// Recompute affected TMA queries and underflowing SMA skybands.
 	for _, q := range e.dirtyList {
@@ -1103,6 +1123,8 @@ func (e *Engine) computeFromScratch(q *query) {
 // from seeds through cells still holding an entry for q, stepping
 // worse-ward along every axis. It implements both the pruning walk after a
 // recomputation and the cleanup at query termination.
+//
+//topk:hot
 func (e *Engine) walkInfluence(q *query, seeds []int) {
 	e.walkGen++
 	if e.walkGen == 0 {
@@ -1148,6 +1170,8 @@ func (e *Engine) markDirty(q *query) {
 // insertTop inserts an entry into a TMA top list, keeping descending total
 // order and at most K entries (the previous kth is dropped, as in the
 // paper: TMA maintains exactly k results).
+//
+//topk:hot
 func (q *query) insertTop(en Entry) {
 	lo, hi := 0, len(q.top)
 	for lo < hi {
@@ -1167,6 +1191,7 @@ func (q *query) insertTop(en Entry) {
 	copy(q.top[lo+1:], q.top[lo:])
 	q.top[lo] = en
 	if q.topIDs == nil {
+		//topk:allow hotalloc lazy once-per-query init of a long-lived map, amortized over the query lifetime
 		q.topIDs = make(map[uint64]struct{}, q.spec.K)
 	}
 	q.topIDs[en.T.ID] = struct{}{}

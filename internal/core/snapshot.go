@@ -233,6 +233,7 @@ type QueryCost struct {
 func (e *Engine) AppendQueryCosts(out []QueryCost) []QueryCost {
 	start := len(out)
 	for id, q := range e.queries {
+		//topk:allow determinism the appended tail is sorted by id via the tail re-slice below
 		out = append(out, QueryCost{ID: id, Cost: q.cost})
 	}
 	tail := out[start:]

@@ -4,6 +4,14 @@
 // monitoring policies — TMA (Top-k Monitoring Algorithm, Figure 9) and SMA
 // (Skyband Monitoring Algorithm, Figure 11) — plus the constrained,
 // threshold and update-stream extensions of Section 7.
+//
+// The //topk:deterministic directive below puts this package under the
+// topklint determinism analyzer: no wall-clock reads, no unseeded
+// randomness, no map-iteration-order leaks into outputs, no ad-hoc
+// goroutines. The engine's transcripts must be a pure function of the
+// input stream; see internal/analysis and doc.go for the rule catalog.
+//
+//topk:deterministic
 package core
 
 import (

@@ -12,6 +12,15 @@
 //     exists and is a per-dimension extreme because f is monotone per axis;
 //   - MaxScore(f, r) = f(BestCorner(f, r)): an upper bound for the score of
 //     every point inside r ("maxscore" in the paper).
+//
+// Scores computed here feed total-order comparisons in the engine, so the
+// package is under the topklint bitexact and determinism analyzers (see
+// the package doc of internal/analysis): contractible multiply-add shapes
+// in Score methods carry explicit float64() rounding conversions so arm64
+// FMA contraction cannot make batch and pointwise scoring diverge.
+//
+//topk:bitexact
+//topk:deterministic
 package geom
 
 import (

@@ -151,10 +151,14 @@ func (l *Linear) Weights() []float64 {
 func (l *Linear) Dims() int { return len(l.weights) }
 
 // Score implements ScoringFunction.
+//
+// The float64 conversion forces the product to round before the add: it
+// blocks FMA contraction on arm64 so batch, pointwise, and cross-arch
+// scores stay bit-identical (a free no-op on amd64, where gc never fuses).
 func (l *Linear) Score(v Vector) float64 {
 	var s float64
 	for i, w := range l.weights {
-		s += w * v[i]
+		s += float64(w * v[i])
 	}
 	return s
 }
@@ -256,10 +260,12 @@ func (q *Quadratic) Weights() []float64 {
 func (q *Quadratic) Dims() int { return len(q.weights) }
 
 // Score implements ScoringFunction.
+//
+// The float64 conversion blocks FMA contraction; see (*Linear).Score.
 func (q *Quadratic) Score(v Vector) float64 {
 	var s float64
 	for i, w := range q.weights {
-		s += w * v[i] * v[i]
+		s += float64(w * v[i] * v[i])
 	}
 	return s
 }

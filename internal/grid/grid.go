@@ -23,6 +23,14 @@
 // module: cell lookup in O(1) from a point, cell rectangles, the best-corner
 // cell for a monotone scoring function, and "worse-neighbor" stepping along
 // each axis.
+//
+// The //topk:deterministic directive below puts this package under the
+// topklint determinism analyzer: no wall-clock reads, no unseeded
+// randomness, no map-iteration-order leaks into outputs, no ad-hoc
+// goroutines. The engine's transcripts must be a pure function of the
+// input stream; see internal/analysis and doc.go for the rule catalog.
+//
+//topk:deterministic
 package grid
 
 import (
@@ -248,6 +256,8 @@ func (g *Grid) coordOf(x float64) int {
 }
 
 // IndexOf returns the index of the cell covering v in O(d) time.
+//
+//topk:hot
 func (g *Grid) IndexOf(v geom.Vector) int {
 	idx := 0
 	for i := 0; i < g.dims; i++ {
@@ -359,6 +369,8 @@ func (g *Grid) Insert(t *stream.Tuple) int {
 // InsertAt adds t to cell idx, which must be the cell covering t.Vec
 // (callers that already computed IndexOf avoid recomputing it). The tuple's
 // coordinates are appended to the cell's columnar block.
+//
+//topk:hot
 func (g *Grid) InsertAt(idx int, t *stream.Tuple) {
 	c := &g.cells[idx]
 	pc, cc := cap(c.ptrs), cap(c.coords)
@@ -374,6 +386,7 @@ func (g *Grid) InsertAt(idx int, t *stream.Tuple) {
 	}
 	if g.mode == Random {
 		if c.slot == nil {
+			//topk:allow hotalloc lazy once-per-cell init of a long-lived slot map, reused until the cell drains
 			c.slot = make(map[uint64]int, 4)
 		}
 		c.slot[t.ID] = len(c.ptrs) - 1
@@ -387,6 +400,8 @@ func (g *Grid) InsertAt(idx int, t *stream.Tuple) {
 // structure correct if callers remove out of order. A cell whose last live
 // tuple leaves releases its backing block entirely (and a long-lived dead
 // prefix is compacted away), so memory tracks the live population.
+//
+//topk:hot
 func (g *Grid) Remove(t *stream.Tuple) bool {
 	idx := g.IndexOf(t.Vec)
 	c := &g.cells[idx]
@@ -454,6 +469,8 @@ func (g *Grid) CellBlock(idx int) Block {
 // CellBlockFrom returns the columnar view of cell idx's live tuples
 // starting at live offset from (0 = the whole cell). The engine uses it to
 // score exactly the sub-block a cycle's arrival batch appended to a cell.
+//
+//topk:hot
 func (g *Grid) CellBlockFrom(idx, from int) Block {
 	c := &g.cells[idx]
 	lo := c.head + from

@@ -167,7 +167,7 @@ type Pipeline struct {
 
 	// mu guards the ingest queue, the closed flag and the recorded error;
 	// cond wakes blocked producers and the runner.
-	mu      sync.Mutex
+	mu      sync.Mutex //topk:lockrank 40 leaf
 	cond    *sync.Cond
 	queue   []*job
 	batches int // batch jobs currently queued (control jobs are exempt)
@@ -325,6 +325,8 @@ func (p *Pipeline) enqueueBatch(j *job) error {
 // call runs fn on the runner goroutine after every previously queued batch
 // has been applied — the barrier primitive behind Register, Result, Flush
 // and the counter reads.
+//
+//topk:blocking
 func (p *Pipeline) call(fn func()) error {
 	done := make(chan struct{})
 	p.mu.Lock()

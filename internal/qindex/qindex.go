@@ -32,6 +32,14 @@
 // The walk bound carries hysteresis: it sits a few percent below the
 // minimum member bound, so small oscillations of a query's kth score
 // do not bump the epoch every cycle.
+//
+// The //topk:deterministic directive below puts this package under the
+// topklint determinism analyzer: no wall-clock reads, no unseeded
+// randomness, no map-iteration-order leaks into outputs, no ad-hoc
+// goroutines. The engine's transcripts must be a pure function of the
+// input stream; see internal/analysis and doc.go for the rule catalog.
+//
+//topk:deterministic
 package qindex
 
 import (
@@ -130,6 +138,8 @@ func (c *Cluster) BoundAt(j int) float64 { return c.bounds[j] }
 // dst[q*n:(q+1)*n] with n = len(coords)/dims. Scores are bit-identical
 // to geom.ScoreBlockInto per member — the packed families go through the
 // multi-query kernels, generic members through the pointwise path.
+//
+//topk:hot
 func (c *Cluster) ScoreMembers(dst, coords []float64, base, end, dims int) {
 	switch c.fam {
 	case famLinear:
@@ -156,6 +166,8 @@ func (c *Cluster) ScoreMembers(dst, coords []float64, base, end, dims int) {
 // bit-identical to, so both sides accumulate in the same order, and
 // float rounding is monotone per operation. Returns false for generic
 // clusters, which have no envelope.
+//
+//topk:hot
 func (c *Cluster) ScoreEnvelope(dst, coords []float64) bool {
 	switch c.fam {
 	case famLinear:

@@ -85,7 +85,7 @@ type DataSharded struct {
 
 	// qmu guards the queries map structure (NumQueries may read it while a
 	// cycle runs); all writers additionally hold stepMu.
-	qmu     sync.RWMutex
+	qmu     sync.RWMutex //topk:lockrank 40 leaf
 	queries map[core.QueryID]*mergedQuery
 
 	// resultUpdates counts router-emitted Update records — the
@@ -94,11 +94,11 @@ type DataSharded struct {
 	resultUpdates atomic.Int64
 
 	// closeMu / closed guard the worker channels' lifetime, as in Sharded.
-	closeMu sync.RWMutex
+	closeMu sync.RWMutex //topk:lockrank 30
 	closed  bool
 
 	// stepMu serializes cycles and the cross-shard query operations.
-	stepMu sync.Mutex
+	stepMu sync.Mutex //topk:lockrank 20
 }
 
 var _ core.StreamMonitor = (*DataSharded)(nil)
@@ -283,6 +283,8 @@ func (d *DataSharded) Result(id core.QueryID) ([]core.Entry, error) {
 // mergedResult snapshots query id on every shard and merges the partial
 // lists. Callers hold stepMu (cross-shard consistency) with the monitor
 // open.
+//
+//topk:deterministic
 func (d *DataSharded) mergedResult(id core.QueryID, limit int) []core.Entry {
 	parts := make([][]core.Entry, len(d.workers))
 	var wg sync.WaitGroup
@@ -304,6 +306,8 @@ func (d *DataSharded) mergedResult(id core.QueryID, limit int) []core.Entry {
 // deterministic: sequence numbers are globally unique, so Better is a
 // strict total order and the output is independent of shard enumeration
 // order.
+//
+//topk:deterministic
 func mergeEntries(parts [][]core.Entry, limit int, out []core.Entry) []core.Entry {
 	var idxBuf [16]int
 	var idx []int

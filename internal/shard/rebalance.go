@@ -175,11 +175,13 @@ func (s *Sharded) migrateDrained(id core.QueryID, target int) error {
 	// query exactly where it was.
 	var snap core.QuerySnapshot
 	var err error
+	//topk:allow locks cold migration path behind a drained cycle barrier; worker jobs never take s.mu, and atomicity of the route swap requires holding it
 	src.call(func() { snap, err = src.eng.ExportQuery(r.local) })
 	if err != nil {
 		return fmt.Errorf("shard: export query %d from shard %d: %w", id, r.shard, err)
 	}
 	var local core.QueryID
+	//topk:allow locks see the export call above: drained worker, no lock cycle, atomic swap
 	dst.call(func() {
 		local, err = dst.eng.ImportQuery(snap)
 		if err == nil {
@@ -189,6 +191,7 @@ func (s *Sharded) migrateDrained(id core.QueryID, target int) error {
 	if err != nil {
 		return fmt.Errorf("shard: import query %d into shard %d: %w", id, target, err)
 	}
+	//topk:allow locks see the export call above: drained worker, no lock cycle, atomic swap
 	src.call(func() {
 		delete(src.localToGlobal, r.local)
 		err = src.eng.Unregister(r.local)

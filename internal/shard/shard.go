@@ -69,12 +69,12 @@ type Sharded struct {
 	// call, rollback), making the id rollback on a rejected spec exact:
 	// ids never burn, so id assignment matches the single engine even
 	// under concurrent Register calls racing with rejected specs.
-	regMu sync.Mutex
+	regMu sync.Mutex //topk:lockrank 10
 
 	// mu guards the routing table and the router-side load view handed to
 	// the placement policy: exact per-shard query counts, plus cost and
 	// cycle-time figures refreshed by rebalance passes and ShardLoads.
-	mu     sync.Mutex
+	mu     sync.Mutex //topk:lockrank 40 leaf
 	nextID core.QueryID
 	routes map[core.QueryID]route
 	counts []int
@@ -97,11 +97,11 @@ type Sharded struct {
 	// closeMu guards the worker channels' lifetime: every operation holds
 	// it for reading while it may send jobs, Close holds it for writing
 	// while closing the channels. closed is written under the write lock.
-	closeMu sync.RWMutex
+	closeMu sync.RWMutex //topk:lockrank 30
 	closed  bool
 
 	// stepMu serializes processing cycles.
-	stepMu sync.Mutex
+	stepMu sync.Mutex //topk:lockrank 20
 }
 
 var _ core.StreamMonitor = (*Sharded)(nil)
@@ -145,6 +145,8 @@ func (w *worker) loop() {
 }
 
 // call runs fn on the worker goroutine and waits for it to finish.
+//
+//topk:blocking
 func (w *worker) call(fn func()) {
 	done := make(chan struct{})
 	w.jobs <- func() {
@@ -389,6 +391,8 @@ func (t *Ticket) Wait() ([]core.Update, error) {
 // global ordering. On error the first failing shard's error is returned;
 // like the single engine, a mid-cycle validation failure leaves the monitor
 // in an undefined state.
+//
+//topk:deterministic
 func mergeShardUpdates(results []shardResult) ([]core.Update, error) {
 	total := 0
 	for _, r := range results {

@@ -74,6 +74,9 @@ func multiShape(dst, coords, w []float64, dims int) (nq, n int) {
 // coordinate load feeds four independent accumulator chains, one per
 // query, each accumulating over dimensions in index order. Leftover rows
 // fall back to the single-query unrolled kernel.
+//
+//topk:acc 4
+//topk:hot
 func dotBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 	nq, n := multiShape(dst, coords, w, dims)
 	if dims == 0 || n == 0 || nq == 0 {
@@ -103,21 +106,21 @@ func dotBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 				c := coords[j*4 : j*4+4 : j*4+4]
 				x0, x1, x2, x3 := c[0], c[1], c[2], c[3]
 				s0 := a0 * x0
-				s0 += a1 * x1
-				s0 += a2 * x2
-				s0 += a3 * x3
+				s0 += float64(a1 * x1)
+				s0 += float64(a2 * x2)
+				s0 += float64(a3 * x3)
 				s1 := b0 * x0
-				s1 += b1 * x1
-				s1 += b2 * x2
-				s1 += b3 * x3
+				s1 += float64(b1 * x1)
+				s1 += float64(b2 * x2)
+				s1 += float64(b3 * x3)
 				s2 := c0 * x0
-				s2 += c1 * x1
-				s2 += c2 * x2
-				s2 += c3 * x3
+				s2 += float64(c1 * x1)
+				s2 += float64(c2 * x2)
+				s2 += float64(c3 * x3)
 				s3 := d0 * x0
-				s3 += d1 * x1
-				s3 += d2 * x2
-				s3 += d3 * x3
+				s3 += float64(d1 * x1)
+				s3 += float64(d2 * x2)
+				s3 += float64(d3 * x3)
 				da[j] = s0
 				db[j] = s1
 				dc[j] = s2
@@ -139,10 +142,10 @@ func dotBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 			var s0, s1, s2, s3 float64
 			for i := 0; i < dims; i++ {
 				x := coords[b+i]
-				s0 += wa[i] * x
-				s1 += wb[i] * x
-				s2 += wc[i] * x
-				s3 += wd[i] * x
+				s0 += float64(wa[i] * x)
+				s1 += float64(wb[i] * x)
+				s2 += float64(wc[i] * x)
+				s3 += float64(wd[i] * x)
 			}
 			da[j] = s0
 			db[j] = s1
@@ -157,6 +160,9 @@ func dotBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 
 // quadBlockMultiUnrolled is dotBlockMultiUnrolled for the quadratic
 // form. The inner expression keeps the scalar shape wi*x*x.
+//
+//topk:acc 4
+//topk:hot
 func quadBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 	nq, n := multiShape(dst, coords, w, dims)
 	if dims == 0 || n == 0 || nq == 0 {
@@ -181,10 +187,10 @@ func quadBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 			var s0, s1, s2, s3 float64
 			for i := 0; i < dims; i++ {
 				x := coords[b+i]
-				s0 += wa[i] * x * x
-				s1 += wb[i] * x * x
-				s2 += wc[i] * x * x
-				s3 += wd[i] * x * x
+				s0 += float64(wa[i] * x * x)
+				s1 += float64(wb[i] * x * x)
+				s2 += float64(wc[i] * x * x)
+				s3 += float64(wd[i] * x * x)
 			}
 			da[j] = s0
 			db[j] = s1
@@ -199,6 +205,9 @@ func quadBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 
 // productBlockMultiUnrolled is dotBlockMultiUnrolled for the product
 // form, with multiplicative accumulators initialized to 1.
+//
+//topk:acc 4
+//topk:hot
 func productBlockMultiUnrolled(dst, coords, off []float64, dims int) {
 	nq, n := multiShape(dst, coords, off, dims)
 	if dims == 0 || n == 0 || nq == 0 {

@@ -18,6 +18,18 @@
 // total-order comparisons, and the differential harness asserts
 // byte-identical transcripts against a pointwise reference scorer. The
 // equivalence tests and the fuzz entry in this package pin the contract.
+//
+// The //topk:bitexact directive below puts this package under the
+// topklint bitexact analyzer: math.FMA is forbidden, every contractible
+// a*b+c shape must carry an explicit float64() rounding conversion (the
+// Go compiler fuses multiply-adds on arm64 but not amd64; the conversion
+// is a documented no-op on amd64 and makes arm64 match it bit for bit),
+// and the amd64/arm64/portable build legs must keep identical kernel
+// signatures. //topk:deterministic additionally bans wall-clock reads,
+// unseeded randomness, and iteration-order leaks.
+//
+//topk:bitexact
+//topk:deterministic
 package simd
 
 // DotBlockInto fills dst[j] with the dot product of w and point j of the
@@ -42,19 +54,23 @@ func ProductBlockInto(dst, coords, off []float64) {
 // DotBlockScalar is the reference implementation of DotBlockInto: one
 // point at a time, accumulating over dimensions in index order — the exact
 // loop of geom.Linear.Score.
+//
+//topk:acc 1
 func DotBlockScalar(dst, coords, w []float64) {
 	dims := len(w)
 	for j := range dst {
 		b := j * dims
 		var s float64
 		for i, wi := range w {
-			s += wi * coords[b+i]
+			s += float64(wi * coords[b+i])
 		}
 		dst[j] = s
 	}
 }
 
 // QuadBlockScalar is the reference implementation of QuadBlockInto.
+//
+//topk:acc 1
 func QuadBlockScalar(dst, coords, w []float64) {
 	dims := len(w)
 	for j := range dst {
@@ -62,13 +78,15 @@ func QuadBlockScalar(dst, coords, w []float64) {
 		var s float64
 		for i, wi := range w {
 			x := coords[b+i]
-			s += wi * x * x
+			s += float64(wi * x * x)
 		}
 		dst[j] = s
 	}
 }
 
 // ProductBlockScalar is the reference implementation of ProductBlockInto.
+//
+//topk:acc 1
 func ProductBlockScalar(dst, coords, off []float64) {
 	dims := len(off)
 	for j := range dst {
@@ -84,6 +102,9 @@ func ProductBlockScalar(dst, coords, off []float64) {
 // dotBlockUnrolled processes four points per iteration with independent
 // accumulator chains. Each chain accumulates over dimensions in index
 // order, so every dst[j] is bit-identical to the scalar reference.
+//
+//topk:acc 4
+//topk:hot
 func dotBlockUnrolled(dst, coords, w []float64) {
 	dims := len(w)
 	n := len(dst)
@@ -100,21 +121,21 @@ func dotBlockUnrolled(dst, coords, w []float64) {
 		for ; j+4 <= n; j += 4 {
 			c := coords[j*4 : j*4+16 : j*4+16]
 			s0 := w0 * c[0]
-			s0 += w1 * c[1]
-			s0 += w2 * c[2]
-			s0 += w3 * c[3]
+			s0 += float64(w1 * c[1])
+			s0 += float64(w2 * c[2])
+			s0 += float64(w3 * c[3])
 			s1 := w0 * c[4]
-			s1 += w1 * c[5]
-			s1 += w2 * c[6]
-			s1 += w3 * c[7]
+			s1 += float64(w1 * c[5])
+			s1 += float64(w2 * c[6])
+			s1 += float64(w3 * c[7])
 			s2 := w0 * c[8]
-			s2 += w1 * c[9]
-			s2 += w2 * c[10]
-			s2 += w3 * c[11]
+			s2 += float64(w1 * c[9])
+			s2 += float64(w2 * c[10])
+			s2 += float64(w3 * c[11])
 			s3 := w0 * c[12]
-			s3 += w1 * c[13]
-			s3 += w2 * c[14]
-			s3 += w3 * c[15]
+			s3 += float64(w1 * c[13])
+			s3 += float64(w2 * c[14])
+			s3 += float64(w3 * c[15])
 			dst[j] = s0
 			dst[j+1] = s1
 			dst[j+2] = s2
@@ -126,10 +147,10 @@ func dotBlockUnrolled(dst, coords, w []float64) {
 			b1, b2, b3 := b0+dims, b0+2*dims, b0+3*dims
 			var s0, s1, s2, s3 float64
 			for i, wi := range w {
-				s0 += wi * coords[b0+i]
-				s1 += wi * coords[b1+i]
-				s2 += wi * coords[b2+i]
-				s3 += wi * coords[b3+i]
+				s0 += float64(wi * coords[b0+i])
+				s1 += float64(wi * coords[b1+i])
+				s2 += float64(wi * coords[b2+i])
+				s3 += float64(wi * coords[b3+i])
 			}
 			dst[j] = s0
 			dst[j+1] = s1
@@ -141,7 +162,7 @@ func dotBlockUnrolled(dst, coords, w []float64) {
 		b := j * dims
 		var s float64
 		for i, wi := range w {
-			s += wi * coords[b+i]
+			s += float64(wi * coords[b+i])
 		}
 		dst[j] = s
 	}
@@ -149,6 +170,9 @@ func dotBlockUnrolled(dst, coords, w []float64) {
 
 // quadBlockUnrolled is dotBlockUnrolled for the quadratic form. The inner
 // expression keeps the scalar shape wi*x*x, i.e. (wi*x)*x.
+//
+//topk:acc 4
+//topk:hot
 func quadBlockUnrolled(dst, coords, w []float64) {
 	dims := len(w)
 	n := len(dst)
@@ -169,10 +193,10 @@ func quadBlockUnrolled(dst, coords, w []float64) {
 			x1 := coords[b1+i]
 			x2 := coords[b2+i]
 			x3 := coords[b3+i]
-			s0 += wi * x0 * x0
-			s1 += wi * x1 * x1
-			s2 += wi * x2 * x2
-			s3 += wi * x3 * x3
+			s0 += float64(wi * x0 * x0)
+			s1 += float64(wi * x1 * x1)
+			s2 += float64(wi * x2 * x2)
+			s3 += float64(wi * x3 * x3)
 		}
 		dst[j] = s0
 		dst[j+1] = s1
@@ -184,7 +208,7 @@ func quadBlockUnrolled(dst, coords, w []float64) {
 		var s float64
 		for i, wi := range w {
 			x := coords[b+i]
-			s += wi * x * x
+			s += float64(wi * x * x)
 		}
 		dst[j] = s
 	}
@@ -192,6 +216,9 @@ func quadBlockUnrolled(dst, coords, w []float64) {
 
 // productBlockUnrolled is dotBlockUnrolled for the product form, with
 // multiplicative accumulators initialized to 1.
+//
+//topk:acc 4
+//topk:hot
 func productBlockUnrolled(dst, coords, off []float64) {
 	dims := len(off)
 	n := len(dst)

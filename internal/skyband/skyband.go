@@ -16,6 +16,14 @@
 // Entries are kept in descending total order, so the current top-k result
 // is simply the first k entries (q.top_list is not stored explicitly, as
 // in the paper).
+//
+// The //topk:deterministic directive below puts this package under the
+// topklint determinism analyzer: no wall-clock reads, no unseeded
+// randomness, no map-iteration-order leaks into outputs, no ad-hoc
+// goroutines. The engine's transcripts must be a pure function of the
+// input stream; see internal/analysis and doc.go for the rule catalog.
+//
+//topk:deterministic
 package skyband
 
 import (

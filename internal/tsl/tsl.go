@@ -16,6 +16,14 @@
 // access" of TA — fetching the remaining attributes of a tuple met during
 // sorted access — is a pointer dereference, exactly as in a main-memory
 // server that stores whole tuples.
+//
+// The //topk:deterministic directive below puts this package under the
+// topklint determinism analyzer: no wall-clock reads, no unseeded
+// randomness, no map-iteration-order leaks into outputs, no ad-hoc
+// goroutines. The engine's transcripts must be a pure function of the
+// input stream; see internal/analysis and doc.go for the rule catalog.
+//
+//topk:deterministic
 package tsl
 
 import (

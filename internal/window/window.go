@@ -8,6 +8,14 @@
 // (footnote 4). The window therefore stores the valid records in a single
 // FIFO list: arrivals are appended at the tail and expirations pop from the
 // head (Figure 4).
+//
+// The //topk:deterministic directive below puts this package under the
+// topklint determinism analyzer: no wall-clock reads, no unseeded
+// randomness, no map-iteration-order leaks into outputs, no ad-hoc
+// goroutines. The engine's transcripts must be a pure function of the
+// input stream; see internal/analysis and doc.go for the rule catalog.
+//
+//topk:deterministic
 package window
 
 import (
