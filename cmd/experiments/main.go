@@ -17,11 +17,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"topkmon/internal/harness"
 	"topkmon/pkg/topkmon"
 )
+
+// watchSignals makes the first SIGINT/SIGTERM close the returned channel —
+// every harness run then exits at its next cycle boundary and the sweep
+// stops after the current experiment, exiting 0 with the completed tables
+// printed. A second signal aborts immediately with status 130.
+func watchSignals() <-chan struct{} {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "experiments: interrupted, finishing current run (send again to abort)")
+		close(stop)
+		<-sigs
+		os.Exit(130)
+	}()
+	return stop
+}
 
 func main() {
 	var (
@@ -37,6 +57,8 @@ func main() {
 		rebalFlag     = flag.Int("rebalance", 0, "cost-aware rebalancing interval in cycles for sharded runs (0 = disabled)")
 	)
 	flag.Parse()
+	stop := watchSignals()
+	harness.DefaultStop = stop
 	harness.DefaultShards = *shardsFlag
 	harness.DefaultPipeline = *pipelineFlag
 	harness.DefaultPlacement = *placeFlag
@@ -70,6 +92,12 @@ func main() {
 	}
 
 	for _, e := range exps {
+		select {
+		case <-stop:
+			fmt.Fprintln(os.Stderr, "experiments: sweep interrupted; remaining experiments skipped")
+			return
+		default:
+		}
 		fmt.Printf("== %s (scale=%g) ==\n", e.Title, *scaleFlag)
 		tables, err := e.Run(*scaleFlag, *seedFlag)
 		if err != nil {

@@ -16,12 +16,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"topkmon/pkg/topkmon"
 )
@@ -30,6 +33,23 @@ type querySpecs []string
 
 func (q *querySpecs) String() string     { return strings.Join(*q, " ") }
 func (q *querySpecs) Set(s string) error { *q = append(*q, s); return nil }
+
+// watchSignals makes the first SIGINT/SIGTERM close the returned channel
+// (the replay loop then winds down: flush, final checkpoint, exit 0) and a
+// second signal abort immediately with status 130.
+func watchSignals() <-chan struct{} {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "replay: interrupted, shutting down cleanly (send again to abort)")
+		close(stop)
+		<-sigs
+		os.Exit(130)
+	}()
+	return stop
+}
 
 func main() {
 	var (
@@ -43,14 +63,22 @@ func main() {
 		pipelineFlag  = flag.Int("pipeline", 0, "async pipelined ingestion queue depth (0 = synchronous Step)")
 		placeFlag     = flag.String("placement", "", "query placement for -shards > 1: 'hash' (default) or 'least-loaded'")
 		rebalFlag     = flag.Int("rebalance", 0, "cost-aware rebalancing interval in cycles (0 = disabled; query partitioning only)")
+		ckptFlag      = flag.String("checkpoint", "", "checkpoint directory: WAL every batch and snapshot full state there (must not hold a previous lineage)")
+		ckptEveryFlag = flag.Int("checkpoint-every", 10, "cycles between checkpoints with -checkpoint (0 = only at exit)")
+		restoreFlag   = flag.String("restore", "", "resume the monitor from this checkpoint directory (structural flags come from the checkpoint; -query adds further queries)")
 		queries       querySpecs
 	)
 	flag.Var(&queries, "query", "query spec 'k=K;w=w1,...,wd[;policy=TMA|SMA]' or 'threshold=T;w=...' (repeatable)")
 	flag.Parse()
-	if len(queries) == 0 {
-		fmt.Fprintln(os.Stderr, "replay: at least one -query is required")
+	if len(queries) == 0 && *restoreFlag == "" {
+		fmt.Fprintln(os.Stderr, "replay: at least one -query is required (or -restore)")
 		os.Exit(2)
 	}
+	if *restoreFlag != "" && *ckptFlag != "" {
+		fmt.Fprintln(os.Stderr, "replay: -restore resumes an existing lineage; it conflicts with -checkpoint")
+		os.Exit(2)
+	}
+	stop := watchSignals()
 
 	in := io.Reader(os.Stdin)
 	if *inFlag != "" {
@@ -62,34 +90,42 @@ func main() {
 		in = f
 	}
 
-	windowOpt := topkmon.WithCountWindow(*nFlag)
-	if *spanFlag > 0 {
-		windowOpt = topkmon.WithTimeWindow(*spanFlag)
-	}
-	partition, err := topkmon.ParsePartitioning(*partitionFlag)
-	if err != nil {
-		fatal(err)
-	}
-	monOpts := []topkmon.Option{windowOpt,
-		topkmon.WithShards(*shardsFlag), topkmon.WithPartitioning(partition)}
-	if *pipelineFlag > 0 {
-		monOpts = append(monOpts, topkmon.WithPipeline(*pipelineFlag))
-	}
-	if *placeFlag != "" {
-		p, err := topkmon.ParsePlacement(*placeFlag)
-		if err != nil {
-			fatal(err)
+	var mon *topkmon.Monitor
+	var err error
+	if *restoreFlag != "" {
+		mon, err = topkmon.Restore(*restoreFlag)
+	} else {
+		windowOpt := topkmon.WithCountWindow(*nFlag)
+		if *spanFlag > 0 {
+			windowOpt = topkmon.WithTimeWindow(*spanFlag)
 		}
-		monOpts = append(monOpts, topkmon.WithPlacement(p))
+		partition, perr := topkmon.ParsePartitioning(*partitionFlag)
+		if perr != nil {
+			fatal(perr)
+		}
+		monOpts := []topkmon.Option{windowOpt,
+			topkmon.WithShards(*shardsFlag), topkmon.WithPartitioning(partition)}
+		if *pipelineFlag > 0 {
+			monOpts = append(monOpts, topkmon.WithPipeline(*pipelineFlag))
+		}
+		if *placeFlag != "" {
+			p, perr := topkmon.ParsePlacement(*placeFlag)
+			if perr != nil {
+				fatal(perr)
+			}
+			monOpts = append(monOpts, topkmon.WithPlacement(p))
+		}
+		if *rebalFlag > 0 {
+			monOpts = append(monOpts, topkmon.WithRebalance(*rebalFlag, 0))
+		}
+		if *ckptFlag != "" {
+			monOpts = append(monOpts, topkmon.WithCheckpoint(*ckptFlag, *ckptEveryFlag))
+		}
+		mon, err = topkmon.New(*dimsFlag, monOpts...)
 	}
-	if *rebalFlag > 0 {
-		monOpts = append(monOpts, topkmon.WithRebalance(*rebalFlag, 0))
-	}
-	mon, err := topkmon.New(*dimsFlag, monOpts...)
 	if err != nil {
 		fatal(err)
 	}
-	defer mon.Close()
 	// A pipelined monitor's Updates channel must be drained; the replay
 	// reads results at print boundaries (a pipeline barrier), so the
 	// per-cycle deltas are simply discarded here.
@@ -111,13 +147,39 @@ func main() {
 		}
 		ids = append(ids, id)
 	}
+	if *restoreFlag != "" {
+		// The recovered queries continue alongside any newly registered
+		// ones; report all of them.
+		ids = mon.QueryIDs()
+		fmt.Printf("restored %d queries, %d points at t=%d from %s\n",
+			len(ids), mon.NumPoints(), mon.Now(), *restoreFlag)
+	}
 
 	reader, err := topkmon.NewCSVReader(in, *dimsFlag)
 	if err != nil {
 		fatal(err)
 	}
+	if *restoreFlag != "" {
+		// Continue the id/sequence numbering where the recovered lineage
+		// stopped; restarting at zero would collide with the live window.
+		reader.SetNextID(mon.LastSeq() + 1)
+	}
+	// orderly classifies errors the shutdown path causes itself: a closed
+	// pipeline or stopped shard monitor racing the final batches is a clean
+	// exit, anything else a fault.
+	orderly := func(err error) bool {
+		return errors.Is(err, topkmon.ErrClosed) || errors.Is(err, topkmon.ErrStopped)
+	}
 	cycles := int64(0)
+	interrupted := false
+loop:
 	for {
+		select {
+		case <-stop:
+			interrupted = true
+			break loop
+		default:
+		}
 		batch, ts, err := reader.NextBatch()
 		if err == io.EOF {
 			break
@@ -131,6 +193,10 @@ func main() {
 			_, err = mon.Step(ts, batch)
 		}
 		if err != nil {
+			if orderly(err) {
+				interrupted = true
+				break
+			}
 			fatal(err)
 		}
 		cycles++
@@ -138,6 +204,10 @@ func main() {
 			for _, id := range ids {
 				res, err := mon.Result(id)
 				if err != nil {
+					if orderly(err) {
+						interrupted = true
+						break loop
+					}
 					fatal(err)
 				}
 				fmt.Printf("t=%d q%d:", ts, id)
@@ -149,13 +219,34 @@ func main() {
 		}
 	}
 	if mon.Pipelined() {
-		if err := mon.Flush(); err != nil {
+		if err := mon.Flush(); err != nil && !orderly(err) {
 			fatal(err)
 		}
 	}
 	s := mon.Stats()
 	fmt.Printf("replayed %d cycles, %d arrivals, %d expirations, %d recomputations\n",
 		cycles, s.Arrivals, s.Expirations, s.Recomputes)
+	if interrupted {
+		fmt.Println("interrupted; state flushed" + checkpointNote(*ckptFlag, *restoreFlag))
+	}
+	// Close is the durability barrier: it drains the pipeline and, when
+	// checkpointing, writes the final checkpoint the next -restore resumes
+	// from. A failure here must not exit 0.
+	if err := mon.Close(); err != nil && !orderly(err) {
+		fatal(err)
+	}
+}
+
+// checkpointNote names the lineage directory a clean shutdown persisted to.
+func checkpointNote(ckpt, restore string) string {
+	switch {
+	case ckpt != "":
+		return "; checkpoint finalized in " + ckpt
+	case restore != "":
+		return "; checkpoint finalized in " + restore
+	default:
+		return ""
+	}
 }
 
 // parseQuery decodes the compact "k=K;w=...;policy=..." spec syntax.

@@ -11,12 +11,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"topkmon/internal/harness"
 	"topkmon/internal/stream"
 	"topkmon/pkg/topkmon"
 )
+
+// watchSignals installs graceful-shutdown handling shared by the
+// commands: the first SIGINT/SIGTERM closes the returned channel so the
+// run winds down cleanly (flushing pipelines, writing the final
+// checkpoint, exiting 0); a second signal aborts immediately with the
+// conventional 128+SIGINT status.
+func watchSignals(name string) <-chan struct{} {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintf(os.Stderr, "%s: interrupted, shutting down cleanly (send again to abort)\n", name)
+		close(stop)
+		<-sigs
+		os.Exit(130)
+	}()
+	return stop
+}
 
 func main() {
 	var (
@@ -41,6 +62,8 @@ func main() {
 		rebalThrFlag  = flag.Float64("rebalance-threshold", 0, "max/mean cost ratio triggering migrations (0 = default 1.2)")
 		zipfFlag      = flag.Float64("zipf-k", 0, "draw per-query k from 1+Zipf(s) capped at 4k (skewed query costs; 0 = uniform k)")
 		statsFlag     = flag.Int("stats-every", 0, "print per-shard load stats every this many cycles (0 = off)")
+		ckptFlag      = flag.String("checkpoint", "", "checkpoint directory: WAL every batch and snapshot full state there (grid algorithms; must not hold a previous lineage)")
+		ckptEveryFlag = flag.Int("checkpoint-every", 10, "cycles between checkpoints with -checkpoint (0 = only at exit)")
 		seedFlag      = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -86,10 +109,13 @@ func main() {
 		RebalanceInterval:  *rebalFlag,
 		RebalanceThreshold: *rebalThrFlag,
 		ZipfK:              *zipfFlag,
+		CheckpointDir:      *ckptFlag,
+		CheckpointEvery:    *ckptEveryFlag,
 		Seed:               *seedFlag,
 	}
-	if (cfg.Shards > 1 || cfg.Pipeline > 0) && algo == harness.AlgoTSL {
-		fmt.Fprintln(os.Stderr, "topkmon: -shards and -pipeline apply to the grid algorithms only (TMA/SMA)")
+	cfg.Stop = watchSignals("topkmon")
+	if (cfg.Shards > 1 || cfg.Pipeline > 0 || cfg.CheckpointDir != "") && algo == harness.AlgoTSL {
+		fmt.Fprintln(os.Stderr, "topkmon: -shards, -pipeline and -checkpoint apply to the grid algorithms only (TMA/SMA)")
 		os.Exit(2)
 	}
 	if (cfg.Placement != "" || cfg.RebalanceInterval > 0) && (cfg.Shards <= 1 || cfg.DataPartition) {
@@ -120,6 +146,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if res.Interrupted {
+		fmt.Printf("  interrupted after %d/%d cycles; figures cover the completed portion\n",
+			res.CyclesRun, cfg.Cycles)
 	}
 	fmt.Printf("  init (registration):  %s\n", harness.FormatDuration(res.InitTime))
 	fmt.Printf("  total maintenance:    %s\n", harness.FormatDuration(res.RunTime))

@@ -135,26 +135,38 @@ func (e *Engine) ExportQuery(id QueryID) (QuerySnapshot, error) {
 // the exporter (the query-partitioned broadcast invariant); violations of
 // the former are rejected here, the latter is the caller's contract.
 func (e *Engine) ImportQuery(snap QuerySnapshot) (QueryID, error) {
+	id := e.nextID
+	if err := e.importAt(snap, id); err != nil {
+		return 0, err
+	}
+	e.nextID = id + 1
+	return id, nil
+}
+
+// importAt validates a snapshot and installs it as query id, leaving the
+// id watermark to the caller (ImportQuery allocates the next fresh id,
+// ImportQueryAt reinstates an original one on the restore path).
+func (e *Engine) importAt(snap QuerySnapshot, id QueryID) error {
 	if snap.Spec.F == nil {
-		return 0, fmt.Errorf("core: snapshot has no scoring function")
+		return fmt.Errorf("core: snapshot has no scoring function")
 	}
 	if snap.Dims != e.opts.Dims {
-		return 0, fmt.Errorf("core: snapshot dimensionality %d != workspace %d", snap.Dims, e.opts.Dims)
+		return fmt.Errorf("core: snapshot dimensionality %d != workspace %d", snap.Dims, e.opts.Dims)
 	}
 	if snap.GridRes != e.g.Res() {
-		return 0, fmt.Errorf("core: snapshot grid resolution %d != engine %d", snap.GridRes, e.g.Res())
+		return fmt.Errorf("core: snapshot grid resolution %d != engine %d", snap.GridRes, e.g.Res())
 	}
 	if snap.Mode != e.opts.Mode {
-		return 0, fmt.Errorf("core: snapshot stream mode %v != engine %v", snap.Mode, e.opts.Mode)
+		return fmt.Errorf("core: snapshot stream mode %v != engine %v", snap.Mode, e.opts.Mode)
 	}
 	for _, idx := range snap.InfluenceCells {
 		if idx < 0 || idx >= e.g.NumCells() {
-			return 0, fmt.Errorf("core: snapshot influence cell %d outside grid of %d cells", idx, e.g.NumCells())
+			return fmt.Errorf("core: snapshot influence cell %d outside grid of %d cells", idx, e.g.NumCells())
 		}
 	}
 
 	q := &query{
-		id:       e.nextID,
+		id:       id,
 		spec:     snap.Spec,
 		topScore: snap.TopScore,
 		regScore: snap.RegScore,
@@ -170,19 +182,19 @@ func (e *Engine) ImportQuery(snap QuerySnapshot) (QueryID, error) {
 		}
 	case snap.Spec.Policy == SMA:
 		if e.opts.Mode == UpdateStream {
-			return 0, fmt.Errorf("core: SMA is unavailable under update streams (expiry order unknown, Section 7)")
+			return fmt.Errorf("core: SMA is unavailable under update streams (expiry order unknown, Section 7)")
 		}
 		if snap.Spec.K <= 0 {
-			return 0, fmt.Errorf("core: K must be positive, got %d", snap.Spec.K)
+			return fmt.Errorf("core: K must be positive, got %d", snap.Spec.K)
 		}
 		q.kind = topkKind
 		q.sky = skyband.New(snap.Spec.K)
 		if err := q.sky.Restore(snap.Skyband); err != nil {
-			return 0, err
+			return err
 		}
 	case snap.Spec.Policy == TMA:
 		if snap.Spec.K <= 0 {
-			return 0, fmt.Errorf("core: K must be positive, got %d", snap.Spec.K)
+			return fmt.Errorf("core: K must be positive, got %d", snap.Spec.K)
 		}
 		q.kind = topkKind
 		q.top = append([]Entry(nil), snap.Top...)
@@ -191,13 +203,12 @@ func (e *Engine) ImportQuery(snap QuerySnapshot) (QueryID, error) {
 			q.topIDs[en.T.ID] = struct{}{}
 		}
 	default:
-		return 0, fmt.Errorf("core: unknown policy %v", snap.Spec.Policy)
+		return fmt.Errorf("core: unknown policy %v", snap.Spec.Policy)
 	}
 	for _, en := range snap.LastReported {
 		q.lastIDs[en.T.ID] = en
 	}
 
-	e.nextID++
 	e.queries[q.id] = q
 	if q.sky != nil {
 		e.numSMA++
@@ -218,7 +229,7 @@ func (e *Engine) ImportQuery(snap QuerySnapshot) (QueryID, error) {
 			e.g.AddInfluence(idx, q.id)
 		}
 	}
-	return q.id, nil
+	return nil
 }
 
 // QueryCost is one registered query's attributed maintenance cost.

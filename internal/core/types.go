@@ -272,6 +272,10 @@ type Stats struct {
 	// under the drop-oldest backpressure policy (internal/pipeline). The
 	// synchronous engines never drop and always report zero.
 	DroppedBatches int64
+	// DroppedTuples counts the stream events — arrivals plus explicit
+	// deletions — carried by those shed batches, so loss accounting stays
+	// exact when batch sizes vary. Zero for the synchronous engines.
+	DroppedTuples int64
 	// QueueHighWater is the largest number of batches a pipelined monitor
 	// ever held queued at once (internal/pipeline adaptive depth). The
 	// synchronous engines always report zero.

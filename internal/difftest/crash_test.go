@@ -1,0 +1,107 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"topkmon/internal/core"
+	"topkmon/internal/recovery"
+	"topkmon/internal/shard"
+)
+
+// crashModes is the subset of the execution matrix the crash-recovery
+// differential covers: the synchronous, non-rebalanced monitors. Pipelined
+// modes are excluded because Swap requires a synchronous replay, and the
+// rebalanced mode because EWMA-driven placement history is deliberately
+// outside the checkpoint (see internal/recovery).
+func crashModes() []execMode {
+	return []execMode{
+		{name: "engine", build: sync(engineBuild)},
+		{name: "query-sharded-3", build: sync(shardedBuild(diffShards))},
+		{name: "data-sharded-3", build: sync(dataShardedBuild(diffShards))},
+	}
+}
+
+// runCrashDifferential replays the scenario for seed through each crash
+// mode wrapped in a recovery.Guard, kills the monitor after a seed-derived
+// cycle (Abandon: no final checkpoint, exactly what a crash leaves behind),
+// restores from the checkpoint directory, and asserts the stitched
+// transcript is byte-identical to the naive reference — recovery must be
+// invisible in every subsequent update and final result.
+func runCrashDifferential(t *testing.T, seed int64) {
+	t.Helper()
+	s := GenScenario(seed)
+	naive, err := NewNaive(s.Options())
+	if err != nil {
+		t.Fatalf("%v: naive: %v", s, err)
+	}
+	ref, err := Replay(naive, s, ReplayConfig{})
+	if err != nil {
+		t.Fatalf("%v: naive replay: %v", s, err)
+	}
+	// A small checkpoint interval keeps real WAL replay in the picture:
+	// the crash cycle usually lands between checkpoints, so restore
+	// exercises both the snapshot load and the log suffix.
+	const every = 3
+	crashAt := int(uint64(seed*2654435761) % uint64(len(s.Cycles)))
+
+	for _, m := range crashModes() {
+		inner, _, err := m.build(s.Options())
+		if err != nil {
+			t.Fatalf("%v: build %s: %v", s, m.name, err)
+		}
+		dir := t.TempDir()
+		guard, err := recovery.NewGuard(inner, dir, recovery.GuardOptions{Every: every})
+		if err != nil {
+			t.Fatalf("%v: %s guard: %v", s, m.name, err)
+		}
+		// Replay reassigns its local monitor at the swap; track the live
+		// guard here so the final Close lands on the restored instance.
+		live := guard
+		cfg := ReplayConfig{
+			Swap: func(cycle int, mon core.StreamMonitor) (core.StreamMonitor, error) {
+				if cycle != crashAt {
+					return nil, nil
+				}
+				if err := live.Abandon(); err != nil {
+					return nil, fmt.Errorf("abandon: %w", err)
+				}
+				restored, _, err := recovery.Restore(dir, recovery.RestoreOptions{
+					Every:       every,
+					ShardConfig: shard.Config{},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("restore: %w", err)
+				}
+				live = restored
+				return restored, nil
+			},
+		}
+		got, err := Replay(guard, s, cfg)
+		if cerr := live.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("%v: %s crash@%d replay: %v", s, m.name, crashAt, err)
+		}
+		if d := got.Diff(ref); d != "" {
+			t.Fatalf("%v: %s crash@%d diverged from naive reference:\n%s", s, m.name, crashAt, d)
+		}
+	}
+}
+
+// TestCrashRecoveryDifferential is the recovery counterpart of
+// TestDifferentialSeeds: the same seed spread, with a kill-and-restore
+// injected mid-replay in every mode.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	n := int64(20)
+	if testing.Short() {
+		n = 6
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runCrashDifferential(t, seed)
+		})
+	}
+}

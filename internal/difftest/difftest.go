@@ -347,6 +347,14 @@ type ReplayConfig struct {
 	// force live query migrations mid-run — migrations must never change a
 	// transcript, and this is where that promise is exercised.
 	PostCycle func(cycle int, live []core.QueryID) error
+	// Swap, when non-nil, runs after every cycle's PostCycle and invariant
+	// check, and may return a replacement monitor that the rest of the
+	// replay drives instead. The crash-recovery differential mode uses it
+	// to kill the current monitor at a chosen cycle and hand back one
+	// restored from its checkpoint directory — the remaining transcript
+	// must not diverge anywhere. Returning (nil, nil) keeps the current
+	// monitor. Synchronous replays only (incompatible with Ingester).
+	Swap func(cycle int, mon core.StreamMonitor) (core.StreamMonitor, error)
 }
 
 // Ingester is the pipelined ingestion surface of internal/pipeline,
@@ -368,6 +376,9 @@ type Ingester interface {
 // barrier semantics unchanged.
 func Replay(mon core.StreamMonitor, s Scenario, cfg ReplayConfig) (Transcript, error) {
 	var tr Transcript
+	if cfg.Swap != nil && cfg.Ingester != nil {
+		return tr, fmt.Errorf("difftest: Swap requires a synchronous replay")
+	}
 	gen := stream.NewGenerator(s.Dist, s.Dims, s.Seed+2)
 
 	// Pipelined replays gather delivered batches concurrently; collected is
@@ -457,6 +468,15 @@ func Replay(mon core.StreamMonitor, s Scenario, cfg ReplayConfig) (Transcript, e
 				if err := chk.CheckInfluence(); err != nil {
 					return tr, fmt.Errorf("cycle %d invariant: %w", c, err)
 				}
+			}
+		}
+		if cfg.Swap != nil {
+			repl, err := cfg.Swap(c, mon)
+			if err != nil {
+				return tr, fmt.Errorf("cycle %d swap: %w", c, err)
+			}
+			if repl != nil {
+				mon = repl
 			}
 		}
 	}

@@ -33,6 +33,12 @@ var DefaultPlacement string
 // from its -rebalance flag.
 var DefaultRebalanceInterval int
 
+// DefaultStop, when non-nil, is the cancellation channel every
+// configuration Defaults produces watches: closing it makes runs exit at
+// the next cycle boundary with Result.Interrupted set. cmd/experiments
+// wires it to SIGINT/SIGTERM so a whole sweep shuts down gracefully.
+var DefaultStop <-chan struct{}
+
 // Defaults returns the paper's default configuration (Table 1) scaled
 // linearly: N and Q shrink with scale (bounded below so the system stays
 // meaningful), r stays at 1% of N per cycle, and the simulation runs 100
@@ -65,6 +71,7 @@ func Defaults(scale float64, seed int64) Config {
 		Pipeline:          DefaultPipeline,
 		Placement:         DefaultPlacement,
 		RebalanceInterval: DefaultRebalanceInterval,
+		Stop:              DefaultStop,
 		Seed:              seed,
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"topkmon/internal/core"
 	"topkmon/internal/geom"
 	"topkmon/internal/pipeline"
+	"topkmon/internal/recovery"
 	"topkmon/internal/shard"
 	"topkmon/internal/stream"
 	"topkmon/internal/tsl"
@@ -146,7 +147,20 @@ type Config struct {
 	// is a barrier, so frequent progress sampling costs overlap.
 	Progress      func(cycle int, loads []shard.ShardLoad)
 	ProgressEvery int
-	Seed          int64
+	// CheckpointDir, when non-empty, wraps the monitor in a durability
+	// guard (internal/recovery): batches are WAL-logged before they are
+	// applied and the full monitor state is checkpointed into this
+	// directory every CheckpointEvery successful cycles (0 = only at
+	// Close) and at Close. The directory must not already hold a
+	// checkpoint lineage. Grid algorithms only.
+	CheckpointDir   string
+	CheckpointEvery int
+	// Stop, when non-nil, cancels the run when closed: the cycle loop
+	// exits at the next boundary, pipelined ingestion is flushed, the
+	// stats epilogue — including the final checkpoint, when enabled —
+	// still runs, and Result.Interrupted reports the early exit.
+	Stop <-chan struct{}
+	Seed int64
 }
 
 // withDefaults fills derived fields.
@@ -186,6 +200,9 @@ func (c Config) Validate() error {
 	}
 	if (c.ThresholdFrac > 0 || c.NearDupQueries || c.DisableQueryIndex) && c.Algo == AlgoTSL {
 		return fmt.Errorf("harness: ThresholdFrac/NearDupQueries/DisableQueryIndex apply to the grid algorithms only")
+	}
+	if c.CheckpointDir != "" && c.Algo == AlgoTSL {
+		return fmt.Errorf("harness: CheckpointDir applies to the grid algorithms only")
 	}
 	return nil
 }
@@ -231,6 +248,12 @@ type Result struct {
 	// MaxCellBytesHighWater is the largest single grid cell ever
 	// allocated, in bytes — the tuple-skew figure (grid engines).
 	MaxCellBytesHighWater int64
+	// CyclesRun counts the processing cycles actually executed; less than
+	// Config.Cycles only when the run was interrupted.
+	CyclesRun int
+	// Interrupted reports that Config.Stop cancelled the run early. The
+	// measurements cover the cycles that did run.
+	Interrupted bool
 }
 
 // PerCycle returns the average maintenance time per processing cycle.
@@ -365,7 +388,33 @@ func NewMonitor(cfg Config) (core.Monitor, *stream.Generator, int64, error) {
 			return nil, nil, 0, err
 		}
 	}
+	// The guard wraps last, so its initial checkpoint already contains the
+	// prefilled window and the registered query set: the run is restorable
+	// from its first measured cycle.
+	if cfg.CheckpointDir != "" {
+		g, err := recovery.NewGuard(mon.(core.StreamMonitor), cfg.CheckpointDir, recovery.GuardOptions{
+			Every: cfg.CheckpointEvery,
+		})
+		if err != nil {
+			_ = mon.(core.StreamMonitor).Close()
+			return nil, nil, 0, err
+		}
+		mon = g
+	}
 	return mon, gen, 1, nil
+}
+
+// stopped reports whether the Stop channel has been closed.
+func (c Config) stopped() bool {
+	if c.Stop == nil {
+		return false
+	}
+	select {
+	case <-c.Stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // progress fires the configured Progress callback after cycle c (0-based)
@@ -409,11 +458,16 @@ func Run(cfg Config) (Result, error) {
 		// consumer either way.
 		defer func() { _ = p.Close(); <-consumerDone }()
 		t1 := time.Now()
-		for c := 0; c < cfg.Cycles; c++ {
+		for c := 0; c < cfg.Cycles && !res.Interrupted; c++ {
+			if cfg.stopped() {
+				res.Interrupted = true
+				break
+			}
 			if err := p.Ingest(ts, gen.Batch(cfg.R, ts)); err != nil {
 				return res, err
 			}
 			ts++
+			res.CyclesRun++
 			cfg.progress(c, p)
 		}
 		if err := p.Flush(); err != nil {
@@ -424,10 +478,15 @@ func Run(cfg Config) (Result, error) {
 	} else {
 		t1 := time.Now()
 		for c := 0; c < cfg.Cycles; c++ {
+			if cfg.stopped() {
+				res.Interrupted = true
+				break
+			}
 			if _, err := mon.Step(ts, gen.Batch(cfg.R, ts)); err != nil {
 				return res, err
 			}
 			ts++
+			res.CyclesRun++
 			cfg.progress(c, mon)
 		}
 		runTime = time.Since(t1)

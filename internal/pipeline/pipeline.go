@@ -49,6 +49,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,11 @@ import (
 	"topkmon/internal/shard"
 	"topkmon/internal/stream"
 )
+
+// ErrClosed is reported (possibly wrapped) by operations on a closed
+// pipeline, so shutdown paths can errors.Is-distinguish an orderly close
+// from a real fault.
+var ErrClosed = errors.New("pipeline: closed")
 
 // Policy selects the backpressure behavior of a full ingest queue.
 type Policy int
@@ -118,6 +124,19 @@ type Options struct {
 	MaxDepth int
 	// Policy selects the backpressure behavior. Default Block.
 	Policy Policy
+	// DropLog, when non-nil, observes every batch shed under DropOldest —
+	// the hook the checkpoint guard (internal/recovery) uses to write
+	// per-drop WAL records, so a replayed transcript can account for the
+	// exact stream events load shedding discarded. Called outside the
+	// pipeline's internal lock, on the producer goroutine that triggered
+	// the shed; implementations may block or take their own locks.
+	DropLog DropLogger
+}
+
+// DropLogger receives the content of batches shed under the DropOldest
+// backpressure policy, in the shape they were ingested.
+type DropLogger interface {
+	LogDrop(now int64, isUpdate bool, arrivals []*stream.Tuple, deletions []uint64)
 }
 
 // asyncStepper is the fast path: the query-partitioned sharded monitor
@@ -177,8 +196,10 @@ type Pipeline struct {
 	closed   bool
 	err      error // first cycle error; sticky
 
-	dropped   atomic.Int64
-	highWater atomic.Int64
+	dropped       atomic.Int64
+	droppedTuples atomic.Int64
+	highWater     atomic.Int64
+	dropLog       DropLogger
 
 	deliveries chan delivery
 	out        chan []core.Update
@@ -207,6 +228,7 @@ func New(mon core.StreamMonitor, opts Options) *Pipeline {
 		maxDepth: maxDepth,
 		effDepth: depth,
 		policy:   opts.Policy,
+		dropLog:  opts.DropLog,
 		// The delivery buffers are sized for the maximum: adaptive growth
 		// only moves the ingest bound, never reallocates channels.
 		deliveries:    make(chan delivery, maxDepth),
@@ -262,6 +284,11 @@ func (p *Pipeline) Drain() <-chan struct{} {
 // Dropped returns the number of batches shed under DropOldest.
 func (p *Pipeline) Dropped() int64 { return p.dropped.Load() }
 
+// DroppedTuples returns the number of stream events (arrivals plus
+// explicit deletions) carried by the batches shed under DropOldest —
+// the exact loss figure, independent of how batch sizes varied.
+func (p *Pipeline) DroppedTuples() int64 { return p.droppedTuples.Load() }
+
 // Ingest enqueues one append-only cycle. Under Block it waits for queue
 // space when the pipeline is at depth; under DropOldest it sheds the
 // oldest queued batch instead. The batch is applied asynchronously; its
@@ -277,11 +304,27 @@ func (p *Pipeline) IngestUpdate(now int64, arrivals []*stream.Tuple, deletions [
 }
 
 func (p *Pipeline) enqueueBatch(j *job) error {
+	// Shed batches are collected under the lock and accounted after it is
+	// released: the drop log may block (it appends WAL records), and mu is
+	// a leaf lock on the cycle path.
+	var shed []*job
+	err := p.enqueueBatchLocked(j, &shed)
+	for _, q := range shed {
+		p.dropped.Add(1)
+		p.droppedTuples.Add(int64(len(q.arrivals) + len(q.deletions)))
+		if p.dropLog != nil {
+			p.dropLog.LogDrop(q.now, q.isUpdate, q.arrivals, q.deletions)
+		}
+	}
+	return err
+}
+
+func (p *Pipeline) enqueueBatchLocked(j *job, shed *[]*job) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		if p.closed {
-			return fmt.Errorf("pipeline: closed")
+			return ErrClosed
 		}
 		if p.err != nil {
 			return p.err
@@ -305,7 +348,7 @@ func (p *Pipeline) enqueueBatch(j *job) error {
 				if q.isBatch {
 					p.queue = append(p.queue[:i], p.queue[i+1:]...)
 					p.batches--
-					p.dropped.Add(1)
+					*shed = append(*shed, q)
 					break
 				}
 			}
@@ -332,7 +375,7 @@ func (p *Pipeline) call(fn func()) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return fmt.Errorf("pipeline: closed")
+		return ErrClosed
 	}
 	p.queue = append(p.queue, &job{fn: fn, done: done})
 	p.cond.Broadcast()
@@ -584,6 +627,7 @@ func (p *Pipeline) Stats() core.Stats {
 	var s core.Stats
 	p.read(func() { s = p.mon.Stats() })
 	s.DroppedBatches = p.dropped.Load()
+	s.DroppedTuples = p.droppedTuples.Load()
 	s.QueueHighWater = p.highWater.Load()
 	return s
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -668,4 +669,131 @@ func TestMigrationThroughPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-done
+}
+
+// dropRecorder captures LogDrop calls for shed-accounting assertions.
+type dropRecorder struct {
+	mu   sync.Mutex
+	recs []struct {
+		now       int64
+		isUpdate  bool
+		arrivals  int
+		deletions int
+	}
+}
+
+func (r *dropRecorder) LogDrop(now int64, isUpdate bool, arrivals []*stream.Tuple, deletions []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recs = append(r.recs, struct {
+		now       int64
+		isUpdate  bool
+		arrivals  int
+		deletions int
+	}{now, isUpdate, len(arrivals), len(deletions)})
+}
+
+// mkTuples builds n placeholder tuples (the gated monitor never reads them).
+func mkTuples(n int) []*stream.Tuple {
+	out := make([]*stream.Tuple, n)
+	for i := range out {
+		out[i] = &stream.Tuple{ID: uint64(i + 1), Vec: geom.Vector{0.5, 0.5}}
+	}
+	return out
+}
+
+// TestDropOldestTupleAccounting: shedding batches of different sizes must
+// surface the exact number of lost stream events — arrivals plus explicit
+// deletions — in Stats.DroppedTuples, and hand every shed batch to the
+// configured DropLogger. A batch count alone would hide how much data a
+// drop actually destroyed.
+func TestDropOldestTupleAccounting(t *testing.T) {
+	g := newGateMon()
+	rec := &dropRecorder{}
+	p := New(g, Options{Depth: 2, Policy: DropOldest, DropLog: rec})
+	_, done := collect(p)
+
+	// Batch 1 blocks in Step; 2 (3 tuples) and 3 (5 arrivals + 2 deletions)
+	// fill the queue.
+	if err := p.Ingest(1, mkTuples(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(p.queueSnapshot()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Ingest(2, mkTuples(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.IngestUpdate(3, mkTuples(5), []uint64{90, 91}); err != nil {
+		t.Fatal(err)
+	}
+	// 4 sheds batch 2 (3 events), 5 sheds batch 3 (7 events).
+	if err := p.Ingest(4, mkTuples(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(5, mkTuples(4)); err != nil {
+		t.Fatal(err)
+	}
+	g.release(64)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(g.appliedNow()), "[1 4 5]"; got != want {
+		t.Fatalf("applied %s, want %s", got, want)
+	}
+	if d := p.DroppedTuples(); d != 10 {
+		t.Fatalf("DroppedTuples = %d, want 10", d)
+	}
+	s := p.Stats()
+	if s.DroppedBatches != 2 || s.DroppedTuples != 10 {
+		t.Fatalf("Stats dropped batches/tuples = %d/%d, want 2/10", s.DroppedBatches, s.DroppedTuples)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.recs) != 2 {
+		t.Fatalf("DropLog saw %d batches, want 2", len(rec.recs))
+	}
+	if r := rec.recs[0]; r.now != 2 || r.isUpdate || r.arrivals != 3 || r.deletions != 0 {
+		t.Fatalf("first shed batch logged as %+v", r)
+	}
+	if r := rec.recs[1]; r.now != 3 || !r.isUpdate || r.arrivals != 5 || r.deletions != 2 {
+		t.Fatalf("second shed batch logged as %+v", r)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestClosedTyped: every operation on a closed pipeline reports ErrClosed
+// through errors.Is, whatever wrapping the path added — the contract
+// shutdown code relies on to tell an orderly close from a fault.
+func TestClosedTyped(t *testing.T) {
+	g := newGateMon()
+	p := New(g, Options{Depth: 2})
+	_, done := collect(p)
+	g.release(64)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := p.Ingest(1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after close: got %v, want ErrClosed", err)
+	}
+	if err := p.IngestUpdate(1, nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("IngestUpdate after close: got %v, want ErrClosed", err)
+	}
+	if err := p.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after close: got %v, want ErrClosed", err)
+	}
+	if _, err := p.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Register after close: got %v, want ErrClosed", err)
+	}
+	if err := p.Unregister(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Unregister after close: got %v, want ErrClosed", err)
+	}
+	if _, err := p.Result(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Result after close: got %v, want ErrClosed", err)
+	}
 }

@@ -1,0 +1,156 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec primitives. Everything persisted is little-endian;
+// integers use varint encodings, floats are raw IEEE-754 bits (scores
+// must round-trip exactly — byte-identical restore depends on it).
+
+// enc is an append-only payload builder.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u8(v byte)        { e.buf = append(e.buf, v) }
+func (e *enc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) f64(v float64)    { e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v)) }
+
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *enc) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// dec is the matching reader. The first decoding failure sticks; callers
+// check err (or use done) once at the end instead of after every field.
+// All errors wrap ErrCorrupt — a short or malformed payload is corruption
+// by definition, the framing checksum having already passed.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// remaining returns the number of unread bytes.
+func (d *dec) remaining() int { return len(d.buf) - d.off }
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated payload")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) boolean() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bad boolean")
+		return false
+	}
+}
+
+func (d *dec) bytes() []byte {
+	n := d.count(1)
+	if d.err != nil {
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// count reads a length prefix and validates it against the bytes actually
+// remaining (each counted element occupies at least minBytes), so a
+// corrupted length can never drive a huge allocation.
+func (d *dec) count(minBytes int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(d.remaining()/minBytes) {
+		d.fail("length %d exceeds remaining payload", v)
+		return 0
+	}
+	return int(v)
+}
+
+// done reports the sticky error, or complains about trailing garbage.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return nil
+}

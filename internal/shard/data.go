@@ -139,6 +139,139 @@ func newDataWithFactory(opts core.Options, n int, factory func(core.Options) (*c
 // NumShards returns the shard count.
 func (d *DataSharded) NumShards() int { return len(d.workers) }
 
+// Options returns the monitor-level options: the engine options with the
+// ExternalExpiry flag cleared again — NewData sets it itself when it takes
+// ownership of the global window, so clearing it round-trips the options a
+// restore must hand back to NewData.
+func (d *DataSharded) Options() core.Options {
+	var opts core.Options
+	d.callShard0(func(e *core.Engine) { opts = e.Options() })
+	opts.ExternalExpiry = false
+	return opts
+}
+
+// ExportClock snapshots the router's cycle clock and stream-admission
+// watermarks (the per-shard engines keep their own, exported per shard).
+func (d *DataSharded) ExportClock() core.Clock {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	return core.Clock{Now: d.now, Started: d.started, HaveSeq: d.haveSeq, LastSeq: d.lastSeq}
+}
+
+// RestoreClock pins the router's cycle clock and admission watermarks —
+// the restore-path counterpart of ExportClock, applied after the global
+// tail has been replayed.
+func (d *DataSharded) RestoreClock(c core.Clock) {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.now = c.Now
+	d.started = c.Started
+	d.haveSeq = c.HaveSeq
+	d.lastSeq = c.LastSeq
+}
+
+// GlobalTail returns the fleet's live tuples in replay order: the router
+// window's FIFO snapshot under append-only streams, or the per-shard
+// explicit-deletion tails merged by ascending sequence. Re-ingesting the
+// tail into a fresh monitor repartitions every tuple to its original
+// shard (the hash depends only on the tuple id), so the per-shard indexes
+// rebuild exactly.
+func (d *DataSharded) GlobalTail() []*stream.Tuple {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	if d.win != nil {
+		return d.win.Snapshot()
+	}
+	per := make([][]*stream.Tuple, len(d.workers))
+	d.broadcast(func(i int, e *core.Engine) { per[i] = e.WindowTail() })
+	var out []*stream.Tuple
+	for _, p := range per {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Barrier runs fn against every shard engine in shard order, each call on
+// its worker goroutine with cycles serialized out — the quiescent point
+// checkpoints are written and restored at. The first error stops the
+// sweep.
+func (d *DataSharded) Barrier(fn func(i int, eng *core.Engine) error) error {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return ErrStopped
+	}
+	for i, w := range d.workers {
+		var err error
+		w.call(func() { err = fn(i, w.eng) })
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RouterQuery is the router-side state of one query under data
+// partitioning, in exportable form: the spec (for the merge limit) and
+// the merged result as last reported, in descending total order.
+type RouterQuery struct {
+	ID           core.QueryID
+	Spec         core.QuerySpec
+	LastReported []core.Entry
+}
+
+// ExportRouterQueries snapshots every query's router-side merge cache,
+// sorted by query id.
+func (d *DataSharded) ExportRouterQueries() []RouterQuery {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	out := make([]RouterQuery, 0, len(d.queries))
+	for id, st := range d.queries {
+		rq := RouterQuery{ID: id, Spec: st.spec}
+		for _, en := range st.lastIDs {
+			rq.LastReported = append(rq.LastReported, en)
+		}
+		sort.Slice(rq.LastReported, func(i, j int) bool {
+			return stream.Better(rq.LastReported[i].Score, rq.LastReported[i].T.Seq,
+				rq.LastReported[j].Score, rq.LastReported[j].T.Seq)
+		})
+		out = append(out, rq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RestoreRouterQueries reinstates exported router caches on a freshly
+// built monitor whose shard engines already hold the corresponding
+// queries (the checkpoint restore path).
+func (d *DataSharded) RestoreRouterQueries(qs []RouterQuery) error {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.closed {
+		return ErrStopped
+	}
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	for _, rq := range qs {
+		if _, dup := d.queries[rq.ID]; dup {
+			return fmt.Errorf("shard: duplicate router query %d", rq.ID)
+		}
+		st := &mergedQuery{spec: rq.Spec, lastIDs: make(map[uint64]core.Entry, len(rq.LastReported))}
+		for _, en := range rq.LastReported {
+			st.lastIDs[en.T.ID] = en
+		}
+		d.queries[rq.ID] = st
+	}
+	return nil
+}
+
 // shardOfTuple hash-partitions an id across n shards (splitmix64
 // finalizer, so sequential ids spread uniformly rather than striping).
 // Both tuple routing (data partitioning) and query routing (shardOf)
@@ -178,7 +311,7 @@ func (d *DataSharded) Register(spec core.QuerySpec) (core.QueryID, error) {
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.closed {
-		return 0, fmt.Errorf("shard: monitor is closed")
+		return 0, ErrStopped
 	}
 
 	// Shard 0 validates the spec: engine registration failures depend only
@@ -232,7 +365,7 @@ func (d *DataSharded) Unregister(id core.QueryID) error {
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.closed {
-		return fmt.Errorf("shard: monitor is closed")
+		return ErrStopped
 	}
 	d.qmu.Lock()
 	_, ok := d.queries[id]
@@ -269,7 +402,7 @@ func (d *DataSharded) Result(id core.QueryID) ([]core.Entry, error) {
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.closed {
-		return nil, fmt.Errorf("shard: monitor is closed")
+		return nil, ErrStopped
 	}
 	d.qmu.RLock()
 	st, ok := d.queries[id]
@@ -356,7 +489,7 @@ func (d *DataSharded) Step(now int64, arrivals []*stream.Tuple) ([]core.Update, 
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.closed {
-		return nil, fmt.Errorf("shard: monitor is closed")
+		return nil, ErrStopped
 	}
 
 	// Global admission checks mirror the single engine's, and must run
@@ -400,7 +533,7 @@ func (d *DataSharded) StepUpdate(now int64, arrivals []*stream.Tuple, deletions 
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.closed {
-		return nil, fmt.Errorf("shard: monitor is closed")
+		return nil, ErrStopped
 	}
 	parts := d.partitionTuples(arrivals)
 	delParts := make([][]uint64, len(d.workers))

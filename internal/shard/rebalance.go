@@ -130,7 +130,7 @@ func (s *Sharded) MigrateQueries(moves []QueryMove) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
-		return fmt.Errorf("shard: monitor is closed")
+		return ErrStopped
 	}
 	for _, m := range moves {
 		if m.Target < 0 || m.Target >= len(s.workers) {

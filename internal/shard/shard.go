@@ -33,6 +33,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -42,6 +43,12 @@ import (
 	"topkmon/internal/core"
 	"topkmon/internal/stream"
 )
+
+// ErrStopped is reported (possibly wrapped) by mutating operations on a
+// monitor whose workers have been stopped by Close, so shutdown and
+// recovery paths can errors.Is-distinguish an orderly stop from a real
+// fault. Counter reads keep working after Close and never report it.
+var ErrStopped = errors.New("shard: monitor stopped")
 
 // route locates a query: the shard that owns it and its id local to that
 // shard's engine.
@@ -240,6 +247,100 @@ func spawnWorkers(opts core.Options, n int, factory func(core.Options) (*core.En
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.workers) }
 
+// Options returns the engine options every shard was constructed with.
+func (s *Sharded) Options() core.Options {
+	var opts core.Options
+	s.callShard0(func(e *core.Engine) { opts = e.Options() })
+	return opts
+}
+
+// Barrier runs fn against every shard engine in shard order, each call
+// executing on its worker goroutine with processing cycles serialized
+// out — the coordinated quiescent point the checkpoint writer and the
+// restore path operate at. The first error stops the sweep.
+func (s *Sharded) Barrier(fn func(i int, eng *core.Engine) error) error {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrStopped
+	}
+	for i, w := range s.workers {
+		var err error
+		w.call(func() { err = fn(i, w.eng) })
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// QueryRoute is one routing-table entry in exportable form: the global
+// query id, the shard owning the query, and its id local to that shard's
+// engine.
+type QueryRoute struct {
+	Global core.QueryID
+	Shard  int
+	Local  core.QueryID
+}
+
+// ExportRouting snapshots the router state a checkpoint must carry: the
+// global id watermark and every registered query's route, sorted by
+// global id.
+func (s *Sharded) ExportRouting() (core.QueryID, []QueryRoute) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	routes := make([]QueryRoute, 0, len(s.routes))
+	for g, r := range s.routes {
+		routes = append(routes, QueryRoute{Global: g, Shard: r.shard, Local: r.local})
+	}
+	sort.Slice(routes, func(i, j int) bool { return routes[i].Global < routes[j].Global })
+	return s.nextID, routes
+}
+
+// RestoreRouting reinstates an exported routing table on a freshly built
+// monitor whose shard engines already hold the corresponding queries at
+// the recorded local ids (the checkpoint restore path): the router-side
+// routes and per-shard counts, plus each worker's local→global
+// translation table.
+func (s *Sharded) RestoreRouting(next core.QueryID, routes []QueryRoute) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrStopped
+	}
+	perShard := make([]map[core.QueryID]core.QueryID, len(s.workers))
+	for i := range perShard {
+		perShard[i] = make(map[core.QueryID]core.QueryID)
+	}
+	s.mu.Lock()
+	for _, r := range routes {
+		if r.Shard < 0 || r.Shard >= len(s.workers) {
+			s.mu.Unlock()
+			return fmt.Errorf("shard: route for query %d names shard %d of %d", r.Global, r.Shard, len(s.workers))
+		}
+		if _, dup := s.routes[r.Global]; dup {
+			s.mu.Unlock()
+			return fmt.Errorf("shard: duplicate route for query %d", r.Global)
+		}
+		s.routes[r.Global] = route{shard: r.Shard, local: r.Local}
+		s.counts[r.Shard]++
+		perShard[r.Shard][r.Local] = r.Global
+	}
+	s.nextID = next
+	s.mu.Unlock()
+	for i, w := range s.workers {
+		m := perShard[i]
+		w.call(func() {
+			for local, global := range m {
+				w.localToGlobal[local] = global
+			}
+		})
+	}
+	return nil
+}
+
 // loadsLocked assembles the router-side load view for the placement
 // policy: exact query counts, cost/timing figures as refreshed by the last
 // rebalance pass or ShardLoads call. Callers hold mu.
@@ -263,7 +364,7 @@ func (s *Sharded) Register(spec core.QuerySpec) (core.QueryID, error) {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
-		return 0, fmt.Errorf("shard: monitor is closed")
+		return 0, ErrStopped
 	}
 	s.mu.Lock()
 	global := s.nextID
@@ -303,7 +404,7 @@ func (s *Sharded) Unregister(id core.QueryID) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
-		return fmt.Errorf("shard: monitor is closed")
+		return ErrStopped
 	}
 	s.mu.Lock()
 	r, ok := s.routes[id]
@@ -329,7 +430,7 @@ func (s *Sharded) Result(id core.QueryID) ([]core.Entry, error) {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
-		return nil, fmt.Errorf("shard: monitor is closed")
+		return nil, ErrStopped
 	}
 	s.mu.Lock()
 	r, ok := s.routes[id]
@@ -425,7 +526,7 @@ func (s *Sharded) submit(step func(*core.Engine) ([]core.Update, error)) (*Ticke
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
-		return nil, fmt.Errorf("shard: monitor is closed")
+		return nil, ErrStopped
 	}
 	t := &Ticket{results: make([]shardResult, len(s.workers))}
 	t.wg.Add(len(s.workers))

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -338,11 +339,32 @@ func TestCloseSemantics(t *testing.T) {
 	if err := sh.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sh.Step(1, gen.Batch(10, 1)); err == nil {
-		t.Fatal("Step after Close should fail")
+	if _, err := sh.Step(1, gen.Batch(10, 1)); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Step after Close: got %v, want ErrStopped", err)
 	}
-	if _, err := sh.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 3}); err == nil {
-		t.Fatal("Register after Close should fail")
+	if _, err := sh.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 3}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Register after Close: got %v, want ErrStopped", err)
+	}
+	if err := sh.Unregister(0); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Unregister after Close: got %v, want ErrStopped", err)
+	}
+	if _, err := sh.Result(0); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Result after Close: got %v, want ErrStopped", err)
+	}
+
+	// The data-partitioned layout honors the same typed contract.
+	ds, err := NewData(core.Options{Dims: 2, Window: window.Count(100), TargetCells: 16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Step(1, gen.Batch(10, 1)); !errors.Is(err, ErrStopped) {
+		t.Fatalf("data-sharded Step after Close: got %v, want ErrStopped", err)
+	}
+	if _, err := ds.Register(core.QuerySpec{F: geom.NewLinear(1, 1), K: 3}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("data-sharded Register after Close: got %v, want ErrStopped", err)
 	}
 	if got := sh.NumPoints(); got != 50 {
 		t.Fatalf("NumPoints after Close = %d, want 50", got)

@@ -42,6 +42,13 @@ func NewCSVReader(r io.Reader, dims int) (*CSVReader, error) {
 	return &CSVReader{r: cr, dims: dims}, nil
 }
 
+// SetNextID repositions the reader's id/sequence counter. A monitor
+// restored from a checkpoint still holds tuples stamped by the previous
+// run, so a resuming replay must not reissue ids that may collide with the
+// live window (or sequence numbers behind the engine clock); it sets the
+// counter just past the restored monitor's last sequence number instead.
+func (c *CSVReader) SetNextID(id uint64) { c.nextID = id }
+
 // Next decodes one tuple. It returns io.EOF at the end of the input. A
 // tuple buffered by a previous NextBatch call is drained first, so Next and
 // NextBatch interleave without reordering the stream.

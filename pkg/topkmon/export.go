@@ -5,6 +5,8 @@ import (
 
 	"topkmon/internal/core"
 	"topkmon/internal/geom"
+	"topkmon/internal/pipeline"
+	"topkmon/internal/recovery"
 	"topkmon/internal/shard"
 	"topkmon/internal/stream"
 )
@@ -53,6 +55,27 @@ type (
 	// QueryMove names one query's migration target; a batch of them is
 	// executed under a single drain barrier by Monitor.MigrateQueries.
 	QueryMove = shard.QueryMove
+)
+
+// Sentinel errors, re-exported so callers can errors.Is-classify failures
+// without importing internal packages. Errors returned by Monitor methods
+// wrap these.
+var (
+	// ErrClosed is reported by operations on a pipelined monitor after
+	// Close: an orderly-shutdown signal, not a fault.
+	ErrClosed = pipeline.ErrClosed
+	// ErrStopped is reported by operations on a sharded monitor after
+	// Close.
+	ErrStopped = shard.ErrStopped
+	// ErrNoCheckpoint is reported by Restore when the directory holds no
+	// durability lineage.
+	ErrNoCheckpoint = recovery.ErrNoCheckpoint
+	// ErrCorrupt is reported by Restore when a checkpoint or WAL fails
+	// validation (bad checksum, truncation, inconsistent replay).
+	ErrCorrupt = recovery.ErrCorrupt
+	// ErrVersion is reported by Restore when the on-disk format was
+	// written by an incompatible build.
+	ErrVersion = recovery.ErrVersion
 )
 
 // Monitoring policies.

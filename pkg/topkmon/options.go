@@ -122,6 +122,9 @@ type config struct {
 	pipeMaxDepth       int
 	backpressure       Backpressure
 	noQueryIndex       bool
+	checkpointDir      string
+	checkpointEvery    int
+	checkpointSync     bool
 }
 
 // Option configures a Monitor.
@@ -233,6 +236,31 @@ func WithTimeWindow(span int64) Option { return func(c *config) { c.window = win
 // preference directions (the pub/sub regime). This switch exists for
 // comparison runs and as an escape hatch.
 func WithoutQueryIndex() Option { return func(c *config) { c.noQueryIndex = true } }
+
+// WithCheckpoint enables durability: the monitor write-ahead-logs every
+// batch and query operation into dir and checkpoints its full state there
+// every `every` successful cycles (and at Close). After a crash, Restore
+// rebuilds a monitor from the directory that is byte-identical to the one
+// that died — same results, same update streams, same query ids — having
+// replayed the WAL suffix past the last checkpoint. every <= 0 checkpoints
+// only at Close, leaving crash safety to the WAL alone. The directory must
+// be empty (or absent): resuming an existing lineage goes through Restore.
+// See the package doc's durability-guarantees section for the exact
+// contract.
+func WithCheckpoint(dir string, every int) Option {
+	return func(c *config) {
+		c.checkpointDir = dir
+		c.checkpointEvery = every
+	}
+}
+
+// WithCheckpointSync makes the write-ahead log fsync after every appended
+// batch, bounding loss on an OS or power crash to nothing at all — at the
+// cost of one fsync per cycle. The default leaves WAL flushing to the OS
+// (process crashes still lose nothing; a machine crash can lose the
+// suffix since the last checkpoint). Checkpoints themselves always fsync.
+// It has no effect without WithCheckpoint.
+func WithCheckpointSync() Option { return func(c *config) { c.checkpointSync = true } }
 
 // WithGridRes fixes the number of grid cells per axis, overriding the
 // tuned default.

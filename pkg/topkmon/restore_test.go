@@ -1,0 +1,186 @@
+package topkmon
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// fill runs n ticks of b generated tuples each through the monitor.
+func fill(t *testing.T, m *Monitor, gen *Generator, n, b int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := m.Tick(gen.Batch(b, 0)); err != nil {
+			t.Fatalf("tick: %v", err)
+		}
+	}
+}
+
+// sameResults asserts two monitors agree on a query's result.
+func sameResults(t *testing.T, a, b *Monitor, id QueryID) {
+	t.Helper()
+	ra, err := a.Result(id)
+	if err != nil {
+		t.Fatalf("result a: %v", err)
+	}
+	rb, err := b.Result(id)
+	if err != nil {
+		t.Fatalf("result b: %v", err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("result lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].T.ID != rb[i].T.ID || ra[i].Score != rb[i].Score {
+			t.Fatalf("result[%d] differs: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestFacadeCheckpointRestore drives a checkpointed facade monitor, kills
+// and restores it twice (once mid-cadence so WAL replay runs, once after
+// Close so the final checkpoint alone carries the state), and checks the
+// restored monitor resumes ticking with identical results to an
+// uninterrupted twin fed the same stream.
+func TestFacadeCheckpointRestore(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"engine", nil},
+		{"query-sharded", []Option{WithShards(3)}},
+		{"data-sharded", []Option{WithShards(3), WithPartitioning(PartitionData)}},
+		{"least-loaded", []Option{WithShards(3), WithPlacement(PlacementLeastLoaded())}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "ckpt")
+			base := []Option{WithCountWindow(200), WithTargetCells(64)}
+			mon, err := New(2, append(append([]Option{}, base...),
+				append(mode.opts, WithCheckpoint(dir, 4))...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mon.Checkpointed() {
+				t.Fatal("monitor not checkpointed")
+			}
+			twin, err := New(2, append(append([]Option{}, base...), mode.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer twin.Close()
+
+			// Identical generators feed both monitors the same tuples.
+			gen, tgen := NewGenerator(IND, 2, 11), NewGenerator(IND, 2, 11)
+			id, err := mon.RegisterTopK(Linear(1, 2), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tid, err := twin.RegisterTopK(Linear(1, 2), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != tid {
+				t.Fatalf("query ids diverged before crash: %d vs %d", id, tid)
+			}
+
+			// 6 cycles with cadence 4: the crash leaves 2 cycles in the WAL.
+			fill(t, mon, gen, 6, 25)
+			fill(t, twin, tgen, 6, 25)
+			if err := mon.abandon(); err != nil {
+				t.Fatal(err)
+			}
+
+			mon, err = Restore(dir)
+			if err != nil {
+				t.Fatalf("restore after crash: %v", err)
+			}
+			if got := mon.Shards(); got != twin.Shards() {
+				t.Fatalf("restored shards = %d, want %d", got, twin.Shards())
+			}
+			sameResults(t, mon, twin, id)
+
+			// The restored monitor keeps producing the twin's results.
+			fill(t, mon, gen, 5, 25)
+			fill(t, twin, tgen, 5, 25)
+			sameResults(t, mon, twin, id)
+			id2, err := mon.RegisterTopK(Linear(2, 1), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tid2, err := twin.RegisterTopK(Linear(2, 1), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id2 != tid2 {
+				t.Fatalf("post-restore query ids diverged: %d vs %d", id2, tid2)
+			}
+			fill(t, mon, gen, 3, 25)
+			fill(t, twin, tgen, 3, 25)
+			sameResults(t, mon, twin, id2)
+
+			// Orderly shutdown, then restore from the final checkpoint.
+			if err := mon.Close(); err != nil {
+				t.Fatal(err)
+			}
+			mon, err = Restore(dir)
+			if err != nil {
+				t.Fatalf("restore after close: %v", err)
+			}
+			sameResults(t, mon, twin, id)
+			sameResults(t, mon, twin, id2)
+			if err := mon.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRestoreErrorsFacade checks the re-exported sentinel classification.
+func TestRestoreErrorsFacade(t *testing.T) {
+	if _, err := Restore(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("got %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestClosedErrorsFacade checks that operations after Close report the
+// re-exported typed sentinels through errors.Is, for both the pipelined
+// and the sharded shutdown path.
+func TestClosedErrorsFacade(t *testing.T) {
+	t.Run("pipelined", func(t *testing.T) {
+		mon, err := New(2, WithCountWindow(100), WithPipeline(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for range mon.Updates() {
+			}
+		}()
+		if err := mon.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.Ingest(1, nil); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Ingest after close: got %v, want ErrClosed", err)
+		}
+		if err := mon.Flush(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Flush after close: got %v, want ErrClosed", err)
+		}
+		if _, err := mon.RegisterTopK(Linear(1, 1), 3); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Register after close: got %v, want ErrClosed", err)
+		}
+	})
+	t.Run("sharded", func(t *testing.T) {
+		mon, err := New(2, WithCountWindow(100), WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mon.Tick(nil); !errors.Is(err, ErrStopped) {
+			t.Fatalf("Tick after close: got %v, want ErrStopped", err)
+		}
+		if _, err := mon.RegisterTopK(Linear(1, 1), 3); !errors.Is(err, ErrStopped) {
+			t.Fatalf("Register after close: got %v, want ErrStopped", err)
+		}
+	})
+}

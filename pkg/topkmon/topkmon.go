@@ -26,6 +26,42 @@
 // on the Updates channel, and Flush/Close are delivery barriers — same
 // results again, just asynchronous delivery. See the root package doc for
 // the ordering and backpressure guarantees.
+//
+// # Durability guarantees
+//
+// WithCheckpoint(dir, every) makes the monitor recoverable. The contract:
+//
+//   - Every batch is appended to a write-ahead log in dir before it is
+//     applied, and every `every` cycles (plus at Close) the full engine
+//     state — grid, window tail, queries, per-query book-keeping, and the
+//     facade's sharding/pipelining configuration — is snapshotted into
+//     versioned, checksummed checkpoint files, committed by an atomic
+//     manifest rename.
+//   - Restore(dir) rebuilds a monitor from the latest checkpoint and
+//     replays the WAL suffix recorded after it. The restored monitor is
+//     byte-identical to the original: from the restore point on it emits
+//     exactly the result transcript the uninterrupted run would have
+//     (enforced by the crash-recovery differential test in
+//     internal/difftest, which kills and restores mid-run across seeds
+//     and engine modes).
+//   - A crash can lose at most the tail of the WAL that had not reached
+//     disk. With WithCheckpointSync every append is fsynced before the
+//     batch is applied, shrinking the exposure to the single in-flight
+//     batch at the cost of one fsync per cycle. Without it, the OS page
+//     cache bounds the loss window.
+//   - Torn final WAL frames (a crash mid-append) are detected by CRC and
+//     dropped silently; corruption anywhere else surfaces as ErrCorrupt
+//     from Restore, never as silently wrong state. Version skew surfaces
+//     as ErrVersion; an empty or missing directory as ErrNoCheckpoint.
+//   - Batches shed under WithBackpressure(BackpressureDropOldest) are recorded in the
+//     WAL as advisory drop records and counted in Stats.DroppedTuples,
+//     so loss under backpressure is observable and auditable, but they
+//     are (by design) not replayed: the recovered engine matches the
+//     live engine, which never saw them either.
+//
+// A checkpoint directory holds one lineage: New refuses a dir with an
+// existing manifest (use Restore to resume it), so two monitors cannot
+// interleave WALs.
 package topkmon
 
 import (
@@ -34,6 +70,7 @@ import (
 
 	"topkmon/internal/core"
 	"topkmon/internal/pipeline"
+	"topkmon/internal/recovery"
 	"topkmon/internal/shard"
 )
 
@@ -46,6 +83,7 @@ import (
 type Monitor struct {
 	mon    core.StreamMonitor
 	pipe   *pipeline.Pipeline // non-nil under WithPipeline; then mon == pipe
+	guard  *recovery.Guard    // non-nil under WithCheckpoint; sits inside the pipeline
 	policy Policy
 	shards int
 
@@ -100,12 +138,36 @@ func New(dims int, opts ...Option) (*Monitor, error) {
 		}
 		m.mon = eng
 	}
+	if cfg.checkpointDir != "" {
+		aux, err := facadeAuxBytes(&cfg)
+		if err != nil {
+			m.mon.Close()
+			return nil, err
+		}
+		g, err := recovery.NewGuard(m.mon, cfg.checkpointDir, recovery.GuardOptions{
+			Every: cfg.checkpointEvery,
+			Sync:  walSync(cfg.checkpointSync),
+			Aux:   func() []byte { return aux },
+		})
+		if err != nil {
+			m.mon.Close()
+			return nil, err
+		}
+		m.guard = g
+		m.mon = g
+	}
 	if cfg.pipeDepth > 0 {
-		m.pipe = pipeline.New(m.mon, pipeline.Options{
+		popts := pipeline.Options{
 			Depth:    cfg.pipeDepth,
 			MaxDepth: cfg.pipeMaxDepth,
 			Policy:   pipeline.Policy(cfg.backpressure),
-		})
+		}
+		if m.guard != nil {
+			// Batches shed under DropOldest get advisory WAL records, so
+			// load shedding stays visible in the durable lineage.
+			popts.DropLog = m.guard
+		}
+		m.pipe = pipeline.New(m.mon, popts)
 		m.mon = m.pipe
 	}
 	return m, nil
@@ -155,6 +217,37 @@ func (m *Monitor) Flush() error {
 		return fmt.Errorf("topkmon: Flush requires WithPipeline")
 	}
 	return m.pipe.Flush()
+}
+
+// Checkpointed reports whether the monitor runs with durability
+// (WithCheckpoint, or built by Restore).
+func (m *Monitor) Checkpointed() bool { return m.guard != nil }
+
+// Checkpoint writes a full checkpoint immediately and rotates the
+// write-ahead log — the manual form of the WithCheckpoint cadence, for
+// callers that want a durable cut at a known stream position. It requires
+// WithCheckpoint and a synchronous monitor; a pipelined monitor owns its
+// cycle barrier, so it checkpoints only on the configured cadence and at
+// Close.
+func (m *Monitor) Checkpoint() error {
+	if m.guard == nil {
+		return fmt.Errorf("topkmon: Checkpoint requires WithCheckpoint")
+	}
+	if m.pipe != nil {
+		return fmt.Errorf("topkmon: manual Checkpoint is unavailable under WithPipeline; checkpoints run every N cycles and at Close")
+	}
+	return m.guard.Checkpoint()
+}
+
+// QueryIDs returns the ids of every registered query in ascending order on
+// a checkpointed monitor — how a caller re-discovers its queries after
+// Restore. It requires a quiescent monitor (no concurrent ingestion) and
+// returns nil without WithCheckpoint.
+func (m *Monitor) QueryIDs() []QueryID {
+	if m.guard == nil {
+		return nil
+	}
+	return m.guard.QueryIDs()
 }
 
 // Shards returns the number of engine shards (1 for the single engine).
@@ -272,6 +365,16 @@ func (m *Monitor) stampLocked(arrivals []*Tuple) int64 {
 	return now
 }
 
+// LastSeq returns the highest arrival sequence number stamped by Tick or
+// recovered by Restore. A resuming trace replay continues its own
+// stamping from here (see CSVReader.SetNextID); callers that stamp
+// Step batches themselves are not tracked.
+func (m *Monitor) LastSeq() uint64 {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	return m.seq
+}
+
 // Result returns the current result of a query, best first.
 func (m *Monitor) Result(id QueryID) ([]Entry, error) { return m.mon.Result(id) }
 
@@ -293,7 +396,18 @@ func (m *Monitor) NumQueries() int { return m.mon.NumQueries() }
 // Now returns the timestamp of the last processed cycle.
 func (m *Monitor) Now() int64 { return m.mon.Now() }
 
-// Close stops the shard worker goroutines. The monitor must not be used
-// afterwards. Closing a single-engine monitor is a no-op; closing twice is
-// safe.
+// Close stops the shard worker goroutines, drains the pipeline, and — on
+// a checkpointed monitor — writes the final checkpoint. The monitor must
+// not be used afterwards. Closing a single-engine monitor is a no-op;
+// closing twice is safe.
 func (m *Monitor) Close() error { return m.mon.Close() }
+
+// abandon releases a synchronous checkpointed monitor's resources without
+// the final checkpoint, leaving the directory exactly as a process kill
+// would — the crash-simulation hook restore tests drive.
+func (m *Monitor) abandon() error {
+	if m.guard == nil || m.pipe != nil {
+		return fmt.Errorf("topkmon: abandon requires a synchronous checkpointed monitor")
+	}
+	return m.guard.Abandon()
+}
