@@ -23,11 +23,20 @@ func crashModes() []execMode {
 }
 
 // runCrashDifferential replays the scenario for seed through each crash
-// mode wrapped in a recovery.Guard, kills the monitor after a seed-derived
-// cycle (Abandon: no final checkpoint, exactly what a crash leaves behind),
-// restores from the checkpoint directory, and asserts the stitched
+// mode wrapped in a recovery.Guard and kills the monitor twice (Abandon:
+// no final checkpoint, exactly what a crash leaves behind), restoring
+// from the checkpoint directory each time, and asserts the stitched
 // transcript is byte-identical to the naive reference — recovery must be
-// invisible in every subsequent update and final result.
+// invisible in every subsequent update and final result, including
+// across back-to-back recoveries.
+//
+// The first kill lands on a cycle where a checkpoint just fired, so the
+// first restore reopens a freshly rotated, empty WAL and must resume the
+// record index counter from the manifest watermark rather than from the
+// (absent) surviving records. The second kill hits the *restored* guard
+// before its next checkpoint, while every record it wrote still lives
+// only in that reopened log — the double-crash lineage that once lost
+// all post-restore records silently.
 func runCrashDifferential(t *testing.T, seed int64) {
 	t.Helper()
 	s := GenScenario(seed)
@@ -40,10 +49,29 @@ func runCrashDifferential(t *testing.T, seed int64) {
 		t.Fatalf("%v: naive replay: %v", s, err)
 	}
 	// A small checkpoint interval keeps real WAL replay in the picture:
-	// the crash cycle usually lands between checkpoints, so restore
+	// the second crash cycle lands between checkpoints, so its restore
 	// exercises both the snapshot load and the log suffix.
 	const every = 3
-	crashAt := int(uint64(seed*2654435761) % uint64(len(s.Cycles)))
+	// Cycles where the guard's checkpoint cadence fires as the cycle
+	// completes: the guard steps the prefill plus cycles 0..c, so the
+	// counter hits `every` at c ≡ every-2 (mod every). The last cycle is
+	// excluded to leave room for the second crash.
+	var aligned []int
+	for c := every - 2; c < len(s.Cycles)-1; c += every {
+		aligned = append(aligned, c)
+	}
+	if len(aligned) == 0 {
+		t.Fatalf("%v: too few cycles for a checkpoint-aligned crash", s)
+	}
+	h := uint64(seed * 2654435761)
+	crash1 := aligned[h%uint64(len(aligned))]
+	// Strictly before the restored guard's first checkpoint at
+	// crash1+every, so the second restore must replay the reopened log.
+	span := len(s.Cycles) - crash1 - 1
+	if span > every-1 {
+		span = every - 1
+	}
+	crash2 := crash1 + 1 + int((h>>16)%uint64(span))
 
 	for _, m := range crashModes() {
 		inner, _, err := m.build(s.Options())
@@ -60,7 +88,7 @@ func runCrashDifferential(t *testing.T, seed int64) {
 		live := guard
 		cfg := ReplayConfig{
 			Swap: func(cycle int, mon core.StreamMonitor) (core.StreamMonitor, error) {
-				if cycle != crashAt {
+				if cycle != crash1 && cycle != crash2 {
 					return nil, nil
 				}
 				if err := live.Abandon(); err != nil {
@@ -82,10 +110,10 @@ func runCrashDifferential(t *testing.T, seed int64) {
 			err = cerr
 		}
 		if err != nil {
-			t.Fatalf("%v: %s crash@%d replay: %v", s, m.name, crashAt, err)
+			t.Fatalf("%v: %s crash@%d,%d replay: %v", s, m.name, crash1, crash2, err)
 		}
 		if d := got.Diff(ref); d != "" {
-			t.Fatalf("%v: %s crash@%d diverged from naive reference:\n%s", s, m.name, crashAt, d)
+			t.Fatalf("%v: %s crash@%d,%d diverged from naive reference:\n%s", s, m.name, crash1, crash2, d)
 		}
 	}
 }

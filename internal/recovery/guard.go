@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"topkmon/internal/core"
 	"topkmon/internal/shard"
@@ -35,6 +36,21 @@ type Guard struct {
 	epoch  uint64
 	cycles int
 	closed bool
+	// broken is set when engine state and log diverged and could not be
+	// reconciled (an unregister that applied but failed to append, with
+	// the re-sync checkpoint failing too). It is sticky: every further
+	// mutating operation reports it instead of growing a lineage a
+	// restore would not reproduce.
+	broken error
+
+	// dropMu covers the one cross-goroutine edge a Guard has: LogDrop on
+	// the pipeline's producer goroutine racing a checkpoint's watermark
+	// capture + rotation on the driver goroutine. It guards the parking
+	// state below and is held across LogDrop's append, taking the WAL
+	// lock inside it — never the reverse.
+	dropMu        sync.Mutex //topk:lockrank 45
+	checkpointing bool
+	pendingDrops  []Record
 }
 
 var _ core.StreamMonitor = (*Guard)(nil)
@@ -94,6 +110,9 @@ func (g *Guard) Dir() string { return g.dir }
 // but the caller learns durability is broken instead of running on
 // silently.
 func (g *Guard) Step(now int64, arrivals []*stream.Tuple) ([]core.Update, error) {
+	if g.broken != nil {
+		return nil, g.broken
+	}
 	if err := g.wal.Append(Record{Kind: RecordBatch, Now: now, Arrivals: arrivals}); err != nil {
 		return nil, err
 	}
@@ -106,6 +125,9 @@ func (g *Guard) Step(now int64, arrivals []*stream.Tuple) ([]core.Update, error)
 
 // StepUpdate is Step for the explicit-deletion stream model.
 func (g *Guard) StepUpdate(now int64, arrivals []*stream.Tuple, deletions []uint64) ([]core.Update, error) {
+	if g.broken != nil {
+		return nil, g.broken
+	}
 	if err := g.wal.Append(Record{Kind: RecordBatch, Now: now, IsUpdate: true, Arrivals: arrivals, Deletions: deletions}); err != nil {
 		return nil, err
 	}
@@ -132,6 +154,9 @@ func (g *Guard) noteCycle() error {
 // ErrUnsupportedFunction: the engine must never hold a query the
 // checkpoint cannot persist.
 func (g *Guard) Register(spec core.QuerySpec) (core.QueryID, error) {
+	if g.broken != nil {
+		return 0, g.broken
+	}
 	if _, err := EncodeWALRecord(Record{Kind: RecordRegister, Spec: spec}); err != nil {
 		return 0, err
 	}
@@ -147,12 +172,27 @@ func (g *Guard) Register(spec core.QuerySpec) (core.QueryID, error) {
 	return id, nil
 }
 
-// Unregister removes the query and logs the removal.
+// Unregister removes the query and logs the removal. When the removal
+// applies but the append fails, engine and log diverge — a restore would
+// resurrect the query — so the guard re-syncs by checkpointing the
+// post-removal state; if that fails too, the lineage is declared broken
+// and every further mutating operation refuses to extend it.
 func (g *Guard) Unregister(id core.QueryID) error {
+	if g.broken != nil {
+		return g.broken
+	}
 	if err := g.inner.Unregister(id); err != nil {
 		return err
 	}
-	return g.wal.Append(Record{Kind: RecordUnregister, Query: id})
+	err := g.wal.Append(Record{Kind: RecordUnregister, Query: id})
+	if err == nil {
+		return nil
+	}
+	if ckErr := g.Checkpoint(); ckErr != nil {
+		g.broken = fmt.Errorf("recovery: unregister of query %d applied but not logged (%v); re-sync checkpoint failed: %w", id, err, ckErr)
+		return g.broken
+	}
+	return nil
 }
 
 // LogDrop implements pipeline.DropLogger: batches shed by the pipeline's
@@ -161,13 +201,33 @@ func (g *Guard) Unregister(id core.QueryID) error {
 // producer goroutine; append errors are swallowed — a drop record is
 // bookkeeping about data that is already gone.
 func (g *Guard) LogDrop(now int64, isUpdate bool, arrivals []*stream.Tuple, deletions []uint64) {
-	_ = g.wal.Append(Record{Kind: RecordDrop, Now: now, IsUpdate: isUpdate, Arrivals: arrivals, Deletions: deletions})
+	rec := Record{Kind: RecordDrop, Now: now, IsUpdate: isUpdate, Arrivals: arrivals, Deletions: deletions}
+	g.dropMu.Lock()
+	defer g.dropMu.Unlock()
+	if g.checkpointing {
+		// A drop appended now would land between the checkpoint's
+		// watermark capture and its rotation and be erased; park it for
+		// the checkpoint to re-append into the fresh log body.
+		g.pendingDrops = append(g.pendingDrops, rec)
+		return
+	}
+	_ = g.wal.Append(rec)
 }
 
 // Checkpoint writes a full checkpoint now and rotates the WAL. It must be
 // called between cycles (the guard's single-driver contract makes every
 // call site a cycle barrier).
 func (g *Guard) Checkpoint() error {
+	if g.broken != nil {
+		return g.broken
+	}
+	// Park concurrent drop records for the duration: anything appended
+	// between the watermark capture below and the rotation would carry an
+	// index at or above the new watermark yet be erased by the rotation.
+	g.dropMu.Lock()
+	g.checkpointing = true
+	g.dropMu.Unlock()
+	defer g.flushDrops()
 	var aux []byte
 	if g.aux != nil {
 		aux = g.aux()
@@ -181,6 +241,21 @@ func (g *Guard) Checkpoint() error {
 	}
 	g.epoch = m.epoch
 	return g.wal.Rotate()
+}
+
+// flushDrops reopens the log to concurrent drop appends and writes the
+// records parked during the checkpoint — after the rotation, so they land
+// in the fresh body with indexes at or above the new watermark. Append
+// errors are swallowed for the same reason LogDrop swallows them.
+func (g *Guard) flushDrops() {
+	g.dropMu.Lock()
+	parked := g.pendingDrops
+	g.pendingDrops = nil
+	g.checkpointing = false
+	g.dropMu.Unlock()
+	for _, rec := range parked {
+		_ = g.wal.Append(rec)
+	}
 }
 
 // Epoch returns the epoch of the latest completed checkpoint.
@@ -381,6 +456,13 @@ func Restore(dir string, opts RestoreOptions) (*Guard, []byte, error) {
 		mon.Close()
 		return nil, nil, err
 	}
+	// The reopened log resumes its counter after the last surviving
+	// record, which after a rotation (an empty body, e.g. following a
+	// clean Close) or a crash between the manifest rename and the
+	// rotation (all-stale records) sits below the manifest watermark.
+	// Floor it, or every post-restore record would be skipped as
+	// already-checkpointed by the next restore.
+	wal.EnsureNextIndex(m.walNext)
 	fail := func(err error) (*Guard, []byte, error) {
 		wal.Close()
 		mon.Close()

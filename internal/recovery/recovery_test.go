@@ -284,6 +284,145 @@ func TestCrashRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRestoreReopenedWALKeepsWatermark is the regression test for a
+// silent data-loss bug: a reopened rotated (hence empty) WAL derived its
+// next index from the surviving records — zero — while the manifest
+// watermark stayed high, so every record appended after a Restore sat
+// below the watermark and the next Restore skipped all of them. A clean
+// Close (checkpoint + rotation) followed by Restore, a few cycles, a
+// crash and a second Restore must come back with those cycles intact.
+func TestRestoreReopenedWALKeepsWatermark(t *testing.T) {
+	opts := core.Options{Dims: 2, Window: window.Count(120), TargetCells: 64}
+	dir := t.TempDir()
+	eng, err := core.NewEngine(opts)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	// Every: 0 — checkpoint only at Close, so the post-restore cycles
+	// below live exclusively in the reopened WAL.
+	g, err := NewGuard(eng, dir, GuardOptions{})
+	if err != nil {
+		t.Fatalf("NewGuard: %v", err)
+	}
+	d := newDriver(t, opts, g)
+	d.register(specsFor(opts)[0])
+	for i := 0; i < 4; i++ {
+		d.cycle(20, 0)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	restored, _, err := Restore(dir, RestoreOptions{})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	d.mon = restored
+	for i := 0; i < 3; i++ {
+		d.cycle(20, 0)
+	}
+	d.checkState()
+	if err := restored.Abandon(); err != nil {
+		t.Fatalf("abandon: %v", err)
+	}
+
+	again, _, err := Restore(dir, RestoreOptions{})
+	if err != nil {
+		t.Fatalf("second restore: %v", err)
+	}
+	d.mon = again
+	d.checkState()
+	again.Close()
+}
+
+// TestUnregisterAppendFailure severs the log underneath a guard and
+// asserts an unregister that applied but could not be logged either
+// re-syncs the lineage or fails loudly and stays failed — never lets the
+// guard keep extending a lineage whose restore would resurrect the
+// removed query.
+func TestUnregisterAppendFailure(t *testing.T) {
+	opts := core.Options{Dims: 2, Window: window.Count(80), TargetCells: 64}
+	eng, err := core.NewEngine(opts)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	g, err := NewGuard(eng, t.TempDir(), GuardOptions{})
+	if err != nil {
+		t.Fatalf("NewGuard: %v", err)
+	}
+	d := newDriver(t, opts, g)
+	d.register(specsFor(opts)[0])
+	d.cycle(15, 0)
+	// Kill the log file: the unregister append and the re-sync
+	// checkpoint's rotation both fail from here on.
+	g.wal.f.Close()
+	if err := g.Unregister(d.ids[0]); err == nil {
+		t.Fatal("unregister with a dead WAL reported success")
+	}
+	if _, err := g.Step(99, nil); err == nil {
+		t.Fatal("broken guard accepted a batch")
+	}
+	if _, err := g.Register(specsFor(opts)[0]); err == nil {
+		t.Fatal("broken guard accepted a registration")
+	}
+	g.Abandon()
+}
+
+// TestDropDuringCheckpointSurvivesRotation reproduces the window between
+// a checkpoint's watermark capture and its WAL rotation: a drop logged in
+// that window used to receive an index at or above the new watermark yet
+// be erased by the rotation, silently losing the advisory accounting. The
+// Aux hook runs inside Checkpoint — exactly in the window — standing in
+// for the pipeline's producer goroutine.
+func TestDropDuringCheckpointSurvivesRotation(t *testing.T) {
+	opts := core.Options{Dims: 2, Window: window.Count(60), TargetCells: 64}
+	dir := t.TempDir()
+	eng, err := core.NewEngine(opts)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	var g *Guard
+	aux := func() []byte {
+		if g != nil {
+			g.LogDrop(7, false, nil, nil)
+		}
+		return nil
+	}
+	g, err = NewGuard(eng, dir, GuardOptions{Aux: aux})
+	if err != nil {
+		t.Fatalf("NewGuard: %v", err)
+	}
+	d := newDriver(t, opts, g)
+	d.cycle(10, 0)
+	if err := g.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	m, _, err := readCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	if err := g.Abandon(); err != nil {
+		t.Fatalf("abandon: %v", err)
+	}
+	w, recs, err := OpenWAL(filepath.Join(dir, walName), SyncNone)
+	if err != nil {
+		t.Fatalf("reopen WAL: %v", err)
+	}
+	w.Close()
+	var drops []Record
+	for _, rec := range recs {
+		if rec.Kind == RecordDrop {
+			drops = append(drops, rec)
+		}
+	}
+	if len(drops) != 1 || drops[0].Now != 7 {
+		t.Fatalf("drop logged mid-checkpoint not in rotated WAL: records %+v", recs)
+	}
+	if drops[0].Index < m.walNext {
+		t.Fatalf("surviving drop index %d below watermark %d", drops[0].Index, m.walNext)
+	}
+}
+
 // TestRestoreErrors drives every corruption mode into its typed error.
 func TestRestoreErrors(t *testing.T) {
 	opts := core.Options{Dims: 2, Window: window.Count(50), TargetCells: 64}

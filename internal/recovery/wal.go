@@ -19,11 +19,13 @@ import (
 //	frame:  payload length (u32 LE) | crc32 of payload (u32 LE) | payload
 //
 // Record indexes are monotone across the WAL's whole lifetime, including
-// checkpoint rotations (which truncate the body but keep counting), so
-// the manifest's watermark — the next index at checkpoint time — cleanly
-// splits any WAL content into "already in the checkpoint" and "replay
-// me". A torn final frame (crash mid-append) is silently truncated; a
-// framing violation anywhere earlier is ErrCorrupt.
+// checkpoint rotations (which truncate the body but keep counting) and
+// reopenings (a reopened log derives its counter from the surviving
+// records, so Restore floors it to the manifest watermark via
+// EnsureNextIndex), so the manifest's watermark — the next index at
+// checkpoint time — cleanly splits any WAL content into "already in the
+// checkpoint" and "replay me". A torn final frame (crash mid-append) is
+// silently truncated; a framing violation anywhere earlier is ErrCorrupt.
 
 const (
 	walMagic   = "TOPKWAL\x00"
@@ -240,6 +242,20 @@ func (w *WAL) NextIndex() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.next
+}
+
+// EnsureNextIndex raises the next-record index to at least floor. Restore
+// calls it with the manifest watermark: a reopened log derives its
+// counter from the surviving records, and after a rotation (or a clean
+// Close) those sit below the watermark or are gone entirely, so without
+// the floor new appends would reuse pre-checkpoint indexes and the next
+// restore would silently skip them as already-checkpointed.
+func (w *WAL) EnsureNextIndex(floor uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.next < floor {
+		w.next = floor
+	}
 }
 
 // Append assigns the record the next index, writes its frame, and — under

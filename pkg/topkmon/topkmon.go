@@ -58,6 +58,11 @@
 //     so loss under backpressure is observable and auditable, but they
 //     are (by design) not replayed: the recovered engine matches the
 //     live engine, which never saw them either.
+//   - Engine state and log never diverge silently. A query removal that
+//     applies but fails to append its WAL record is re-synced by an
+//     immediate checkpoint; if that fails too, the lineage is declared
+//     broken and every further mutation reports the error rather than
+//     growing state a restore would not reproduce.
 //
 // A checkpoint directory holds one lineage: New refuses a dir with an
 // existing manifest (use Restore to resume it), so two monitors cannot
