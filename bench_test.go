@@ -359,6 +359,15 @@ func BenchmarkScoreBlock(b *testing.B) { benchsuite.RunGroup(b, "ScoreBlock") }
 // of the regression report.
 func BenchmarkMultiQueryKernel(b *testing.B) { benchsuite.RunGroup(b, "MultiQueryKernel") }
 
+// BenchmarkScoreBlockLeg runs the batch-scoring kernel pinned to each
+// kernel leg this host can execute (plus the hardware leg's FMA tier) —
+// the per-leg comparison series cmd/benchreport gates and exports as CSV.
+func BenchmarkScoreBlockLeg(b *testing.B) { benchsuite.RunGroup(b, "ScoreBlockLeg") }
+
+// BenchmarkMultiQueryKernelLeg is BenchmarkScoreBlockLeg for the
+// GEMM-shaped multi-query kernel.
+func BenchmarkMultiQueryKernelLeg(b *testing.B) { benchsuite.RunGroup(b, "MultiQueryKernelLeg") }
+
 // BenchmarkQueryIndexProbe measures the per-cycle dispatch skeleton of the
 // shared query index: probing every cell's cached cluster entries with
 // 10k near-duplicate queries registered.

@@ -7,15 +7,26 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchreport -out BENCH_6.json                 # refresh the baseline
-//	go run ./cmd/benchreport -baseline BENCH_6.json -tol 0.15  # regression gate (CI)
+//	go run ./cmd/benchreport -out BENCH_7.json                 # refresh the baseline
+//	go run ./cmd/benchreport -baseline BENCH_7.json -tol 0.15  # regression gate (CI)
+//	go run ./cmd/benchreport -baseline BENCH_7.json -legcsv legs.csv
+//
+// The run covers the hot-path suite plus the per-leg kernel series
+// (benchsuite.LegSuite): ScoreBlockLeg/<leg> and MultiQueryKernelLeg/<leg>
+// for every kernel leg this host can execute, plus the hardware leg's
+// opt-in FMA tier. -legcsv writes that series as a comparison CSV with
+// each leg's speedup over the scalar reference.
 //
 // Each benchmark runs -count times (default 3) and the fastest run is
 // reported — the minimum is the least noisy statistic for a regression
 // gate on shared hardware. The gate fails (exit 1) when a benchmark's
-// ns/op or allocs/op exceeds the baseline by more than the tolerance;
-// improvements beyond the tolerance are reported so the baseline can be
-// refreshed (the committed file is the trajectory, not a ratchet).
+// ns/op or allocs/op exceeds the baseline by more than the tolerance, OR
+// when a benchmark present in the baseline is missing from the fresh run
+// — a leg whose benchmark disappears (renamed, dropped from the suite,
+// no longer supported on the runner) must fail loudly, not vanish from
+// the report. Improvements beyond the tolerance are reported so the
+// baseline can be refreshed (the committed file is the trajectory, not a
+// ratchet).
 package main
 
 import (
@@ -24,10 +35,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"topkmon/internal/benchsuite"
+	"topkmon/internal/simd"
 )
 
 // Result is one benchmark's reported figures.
@@ -41,7 +54,7 @@ type Result struct {
 	MBPerS float64 `json:"mb_per_s"`
 }
 
-// Report is the BENCH_6.json schema.
+// Report is the BENCH_*.json schema.
 type Report struct {
 	Schema     int      `json:"schema"`
 	Go         string   `json:"go"`
@@ -59,6 +72,7 @@ func main() {
 		tol       = flag.Float64("tol", 0.15, "relative tolerance of the regression gate")
 		benchtime = flag.Duration("benchtime", 300*time.Millisecond, "per-run benchmark time")
 		count     = flag.Int("count", 3, "runs per benchmark; the fastest is reported")
+		legcsv    = flag.String("legcsv", "", "write the per-leg kernel comparison CSV to this path")
 	)
 	testing.Init()
 	flag.Parse()
@@ -77,8 +91,8 @@ func main() {
 		Benchtime: benchtime.String(),
 		Count:     *count,
 	}
-	for _, bench := range benchsuite.Suite() {
-		fmt.Fprintf(os.Stderr, "running %-28s", bench.Name)
+	for _, bench := range append(benchsuite.Suite(), benchsuite.LegSuite()...) {
+		fmt.Fprintf(os.Stderr, "running %-32s", bench.Name)
 		res := runBest(bench, *count)
 		fmt.Fprintf(os.Stderr, " %12.0f ns/op %6d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
 		rep.Benchmarks = append(rep.Benchmarks, res)
@@ -89,12 +103,17 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *legcsv != "" {
+		if err := os.WriteFile(*legcsv, []byte(legCSV(rep)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	if *baseline != "" {
 		base, err := readReport(*baseline)
 		if err != nil {
 			fatal(err)
 		}
-		if !compare(base, rep, *tol) {
+		if !compare(base, rep, *tol, speedupInvariants()) {
 			os.Exit(1)
 		}
 	}
@@ -128,12 +147,13 @@ func runBest(bench benchsuite.Bench, count int) Result {
 // same goos/goarch/Go version (absolute wall times from a different
 // environment would fail every benchmark for reasons unrelated to the
 // code — there the deltas are reported informationally and the
-// hardware-independent checks below carry the gate). In every case the
-// speedup invariants are enforced: the ScoreBlock kernel must stay >= 2x
-// the pointwise path and the multi-query kernel >= 2x the per-query loop,
-// each a ratio of two same-run measurements that does not depend on the
-// host. Returns false when anything regresses.
-func compare(base, rep Report, tol float64) bool {
+// hardware-independent checks below carry the gate). The given speedup
+// invariants are always enforced: each is a ratio of two same-run
+// measurements, so the bound does not depend on the host. A benchmark
+// present in the baseline but absent from this run fails the gate — a
+// disappeared benchmark is how a leg regression would hide behind a
+// rename. Returns false when anything regresses.
+func compare(base, rep Report, tol float64, pairs []speedupPair) bool {
 	byName := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		byName[r.Name] = r
@@ -171,7 +191,7 @@ func compare(base, rep Report, tol float64) bool {
 			ok = false
 		}
 	}
-	if !checkSpeedup(rep) {
+	if !checkSpeedup(rep, pairs) {
 		ok = false
 	}
 	for _, b := range base.Benchmarks {
@@ -195,24 +215,43 @@ func compare(base, rep Report, tol float64) bool {
 	return ok
 }
 
-// speedupPairs are the hardware-independent invariants: each fast
-// benchmark must beat its slow counterpart from the same run by >= 2x.
-var speedupPairs = []struct {
+// speedupPair is one hardware-independent ratio invariant: the fast
+// benchmark must beat the slow one from the same run by >= min.
+type speedupPair struct {
 	label      string
 	fast, slow string
-}{
-	{"ScoreBlock batch-scoring", "ScoreBlock/kernel-d4", "ScoreBlock/pointwise-d4"},
-	{"MultiQueryKernel multi-query", "MultiQueryKernel/multi-d4", "MultiQueryKernel/perquery-d4"},
+	min        float64
+}
+
+// speedupInvariants returns the ratio invariants for this host: the
+// always-on batch-vs-pointwise and multi-vs-perquery >= 2x pairs, plus —
+// on hosts with an assembly leg — the tentpole's >= 1.5x
+// hardware-vs-unrolled bound on both kernel series. The per-leg pairs
+// reference the host's own leg name (avx2 or neon), so a silently
+// fallen-back hardware leg surfaces as a missing benchmark, not a soft
+// ratio of the unrolled leg against itself.
+func speedupInvariants() []speedupPair {
+	pairs := []speedupPair{
+		{"ScoreBlock batch-scoring", "ScoreBlock/kernel-d4", "ScoreBlock/pointwise-d4", 2},
+		{"MultiQueryKernel multi-query", "MultiQueryKernel/multi-d4", "MultiQueryKernel/perquery-d4", 2},
+	}
+	if hw, ok := simd.HardwareLeg(); ok {
+		pairs = append(pairs,
+			speedupPair{"ScoreBlockLeg hardware-vs-unrolled", "ScoreBlockLeg/" + hw.String(), "ScoreBlockLeg/unrolled", 1.5},
+			speedupPair{"MultiQueryKernelLeg hardware-vs-unrolled", "MultiQueryKernelLeg/" + hw.String(), "MultiQueryKernelLeg/unrolled", 1.5},
+		)
+	}
+	return pairs
 }
 
 // checkSpeedup enforces the speedup invariants on the current run.
-func checkSpeedup(rep Report) bool {
+func checkSpeedup(rep Report, pairs []speedupPair) bool {
 	byName := make(map[string]float64, len(rep.Benchmarks))
 	for _, r := range rep.Benchmarks {
 		byName[r.Name] = r.NsPerOp
 	}
 	ok := true
-	for _, p := range speedupPairs {
+	for _, p := range pairs {
 		fast, slow := byName[p.fast], byName[p.slow]
 		if fast == 0 || slow == 0 {
 			fmt.Printf("REGRESSED %s speedup invariant: %s/%s pair missing from this run\n", p.label, p.fast, p.slow)
@@ -220,14 +259,50 @@ func checkSpeedup(rep Report) bool {
 			continue
 		}
 		speedup := slow / fast
-		if speedup < 2 {
-			fmt.Printf("REGRESSED %s speedup %.2fx, invariant requires >= 2x\n", p.label, speedup)
+		if speedup < p.min {
+			fmt.Printf("REGRESSED %s speedup %.2fx, invariant requires >= %gx\n", p.label, speedup, p.min)
 			ok = false
 			continue
 		}
-		fmt.Printf("OK        %s speedup %.1fx (>= 2x invariant)\n", p.label, speedup)
+		fmt.Printf("OK        %s speedup %.1fx (>= %gx invariant)\n", p.label, speedup, p.min)
 	}
 	return ok
+}
+
+// legCSV renders the per-leg kernel series of rep as a comparison CSV:
+// one row per (series, leg) with its throughput and its speedup over the
+// scalar reference of the same series. Rows keep the report's order
+// (widest leg first, FMA tier last).
+func legCSV(rep Report) string {
+	scalarNs := map[string]float64{}
+	for _, r := range rep.Benchmarks {
+		if series, leg, ok := splitLegBench(r.Name); ok && leg == "scalar" {
+			scalarNs[series] = r.NsPerOp
+		}
+	}
+	var b strings.Builder
+	b.WriteString("series,leg,ns_per_op,mb_per_s,speedup_vs_scalar\n")
+	for _, r := range rep.Benchmarks {
+		series, leg, ok := splitLegBench(r.Name)
+		if !ok {
+			continue
+		}
+		speedup := 0.0
+		if s := scalarNs[series]; s > 0 && r.NsPerOp > 0 {
+			speedup = s / r.NsPerOp
+		}
+		fmt.Fprintf(&b, "%s,%s,%.1f,%.1f,%.2f\n", series, leg, r.NsPerOp, r.MBPerS, speedup)
+	}
+	return b.String()
+}
+
+// splitLegBench recognizes per-leg series entries (SomeSeriesLeg/<leg>).
+func splitLegBench(name string) (series, leg string, ok bool) {
+	series, leg, found := strings.Cut(name, "/")
+	if !found || !strings.HasSuffix(series, "Leg") {
+		return "", "", false
+	}
+	return series, leg, true
 }
 
 func writeReport(rep Report, path string) error {

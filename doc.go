@@ -108,10 +108,12 @@
 // linear ascending iterate). A cycle groups its arrivals by destination
 // cell, appends each group to the cell's block, and scores the whole new
 // sub-block per influenced query with one call into the internal/simd
-// kernels (four-accumulator unrolled loops the compiler can vectorize,
-// bit-identical to pointwise scoring — a property the kernel equivalence
+// kernels (hand-written AVX2/NEON assembly selected by runtime feature
+// detection, falling back to four-accumulator unrolled Go — every leg
+// bit-identical to pointwise scoring, a property the kernel equivalence
 // tests, a fuzz entry and the differential harness all pin, since scores
-// feed total-order comparisons). Expirations batch the same way. Per-query
+// feed total-order comparisons; see "SIMD dispatch" below). Expirations
+// batch the same way. Per-query
 // outcomes are order-independent within a cycle (TMA's bounded top list
 // and threshold sets are set-semantics; admitted SMA arrivals are
 // re-sorted into sequence order before skyband insertion), so transcripts
@@ -152,14 +154,49 @@
 // kernel-vs-pointwise, MultiQueryKernel multi-vs-per-query,
 // QueryIndexProbe, the PubSubCycle query-count series and
 // TopKComputation), reachable both via `go test -bench` and via `go run
-// ./cmd/benchreport`, which emits BENCH_6.json (ns/op, allocs/op, MB/s
-// per benchmark). CI regenerates the report on every push and gates it
-// against the committed baseline at ±15%, plus two hardware-independent
-// ≥2x speedup invariants (batch kernel vs pointwise, multi-query kernel
-// vs per-query loop); a native arm64 job re-runs the kernel equivalence
-// tests and fuzz smokes to pin bit-identity on a fusing architecture.
-// Refresh the baseline with `go run ./cmd/benchreport -out BENCH_6.json`
-// when a PR intentionally shifts it.
+// ./cmd/benchreport`, which emits BENCH_7.json (ns/op, allocs/op, MB/s
+// per benchmark, plus the ScoreBlockLeg/MultiQueryKernelLeg per-leg
+// series). CI regenerates the report on every push and gates it against
+// the committed baseline at ±15%, plus hardware-independent speedup
+// invariants (≥2x batch kernel vs pointwise, ≥2x multi-query kernel vs
+// per-query loop, ≥1.5x hardware leg vs unrolled Go); a native arm64 job
+// re-runs the kernel equivalence tests and fuzz smokes to pin
+// bit-identity on a fusing architecture, and both arch jobs re-run the
+// kernel suites under every TOPK_SIMD-forcible leg. Refresh the baseline
+// with `go run ./cmd/benchreport -out BENCH_7.json` when a PR
+// intentionally shifts it.
+//
+// # SIMD dispatch
+//
+// internal/simd ships four legs per kernel: AVX2 assembly (amd64,
+// 4×float64 ymm lanes), NEON assembly (arm64, chained 2×float64
+// q-register pairs), the 4-accumulator unrolled Go loop, and the plain
+// scalar reference. Startup feature detection (CPUID/XGETBV on amd64;
+// NEON is baseline on arm64) picks the widest leg the host supports;
+// `TOPK_SIMD=scalar|unrolled|avx2|neon` forces one for tests and triage
+// and panics if the host cannot run it, so a forced leg can never
+// silently fall back. simd.SetLeg/ActiveLeg expose the same control to
+// test code, and the forced-leg equivalence matrix runs the exhaustive
+// (dims, n, nq) sweeps — unroll remainders, NaN/Inf/±0 — under every
+// leg.
+//
+// The contract every default-tier leg obeys: bit-identical float64
+// results. The assembly mirrors the scalar accumulation order exactly
+// and rounds each intermediate product (vertical VMULPD/VADDPD and
+// FMUL2D/FADD2D — never fused multiply-adds), so transcripts and
+// checkpoints are portable across architectures and legs. The opt-in
+// FMA tier (topkmon.WithFMAKernels; VFMADD231PD/FMLA in the *fma*.s
+// files) trades that for one fewer rounding per term: it is ULP-bounded
+// against the default tier — verified by the bounded-error differential
+// mode — but strictly self-consistent within a run, because the fused
+// scalar chains in point_fma.go are the single source of truth for both
+// the assembly wrappers' tails and pointwise scoring. It is excluded
+// from checkpoint/difftest lineages by default: a checkpoint recorded
+// under one tier belongs to that tier. topklint's bitexact analyzer
+// enforces the boundary mechanically — fused mnemonics are confined to
+// *fma*.s files, math.FMA to *fma*.go files, and every contractible
+// multiply-add shape elsewhere must carry an explicit float64() rounding
+// conversion.
 //
 // # Invariants and annotations
 //

@@ -9,6 +9,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -21,7 +22,14 @@ import (
 //
 //   - rule "fma": math.FMA fuses the multiply-add with a single rounding,
 //     so its result differs from the unfused expression by up to 1 ulp —
-//     a kernel using it can never match the portable leg bit for bit.
+//     a kernel using it can never match the portable leg bit for bit. The
+//     ban is lifted in *fma*-named .go files, mirroring the *fma*.s asm
+//     opt-in: the FMA tier is ULP-bounded against the reference by
+//     design, but it must be SELF-consistent — every path that scores a
+//     point while the tier is active (kernel lane, block tail, pointwise
+//     Score) has to produce identical bits, so the tier's scalar
+//     references must fuse explicitly with math.FMA rather than fall
+//     back to the twice-rounded expression.
 //   - rule "contract": the Go spec lets the compiler contract a float
 //     multiply feeding an add/sub into a hardware FMA (gc does this on
 //     arm64, ppc64, and s390x — not on amd64). An expression shaped
@@ -41,9 +49,19 @@ import (
 //     accumulator structure IS the rounding order; silently collapsing a
 //     4-chain kernel to 2 chains (or widening it to 8) changes every
 //     result, and no signature or test name would show it.
+//   - rule "asm": assembly legs are held to the same contract as Go legs.
+//     Every TEXT symbol in a package .s file must have a Go stub
+//     declaration on each GOARCH the file targets and vice versa (a
+//     missing stub hides the symbol from the parity rule; a missing TEXT
+//     fails only at link time on that architecture), every stub must be
+//     reachable from package Go code (an uncalled entry point escapes the
+//     equivalence suites), fused multiply-add mnemonics may appear only
+//     in the opt-in *fma*.s files, and a package defining assembly
+//     kernels must carry an exhaustive equivalence test suite
+//     (Test*Exhaustive) pinning them to the scalar reference.
 var Bitexact = &Analyzer{
 	Name: "bitexact",
-	Doc:  "forbid math.FMA and compiler-contractible float shapes, and enforce kernel build-leg parity and accumulator structure in //topk:bitexact packages",
+	Doc:  "forbid math.FMA (outside *fma* opt-in files) and compiler-contractible float shapes, and enforce kernel build-leg parity, accumulator structure, and assembly-leg hygiene in //topk:bitexact packages",
 	Run:  runBitexact,
 }
 
@@ -57,33 +75,40 @@ func runBitexact(pass *Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
-		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+		fname := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if strings.HasSuffix(fname, "_test.go") {
 			continue
 		}
+		// The *fma*.go opt-in mirrors the *fma*.s one: the FMA tier's Go
+		// halves (wrapper tails, pointwise references) must fuse with
+		// math.FMA to stay bit-identical to the fused kernels.
+		allowFMA := strings.Contains(strings.ToLower(fname), "fma")
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkContractions(pass, fn)
+			checkContractions(pass, fn, allowFMA)
 			if want, ok := dirs.funcAcc[fn]; ok {
 				checkAccumulators(pass, fn, want)
 			}
 		}
 	}
 	checkBuildLegParity(pass)
+	checkAsmLegs(pass)
 	return nil
 }
 
-// checkContractions flags math.FMA calls and contractible float shapes.
-func checkContractions(pass *Pass, fn *ast.FuncDecl) {
+// checkContractions flags math.FMA calls (unless the file opted in via
+// the *fma* naming convention) and contractible float shapes.
+func checkContractions(pass *Pass, fn *ast.FuncDecl, allowFMA bool) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && !allowFMA {
 				if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
 					obj.Pkg() != nil && obj.Pkg().Path() == "math" && obj.Name() == "FMA" {
-					pass.Reportf(n.Pos(), "fma", "math.FMA rounds once where the portable expression rounds twice: results can never be bit-identical to the reference leg")
+					pass.Reportf(n.Pos(), "fma", "math.FMA rounds once where the portable expression rounds twice: results can never be bit-identical to the reference leg — move FMA-tier code into a *fma*-named file")
 				}
 			}
 		case *ast.BinaryExpr:
@@ -236,7 +261,7 @@ func checkBuildLegParity(pass *Pass) {
 		if err != nil || f.Name.Name != pkgName {
 			continue
 		}
-		expr := buildConstraintOf(f)
+		expr := fileConstraint(name, f)
 		for _, d := range f.Decls {
 			fn, ok := d.(*ast.FuncDecl)
 			if !ok || fn.Recv != nil {
@@ -305,11 +330,263 @@ func checkBuildLegParity(pass *Pass) {
 	}
 }
 
+// asmTextRE matches a Plan9 TEXT directive for a package-local symbol.
+var asmTextRE = regexp.MustCompile(`^TEXT\s+·([A-Za-z0-9_]+)\(SB\)`)
+
+// fusedMnemonicRE matches fused multiply-add mnemonics on both supported
+// ISAs: VFMADD*/VFMSUB*/VFNMADD*/VFNMSUB* (AVX2+FMA3) and
+// FMADD/FMSUB/FNMADD/FNMSUB/FMLA/FMLS/VFMLA/VFMLS (arm64 scalar and
+// NEON). Non-fused neighbors (FMOVD, FMULD, VMULPD) do not match.
+var fusedMnemonicRE = regexp.MustCompile(`^V?F(N?M(ADD|SUB)|ML[AS])`)
+
+// asmSite locates one TEXT definition inside a package .s file.
+type asmSite struct {
+	file string
+	line int
+}
+
+// asmFileArches returns the GOARCH set a .s file targets, derived from
+// its _GOARCH.s filename suffix; a file without one targets every
+// parity architecture.
+func asmFileArches(name string) []string {
+	base := strings.TrimSuffix(name, ".s")
+	for _, arch := range parityArches {
+		if strings.HasSuffix(base, "_"+arch) {
+			return []string{arch}
+		}
+	}
+	return parityArches
+}
+
+// checkAsmLegs enforces the assembly half of the bit-identity contract:
+// TEXT symbols and Go stub declarations must pair up on every targeted
+// GOARCH, stubs must be reachable from package Go code, fused
+// multiply-add mnemonics are confined to the opt-in *fma*.s files, and a
+// package with assembly kernels must carry an exhaustive equivalence
+// suite holding them to the scalar reference.
+func checkAsmLegs(pass *Pass) {
+	entries, err := os.ReadDir(pass.Dir)
+	if err != nil {
+		return // no directory view (synthesized fixture); skip
+	}
+	anchor := pass.Files[0].Name.Pos()
+
+	// Scan .s files: TEXT symbols per arch, fused mnemonics per line.
+	asmByArch := map[string]map[string]asmSite{} // arch -> symbol -> site
+	textSite := map[string]asmSite{}             // symbol -> first site
+	textArches := map[string][]string{}          // symbol -> targeted arches
+	sawText := false
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".s") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(pass.Dir, name))
+		if err != nil {
+			continue
+		}
+		arches := asmFileArches(name)
+		allowFused := strings.Contains(strings.ToLower(name), "fma")
+		for i, line := range strings.Split(string(data), "\n") {
+			if idx := strings.Index(line, "//"); idx >= 0 {
+				line = line[:idx]
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			if m := asmTextRE.FindStringSubmatch(line); m != nil {
+				sawText = true
+				site := asmSite{file: name, line: i + 1}
+				for _, arch := range arches {
+					if asmByArch[arch] == nil {
+						asmByArch[arch] = map[string]asmSite{}
+					}
+					asmByArch[arch][m[1]] = site
+				}
+				if _, ok := textSite[m[1]]; !ok {
+					textSite[m[1]] = site
+				}
+				textArches[m[1]] = append(textArches[m[1]], arches...)
+				continue
+			}
+			if allowFused {
+				continue
+			}
+			for _, tok := range strings.Fields(line) {
+				if fusedMnemonicRE.MatchString(tok) {
+					pass.Reportf(anchor, "asm", "%s:%d: fused multiply-add %s outside an opt-in *fma*.s file: fused kernels round once per term and can never be bit-identical to the reference leg", name, i+1, tok)
+					break
+				}
+			}
+		}
+	}
+
+	// Scan the package's non-test Go files (all build legs): bodyless
+	// declarations are assembly stubs; identifiers used inside bodies
+	// tell us which stubs the dispatch layer actually reaches.
+	fset := token.NewFileSet()
+	type stubDecl struct {
+		name string
+		file string
+		expr constraint.Expr
+	}
+	var stubs []stubDecl
+	referenced := map[string]bool{}
+	hasExhaustive := false
+	pkgName := pass.Files[0].Name.Name
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pass.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok &&
+					strings.HasPrefix(fn.Name.Name, "Test") && strings.Contains(fn.Name.Name, "Exhaustive") {
+					hasExhaustive = true
+				}
+			}
+			continue
+		}
+		if f.Name.Name != pkgName {
+			continue
+		}
+		expr := fileConstraint(name, f)
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil {
+				continue
+			}
+			if fn.Body == nil {
+				stubs = append(stubs, stubDecl{name: fn.Name.Name, file: name, expr: expr})
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					referenced[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	if !sawText && len(stubs) == 0 {
+		return
+	}
+
+	// Anchor stub diagnostics at the active declaration when there is one.
+	activePos := map[string]token.Pos{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Body == nil {
+				activePos[fn.Name.Name] = fn.Pos()
+			}
+		}
+	}
+
+	// Every stub needs a TEXT definition on each GOARCH its build
+	// constraint admits, and a call site somewhere in package Go code.
+	stubByArch := map[string]map[string]bool{} // arch -> stub names
+	for _, s := range stubs {
+		pos := activePos[s.name]
+		if pos == token.NoPos {
+			pos = anchor
+		}
+		var missing []string
+		for _, arch := range parityArches {
+			if !evalArch(s.expr, arch) {
+				continue
+			}
+			if stubByArch[arch] == nil {
+				stubByArch[arch] = map[string]bool{}
+			}
+			stubByArch[arch][s.name] = true
+			if _, ok := asmByArch[arch][s.name]; !ok {
+				missing = append(missing, arch)
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(pos, "asm", "assembly stub %s (%s) has no TEXT ·%s definition on GOARCH %s: those builds would fail at link time", s.name, s.file, s.name, strings.Join(missing, ", "))
+		}
+		if !referenced[s.name] {
+			pass.Reportf(pos, "asm", "assembly stub %s is never called from package Go code: a dead entry point the equivalence suites cannot reach", s.name)
+		}
+	}
+
+	// Every TEXT symbol needs a stub on each GOARCH its file targets —
+	// otherwise the symbol is invisible to the dispatch layer and to the
+	// build-leg parity rule.
+	names := make([]string, 0, len(textSite))
+	for n := range textSite {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var missing []string
+		for _, arch := range parityArches {
+			covered := false
+			for _, a := range textArches[n] {
+				if a == arch {
+					covered = true
+				}
+			}
+			if covered && !stubByArch[arch][n] {
+				missing = append(missing, arch)
+			}
+		}
+		if len(missing) > 0 {
+			site := textSite[n]
+			pass.Reportf(anchor, "asm", "%s:%d: TEXT ·%s has no Go stub declaration on GOARCH %s: the symbol is invisible to the dispatch layer and the parity rule", site.file, site.line, n, strings.Join(missing, ", "))
+		}
+	}
+
+	if sawText && !hasExhaustive {
+		pass.Reportf(anchor, "asm", "package defines assembly kernels but no Test*Exhaustive equivalence suite pins them to the scalar reference")
+	}
+}
+
 // ActiveForArch reports whether f's build constraint (if any) admits
 // GOARCH=arch. The fixture loader uses it to assemble a deterministic
 // amd64 view of multi-leg packages regardless of the host architecture.
 func ActiveForArch(f *ast.File, arch string) bool {
 	return evalArch(buildConstraintOf(f), arch)
+}
+
+// impliedArch returns the GOARCH a `_GOARCH.go` / `_GOARCH.s` filename
+// suffix implies, or "" for an unsuffixed file. Go applies this
+// constraint before any //go:build line is read, so leg analysis must
+// honor it too — legs_amd64.go without an explicit constraint is still
+// an amd64-only leg.
+func impliedArch(name string) string {
+	base := name
+	if i := strings.LastIndexByte(base, '.'); i >= 0 {
+		base = base[:i]
+	}
+	for _, arch := range parityArches {
+		if strings.HasSuffix(base, "_"+arch) {
+			return arch
+		}
+	}
+	return ""
+}
+
+// fileConstraint combines a file's //go:build expression with its
+// filename-implied GOARCH constraint; nil means fully unconstrained.
+func fileConstraint(name string, f *ast.File) constraint.Expr {
+	expr := buildConstraintOf(f)
+	arch := impliedArch(name)
+	if arch == "" {
+		return expr
+	}
+	tag := &constraint.TagExpr{Tag: arch}
+	if expr == nil {
+		return tag
+	}
+	return &constraint.AndExpr{X: tag, Y: expr}
 }
 
 // buildConstraintOf extracts the //go:build expression of a parsed file,

@@ -34,3 +34,12 @@ func TestBitexactRules(t *testing.T) {
 func TestBitexactBuildLegParity(t *testing.T) {
 	analysistest.Run(t, "testdata", "bitexparity", analysis.Bitexact)
 }
+
+func TestBitexactAsmRules(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", "bitexasm", analysis.Bitexact)
+	for _, d := range diags {
+		if d.Rule != "asm" {
+			t.Errorf("unexpected rule %q from asm fixture: %s", d.Rule, d.Message)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// A *fma*-named file opts out of the fma rule — the FMA tier's scalar
+// references must fuse explicitly to stay bit-identical to the fused
+// kernels — but stays subject to the contract rule: compiler-dependent
+// contraction is never acceptable, fusing must be explicit.
+package bitex
+
+import "math"
+
+func fusedReference(w, x []float64) float64 {
+	var s float64
+	for i := range w {
+		s = math.FMA(w[i], x[i], s) // no diagnostic: explicit fusing is the point
+	}
+	return s
+}
+
+func stillNoContraction(a, b, c float64) float64 {
+	return a*b + c // want `float multiply feeding \+ may be contracted`
+}

@@ -1,0 +1,7 @@
+#include "textflag.h"
+
+// dotFma may use fused mnemonics: the file name opts it in.
+TEXT ·dotFma(SB), NOSPLIT, $0-16
+	VFMADD231PD Y1, Y2, Y0
+	VZEROUPPER
+	RET

@@ -1,7 +1,7 @@
 // Package benchsuite defines the hot-path benchmark bodies shared by the
 // repository's go-test benchmarks (bench_test.go wrappers) and by
 // cmd/benchreport, which runs them programmatically via testing.Benchmark
-// to emit the BENCH_6.json regression baseline. Keeping the bodies in a
+// to emit the BENCH_*.json regression baseline. Keeping the bodies in a
 // normal (non-test) package is what lets the report command execute the
 // exact same code the test harness measures.
 //
@@ -61,11 +61,75 @@ func Suite() []Bench {
 	}
 }
 
-// RunGroup runs every suite entry under the given name prefix as a
-// sub-benchmark, for the bench_test.go wrappers.
+// LegSuite returns the per-leg kernel series: the ScoreBlock batch
+// kernel and the MultiQueryKernel GEMM-shaped kernel, pinned to each
+// kernel leg this host can execute (widest first, per
+// simd.AvailableLegs), plus the hardware leg's opt-in FMA tier when the
+// host has one. The series is what makes a leg regression visible as a
+// named benchmark: cmd/benchreport gates the hardware-vs-unrolled ratio
+// on it and emits it as the per-leg comparison CSV.
+func LegSuite() []Bench {
+	var out []Bench
+	for _, leg := range simd.AvailableLegs() {
+		out = append(out,
+			Bench{"ScoreBlockLeg/" + leg.String(), scoreBlockOnLeg(leg, false)},
+			Bench{"MultiQueryKernelLeg/" + leg.String(), multiQueryOnLeg(leg, false)},
+		)
+	}
+	if hw, ok := simd.HardwareLeg(); ok && simd.FMASupported() {
+		out = append(out,
+			Bench{"ScoreBlockLeg/" + hw.String() + "+fma", scoreBlockOnLeg(hw, true)},
+			Bench{"MultiQueryKernelLeg/" + hw.String() + "+fma", multiQueryOnLeg(hw, true)},
+		)
+	}
+	return out
+}
+
+// withLeg pins the simd dispatch to (leg, fma) for the duration of one
+// benchmark body, restoring the previous state afterwards. Benchmarks
+// run sequentially, so the process-wide leg switch is safe here.
+func withLeg(b *testing.B, leg simd.Leg, fma bool, body func(b *testing.B)) {
+	origLeg, origFMA := simd.ActiveLeg(), simd.FMAEnabled()
+	if err := simd.SetLeg(leg); err != nil {
+		b.Fatal(err)
+	}
+	if fma {
+		if err := simd.SetFMA(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer func() {
+		if err := simd.SetLeg(origLeg); err != nil {
+			b.Fatal(err)
+		}
+		if origFMA {
+			if err := simd.SetFMA(true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}()
+	body(b)
+}
+
+// scoreBlockOnLeg is scoreBlockKernel pinned to one (leg, fma) state.
+func scoreBlockOnLeg(leg simd.Leg, fma bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		withLeg(b, leg, fma, scoreBlockKernel)
+	}
+}
+
+// multiQueryOnLeg is multiQueryKernelMulti pinned to one (leg, fma) state.
+func multiQueryOnLeg(leg simd.Leg, fma bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		withLeg(b, leg, fma, multiQueryKernelMulti)
+	}
+}
+
+// RunGroup runs every entry of Suite and LegSuite under the given name
+// prefix as a sub-benchmark, for the bench_test.go wrappers.
 func RunGroup(b *testing.B, prefix string) {
 	ran := false
-	for _, bench := range Suite() {
+	for _, bench := range append(Suite(), LegSuite()...) {
 		if bench.Name == prefix {
 			bench.F(b)
 			return

@@ -280,8 +280,10 @@ type Stats struct {
 	// ever held queued at once (internal/pipeline adaptive depth). The
 	// synchronous engines always report zero.
 	QueueHighWater int64
-	// Migrations counts live query migrations executed by a rebalancing
-	// sharded monitor (internal/shard). Zero elsewhere.
+	// Migrations counts rebalancing moves executed by a sharded monitor
+	// (internal/shard): live query migrations under query partitioning,
+	// routing-bucket reassignments under data partitioning. Zero
+	// elsewhere.
 	Migrations int64
 	// MemoryHighWater is the largest MemoryBytes figure observed so far.
 	// It is pull-model: refreshed whenever MemoryBytes is called (every

@@ -2,11 +2,15 @@ package difftest
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 	"testing"
 
 	"topkmon/internal/core"
 	"topkmon/internal/pipeline"
 	"topkmon/internal/shard"
+	"topkmon/internal/simd"
 )
 
 // execMode is one execution mode under differential test: a constructor
@@ -186,4 +190,123 @@ func FuzzDifferential(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		runDifferential(t, seed, false)
 	})
+}
+
+// tolerantTokenDiff compares two rendered transcript lines token by
+// token: tokens must match exactly except for trailing "=<score>" parts,
+// whose floats may differ by rel relative error. It returns "" on match.
+func tolerantTokenDiff(a, b string, rel float64) string {
+	at, bt := strings.Fields(a), strings.Fields(b)
+	if len(at) != len(bt) {
+		return fmt.Sprintf("token count %d vs %d", len(at), len(bt))
+	}
+	for i := range at {
+		if at[i] == bt[i] {
+			continue
+		}
+		ai, bi := strings.LastIndexByte(at[i], '='), strings.LastIndexByte(bt[i], '=')
+		if ai < 0 || bi < 0 || at[i][:ai] != bt[i][:bi] {
+			return fmt.Sprintf("token %d: %q vs %q", i, at[i], bt[i])
+		}
+		av, errA := strconv.ParseFloat(strings.TrimRight(at[i][ai+1:], "]"), 64)
+		bv, errB := strconv.ParseFloat(strings.TrimRight(bt[i][bi+1:], "]"), 64)
+		if errA != nil || errB != nil {
+			return fmt.Sprintf("token %d: unparseable scores %q vs %q", i, at[i], bt[i])
+		}
+		tol := rel * math.Max(math.Abs(av), math.Abs(bv))
+		if d := math.Abs(av - bv); !(d <= tol) {
+			return fmt.Sprintf("token %d: score %g vs %g differ by %g (tol %g)", i, av, bv, d, tol)
+		}
+	}
+	return ""
+}
+
+// scoreTolerantDiff is Transcript.Diff with tolerantTokenDiff in place of
+// string equality: the two replays must agree on every structural detail
+// (queries, tuples, ordering, counts) while scores may differ within rel.
+func scoreTolerantDiff(got, ref Transcript, rel float64) string {
+	if len(got.Updates) != len(ref.Updates) {
+		return fmt.Sprintf("update count %d vs %d", len(got.Updates), len(ref.Updates))
+	}
+	for i := range ref.Updates {
+		if d := tolerantTokenDiff(got.Updates[i], ref.Updates[i], rel); d != "" {
+			return fmt.Sprintf("update record %d: %s\n  ref: %s\n  got: %s", i, d, ref.Updates[i], got.Updates[i])
+		}
+	}
+	if len(got.Finals) != len(ref.Finals) {
+		return fmt.Sprintf("final count %d vs %d", len(got.Finals), len(ref.Finals))
+	}
+	for i := range ref.Finals {
+		if d := tolerantTokenDiff(got.Finals[i], ref.Finals[i], rel); d != "" {
+			return fmt.Sprintf("final result %d: %s\n  ref: %s\n  got: %s", i, d, ref.Finals[i], got.Finals[i])
+		}
+	}
+	if got.NumPoints != ref.NumPoints || got.NumQueries != ref.NumQueries {
+		return fmt.Sprintf("counters (%d,%d) vs (%d,%d)", got.NumPoints, got.NumQueries, ref.NumPoints, ref.NumQueries)
+	}
+	return ""
+}
+
+// TestDifferentialFMA is the opt-in FMA tier's lineage check. With
+// default options the 20-seed differential (TestDifferentialSeeds) is
+// byte-identical on every leg; this test replays the engine on the same
+// seeds with the FMA tier enabled and requires the transcripts to stay
+// structurally identical to the default run with scores inside a
+// documented relative envelope — the reason WithFMAKernels is excluded
+// from checkpoint/difftest lineages by default is exactly that this is
+// the strongest guarantee the fused kernels can make.
+func TestDifferentialFMA(t *testing.T) {
+	if !simd.FMASupported() {
+		t.Skip("no FMA tier on this host")
+	}
+	n := int64(20)
+	if testing.Short() {
+		n = 6
+	}
+	origLeg := simd.ActiveLeg()
+	defer func() {
+		if err := simd.SetLeg(origLeg); err != nil {
+			t.Fatalf("restoring leg %s: %v", origLeg, err)
+		}
+	}()
+	hw, _ := simd.HardwareLeg()
+	for seed := int64(1); seed <= n; seed++ {
+		s := GenScenario(seed)
+
+		if err := simd.SetLeg(hw); err != nil {
+			t.Fatalf("SetLeg(%s): %v", hw, err)
+		}
+		mon, err := core.NewEngine(s.Options())
+		if err != nil {
+			t.Fatalf("%v: engine: %v", s, err)
+		}
+		ref, err := Replay(mon, s, ReplayConfig{})
+		if cerr := mon.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("%v: default replay: %v", s, err)
+		}
+
+		if err := simd.SetFMA(true); err != nil {
+			t.Fatalf("SetFMA(true): %v", err)
+		}
+		mon, err = core.NewEngine(s.Options())
+		if err != nil {
+			t.Fatalf("%v: fma engine: %v", s, err)
+		}
+		got, err := Replay(mon, s, ReplayConfig{})
+		if cerr := mon.Close(); err == nil {
+			err = cerr
+		}
+		if err := simd.SetFMA(false); err != nil {
+			t.Fatalf("SetFMA(false): %v", err)
+		}
+		if err != nil {
+			t.Fatalf("%v: fma replay: %v", s, err)
+		}
+		if d := scoreTolerantDiff(got, ref, 1e-12); d != "" {
+			t.Fatalf("%v: fma run diverged beyond tolerance:\n%s", s, d)
+		}
+	}
 }

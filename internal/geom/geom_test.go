@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"topkmon/internal/simd"
 )
 
 func TestVectorClone(t *testing.T) {
@@ -353,5 +355,53 @@ func TestIntersectionProperty(t *testing.T) {
 		if ok && inBoth && !inter.Contains(p) {
 			t.Fatalf("point %v in both rects but not in intersection %v", p, inter)
 		}
+	}
+}
+
+// TestScoreBlockMatchesPointwisePerLeg holds ScoreBlockInto to its
+// bit-identity promise on every simd leg this host supports: for each
+// built-in function family, the block path must reproduce pointwise
+// Score exactly, including sizes that exercise the kernels' group and
+// tail paths.
+func TestScoreBlockMatchesPointwisePerLeg(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	origLeg := simd.ActiveLeg()
+	defer func() {
+		if err := simd.SetLeg(origLeg); err != nil {
+			t.Fatalf("restoring leg %s: %v", origLeg, err)
+		}
+	}()
+	for _, leg := range simd.AvailableLegs() {
+		if err := simd.SetLeg(leg); err != nil {
+			t.Fatalf("SetLeg(%s): %v", leg, err)
+		}
+		t.Run("leg="+leg.String(), func(t *testing.T) {
+			for dims := 1; dims <= 5; dims++ {
+				w := make([]float64, dims)
+				off := make([]float64, dims)
+				for i := range w {
+					w[i] = rng.Float64()*2 - 1
+					off[i] = rng.Float64()
+				}
+				fns := []ScoringFunction{NewLinear(w...), NewQuadratic(w...), NewProduct(off...)}
+				for _, n := range []int{0, 1, 3, 4, 7, 16, 21} {
+					coords := make([]float64, n*dims)
+					for i := range coords {
+						coords[i] = rng.Float64()
+					}
+					for _, f := range fns {
+						out := make([]float64, n)
+						ScoreBlockInto(f, coords, dims, out)
+						for j := 0; j < n; j++ {
+							want := f.Score(Vector(coords[j*dims : (j+1)*dims]))
+							if math.Float64bits(out[j]) != math.Float64bits(want) {
+								t.Fatalf("%s dims=%d n=%d point %d: block %v != pointwise %v",
+									f, dims, n, j, out[j], want)
+							}
+						}
+					}
+				}
+			}
+		})
 	}
 }

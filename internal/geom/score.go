@@ -150,17 +150,14 @@ func (l *Linear) Weights() []float64 {
 // Dims implements ScoringFunction.
 func (l *Linear) Dims() int { return len(l.weights) }
 
-// Score implements ScoringFunction.
-//
-// The float64 conversion forces the product to round before the add: it
-// blocks FMA contraction on arm64 so batch, pointwise, and cross-arch
-// scores stay bit-identical (a free no-op on amd64, where gc never fuses).
+// Score implements ScoringFunction. It delegates to the pointwise simd
+// dispatch so pointwise and block scores always come from the same
+// arithmetic: the twice-rounded reference expression under the bit-exact
+// legs, the fused chain under the opt-in FMA tier. Scoring the same
+// tuple two different ways within one run would flip the engine's
+// total-order comparisons.
 func (l *Linear) Score(v Vector) float64 {
-	var s float64
-	for i, w := range l.weights {
-		s += float64(w * v[i])
-	}
-	return s
+	return simd.Dot(l.weights, v)
 }
 
 // Direction implements ScoringFunction.
@@ -207,13 +204,10 @@ func (p *Product) Offsets() []float64 {
 // Dims implements ScoringFunction.
 func (p *Product) Dims() int { return len(p.offsets) }
 
-// Score implements ScoringFunction.
+// Score implements ScoringFunction; see (*Linear).Score for why it
+// routes through simd.
 func (p *Product) Score(v Vector) float64 {
-	s := 1.0
-	for i, a := range p.offsets {
-		s *= a + v[i]
-	}
-	return s
+	return simd.Product(p.offsets, v)
 }
 
 // Direction implements ScoringFunction.
@@ -259,15 +253,10 @@ func (q *Quadratic) Weights() []float64 {
 // Dims implements ScoringFunction.
 func (q *Quadratic) Dims() int { return len(q.weights) }
 
-// Score implements ScoringFunction.
-//
-// The float64 conversion blocks FMA contraction; see (*Linear).Score.
+// Score implements ScoringFunction; see (*Linear).Score for why it
+// routes through simd.
 func (q *Quadratic) Score(v Vector) float64 {
-	var s float64
-	for i, w := range q.weights {
-		s += float64(w * v[i] * v[i])
-	}
-	return s
+	return simd.Quad(q.weights, v)
 }
 
 // Direction implements ScoringFunction.

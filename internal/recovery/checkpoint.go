@@ -31,8 +31,10 @@ import (
 // rename.
 
 const (
-	ckptMagic   = "TOPKCKPT"
-	ckptVersion = 1
+	ckptMagic = "TOPKCKPT"
+	// ckptVersion 2 added the layoutDataSharded tuple-routing sections
+	// (bucket table + divergent placements).
+	ckptVersion = 2
 	// ckptHeaderSize is magic + version + payload length.
 	ckptHeaderSize = len(ckptMagic) + 2 + 8
 	manifestName   = "MANIFEST.ckpt"
@@ -65,8 +67,13 @@ type manifest struct {
 	globalNext core.QueryID
 	routes     []shard.QueryRoute
 
-	// layoutDataSharded router merge caches.
+	// layoutDataSharded router merge caches and tuple routing. The
+	// routing table must be reinstated before the tail replays, so
+	// re-ingested tuples land on the shards whose engine states the
+	// checkpoint carries.
 	routerQueries []shard.RouterQuery
+	dataRoute     []int
+	dataPins      []shard.TuplePlacement
 }
 
 // engineState is one engine's checkpointed identity (the shard-file
@@ -187,6 +194,15 @@ func encodeManifest(m *manifest) ([]byte, error) {
 			}
 			encodeEntries(e, rq.LastReported)
 		}
+		e.uvarint(uint64(len(m.dataRoute)))
+		for _, si := range m.dataRoute {
+			e.uvarint(uint64(si))
+		}
+		e.uvarint(uint64(len(m.dataPins)))
+		for _, p := range m.dataPins {
+			e.uvarint(p.ID)
+			e.uvarint(uint64(p.Shard))
+		}
 	default:
 		return nil, fmt.Errorf("recovery: unknown layout %d", m.layout)
 	}
@@ -226,6 +242,17 @@ func decodeManifest(payload []byte) (*manifest, error) {
 			rq.Spec = decodeSpec(d)
 			rq.LastReported = decodeEntries(d, r)
 			m.routerQueries = append(m.routerQueries, rq)
+		}
+		nr := d.count(1)
+		for i := 0; i < nr && d.err == nil; i++ {
+			m.dataRoute = append(m.dataRoute, int(d.uvarint()))
+		}
+		np := d.count(2)
+		for i := 0; i < np && d.err == nil; i++ {
+			m.dataPins = append(m.dataPins, shard.TuplePlacement{
+				ID:    d.uvarint(),
+				Shard: int(d.uvarint()),
+			})
 		}
 	default:
 		if d.err == nil {
@@ -360,6 +387,7 @@ func collect(mon core.StreamMonitor, epoch, walNext uint64, aux []byte) (*manife
 		m.clock = inner.ExportClock()
 		m.tail = inner.GlobalTail()
 		m.routerQueries = inner.ExportRouterQueries()
+		m.dataRoute, m.dataPins = inner.ExportTupleRouting()
 		states = make([]*engineState, m.shards)
 		err := inner.Barrier(func(i int, eng *core.Engine) error {
 			st := &engineState{clock: eng.ExportClock()}
@@ -556,9 +584,16 @@ func buildMonitor(m *manifest, states []*engineState, cfg shard.Config) (core.St
 		}
 		return s, nil
 	case layoutDataSharded:
-		d, err := shard.NewData(m.opts, m.shards)
+		d, err := shard.NewDataWithConfig(m.opts, m.shards, cfg.Rebalance)
 		if err != nil {
 			return nil, fmt.Errorf("recovery: rebuild data-sharded monitor: %w", err)
+		}
+		// The routing table must be live before the tail replays: replayed
+		// arrivals then land on the same shards the checkpointed monitor
+		// routed them to, matching the per-shard engine states below.
+		if err := d.RestoreTupleRouting(m.dataRoute, m.dataPins); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		if err := replayTail(d, m.opts.Mode, m.clock, m.tail); err != nil {
 			d.Close()

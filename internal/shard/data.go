@@ -93,6 +93,18 @@ type DataSharded struct {
 	// internal counts.
 	resultUpdates atomic.Int64
 
+	// Tuple routing (databalance.go), guarded by stepMu: route maps
+	// buckets to shards, placed pins every live tuple to the shard that
+	// indexed it, bucketHits counts arrivals per bucket since the last
+	// rebalance pass.
+	route      []int
+	placed     map[uint64]int
+	bucketHits []int64
+	rebalance  RebalanceConfig
+	cycleCount int64
+	prevWork   []int64
+	rebalances atomic.Int64
+
 	// closeMu / closed guard the worker channels' lifetime, as in Sharded.
 	closeMu sync.RWMutex //topk:lockrank 30
 	closed  bool
@@ -106,18 +118,34 @@ var _ core.StreamMonitor = (*DataSharded)(nil)
 // NewData builds a data-partitioned monitor with n shards, each running an
 // engine configured by opts over its hash-slice of the stream.
 func NewData(opts core.Options, n int) (*DataSharded, error) {
-	return newDataWithFactory(opts, n, core.NewEngine)
+	return NewDataWithConfig(opts, n, RebalanceConfig{})
 }
 
-// newDataWithFactory is NewData with an injectable engine constructor (see
-// newWithFactory).
-func newDataWithFactory(opts core.Options, n int, factory func(core.Options) (*core.Engine, error)) (*DataSharded, error) {
+// NewDataWithConfig is NewData with memory-aware routing rebalancing
+// enabled per rb (see databalance.go; the zero value disables it).
+func NewDataWithConfig(opts core.Options, n int, rb RebalanceConfig) (*DataSharded, error) {
+	return newDataWithFactory(opts, n, rb, core.NewEngine)
+}
+
+// newDataWithFactory is NewDataWithConfig with an injectable engine
+// constructor (see newWithFactory).
+func newDataWithFactory(opts core.Options, n int, rb RebalanceConfig, factory func(core.Options) (*core.Engine, error)) (*DataSharded, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
 	}
+	if err := rb.validate(); err != nil {
+		return nil, err
+	}
 	d := &DataSharded{
-		mode:    opts.Mode,
-		queries: make(map[core.QueryID]*mergedQuery),
+		mode:       opts.Mode,
+		queries:    make(map[core.QueryID]*mergedQuery),
+		route:      make([]int, dataBuckets),
+		placed:     make(map[uint64]int),
+		bucketHits: make([]int64, dataBuckets),
+		rebalance:  rb,
+	}
+	for b := range d.route {
+		d.route[b] = b % n
 	}
 	engOpts := opts
 	if opts.Mode == core.AppendOnly {
@@ -173,9 +201,9 @@ func (d *DataSharded) RestoreClock(c core.Clock) {
 // GlobalTail returns the fleet's live tuples in replay order: the router
 // window's FIFO snapshot under append-only streams, or the per-shard
 // explicit-deletion tails merged by ascending sequence. Re-ingesting the
-// tail into a fresh monitor repartitions every tuple to its original
-// shard (the hash depends only on the tuple id), so the per-shard indexes
-// rebuild exactly.
+// tail into a fresh monitor whose routing state was restored first (see
+// RestoreTupleRouting) repartitions every tuple to its original shard, so
+// the per-shard indexes rebuild exactly.
 func (d *DataSharded) GlobalTail() []*stream.Tuple {
 	d.stepMu.Lock()
 	defer d.stepMu.Unlock()
@@ -274,28 +302,10 @@ func (d *DataSharded) RestoreRouterQueries(qs []RouterQuery) error {
 
 // shardOfTuple hash-partitions an id across n shards (splitmix64
 // finalizer, so sequential ids spread uniformly rather than striping).
-// Both tuple routing (data partitioning) and query routing (shardOf)
-// share this one hash.
+// Query routing (shardOf) uses it directly; tuple routing goes through
+// the bucket table built on the same hash (databalance.go).
 func shardOfTuple(id uint64, n int) int {
-	x := id
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int(x % uint64(n))
-}
-
-// partitionTuples splits a batch into per-shard slices by tuple id,
-// preserving order within each slice (so per-shard Seq order — and hence
-// FIFO expiration — survives partitioning).
-func (d *DataSharded) partitionTuples(batch []*stream.Tuple) [][]*stream.Tuple {
-	parts := make([][]*stream.Tuple, len(d.workers))
-	for _, t := range batch {
-		si := shardOfTuple(t.ID, len(d.workers))
-		parts[si] = append(parts[si], t)
-	}
-	return parts
+	return int(mix64(id) % uint64(n))
 }
 
 // Register implements core.Monitor. The query is installed on every shard
@@ -511,14 +521,19 @@ func (d *DataSharded) Step(now int64, arrivals []*stream.Tuple) ([]core.Update, 
 	d.started = true
 	d.now = now
 
-	parts := d.partitionTuples(arrivals)
+	parts := d.routeArrivals(arrivals)
 	for _, t := range arrivals {
 		d.win.Push(t)
 	}
-	expParts := d.partitionTuples(d.win.Expire(now))
-	return d.runCycle(func(i int, e *core.Engine) ([]core.Update, error) {
+	expParts := d.routeExpired(d.win.Expire(now))
+	updates, err := d.runCycle(func(i int, e *core.Engine) ([]core.Update, error) {
 		return e.StepExternal(now, parts[i], expParts[i])
 	})
+	if err != nil {
+		return nil, err
+	}
+	d.maybeRebalanceLocked()
+	return updates, nil
 }
 
 // StepUpdate implements core.StreamMonitor for the explicit-deletion
@@ -535,15 +550,16 @@ func (d *DataSharded) StepUpdate(now int64, arrivals []*stream.Tuple, deletions 
 	if d.closed {
 		return nil, ErrStopped
 	}
-	parts := d.partitionTuples(arrivals)
-	delParts := make([][]uint64, len(d.workers))
-	for _, id := range deletions {
-		si := shardOfTuple(id, len(d.workers))
-		delParts[si] = append(delParts[si], id)
-	}
-	return d.runCycle(func(i int, e *core.Engine) ([]core.Update, error) {
+	parts := d.routeArrivals(arrivals)
+	delParts := d.routeDeleted(deletions)
+	updates, err := d.runCycle(func(i int, e *core.Engine) ([]core.Update, error) {
 		return e.StepUpdate(now, parts[i], delParts[i])
 	})
+	if err != nil {
+		return nil, err
+	}
+	d.maybeRebalanceLocked()
+	return updates, nil
 }
 
 // runCycle broadcasts one partitioned cycle, then merges: the union of the
@@ -698,6 +714,7 @@ func (d *DataSharded) Stats() core.Stats {
 		}
 	}
 	agg.ResultUpdates = d.resultUpdates.Load()
+	agg.Migrations = d.rebalances.Load()
 	return agg
 }
 
@@ -722,6 +739,10 @@ func (d *DataSharded) MemoryBytes() int64 {
 		total += int64(len(st.lastIDs)) * (mapEntrySize + entrySize)
 	}
 	d.qmu.RUnlock()
+	// Routing state: the bucket table and hit counters are fixed-size;
+	// the placement pins grow with the live tuple count.
+	total += int64(len(d.route))*8 + int64(len(d.bucketHits))*8
+	total += int64(len(d.placed)) * (mapEntrySize + 8)
 	return total
 }
 

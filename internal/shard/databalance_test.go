@@ -1,0 +1,269 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"topkmon/internal/core"
+	"topkmon/internal/stream"
+	"topkmon/internal/window"
+)
+
+// rebalBuild constructs a data-partitioned monitor with an aggressive
+// routing rebalancer for runDifferential: threshold 1.0 fires a pass at
+// nearly every interval, so bucket reassignments (and the pinned-tuple
+// divergence they leave behind) happen repeatedly mid-differential.
+func rebalBuild(shards int) func(core.Options) (core.StreamMonitor, error) {
+	return func(opts core.Options) (core.StreamMonitor, error) {
+		return NewDataWithConfig(opts, shards, RebalanceConfig{
+			Interval: 3, Threshold: 1.0, MaxMoves: 16,
+		})
+	}
+}
+
+// TestDataRebalanceDifferential proves routing rebalancing never changes
+// results: a data-partitioned monitor that keeps reassigning buckets
+// mid-run stays byte-identical to the single engine, under both window
+// kinds and the explicit-deletion model (deletions must find tuples whose
+// bucket moved after they arrived).
+func TestDataRebalanceDifferential(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("count/shards=%d", shards), func(t *testing.T) {
+			runDifferential(t, rebalBuild(shards), false, core.AppendOnly, window.Count(2000))
+		})
+		t.Run(fmt.Sprintf("time/shards=%d", shards), func(t *testing.T) {
+			runDifferential(t, rebalBuild(shards), false, core.AppendOnly, window.Time(8))
+		})
+		t.Run(fmt.Sprintf("update/shards=%d", shards), func(t *testing.T) {
+			runDifferential(t, rebalBuild(shards), false, core.UpdateStream, window.Spec{})
+		})
+	}
+}
+
+// skewedIDs returns n distinct tuple ids that all route to shard 0 of a
+// 2-shard monitor under the default bucket table (route[b] = b%2): ids
+// whose bucket hash is even. This is the adversarial tuple-hash skew the
+// memory-aware rebalancer exists for.
+func skewedIDs(n int) []uint64 {
+	ids := make([]uint64, 0, n)
+	for id := uint64(0); len(ids) < n; id++ {
+		if bucketOfTuple(id)%2 == 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// skewedFeeder deals identical skewed-id tuple batches to any number of
+// monitors, keeping Seq ascending as engine admission requires.
+type skewedFeeder struct {
+	ids  []uint64
+	next int
+	seq  uint64
+	gen  *stream.Generator
+}
+
+func (f *skewedFeeder) batch(n int, ts int64) []*stream.Tuple {
+	out := make([]*stream.Tuple, n)
+	for i := range out {
+		f.seq++
+		out[i] = &stream.Tuple{ID: f.ids[f.next], Vec: f.gen.Vec(), Seq: f.seq, TS: ts}
+		f.next++
+	}
+	return out
+}
+
+// TestDataRebalanceShrinksMemoryGap is the satellite's acceptance test:
+// under a tuple hash that lands every arrival on shard 0, the
+// memory-weighted cost triggers routing rebalancing, and after one window
+// turnover the per-shard memory gap of the rebalancing monitor shrinks to
+// a fraction of its pre-rebalance value — while an identical monitor
+// without rebalancing stays fully skewed.
+func TestDataRebalanceShrinksMemoryGap(t *testing.T) {
+	const (
+		windowN = 2000
+		rate    = 100
+		shards  = 2
+	)
+	opts := core.Options{Dims: 2, Window: window.Count(windowN), TargetCells: 64}
+
+	frozen, err := NewData(opts, shards) // no rebalancing: the control
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer frozen.Close()
+	rebal, err := NewDataWithConfig(opts, shards, RebalanceConfig{
+		Interval: 5, Threshold: 1.05, MaxMoves: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rebal.Close()
+
+	// Both monitors see identical tuples (ids, vectors, seqs, timestamps).
+	ids := skewedIDs(6 * windowN)
+	feedA := &skewedFeeder{ids: ids, gen: stream.NewGenerator(stream.IND, 2, 3)}
+	feedB := &skewedFeeder{ids: ids, gen: stream.NewGenerator(stream.IND, 2, 3)}
+	step := func(ts int64) {
+		if _, err := frozen.Step(ts, feedA.batch(rate, ts)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rebal.Step(ts, feedB.batch(rate, ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gap := func(d *DataSharded) int64 {
+		mems := d.ShardMemoryBytes()
+		lo, hi := mems[0], mems[0]
+		for _, m := range mems[1:] {
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		return hi - lo
+	}
+
+	// Phase 1: fill the window. Only 4 cycles — before the first rebalance
+	// pass at cycle 5 — so gapBefore measures the untreated skew.
+	ts := int64(0)
+	for i := 0; i < 4; i++ {
+		ts++
+		step(ts)
+	}
+	gapBefore := gap(rebal)
+	if g := gap(frozen); gapBefore != g {
+		t.Fatalf("monitors diverged before any rebalance: gaps %d vs %d", gapBefore, g)
+	}
+
+	// Phase 2: keep streaming through two full window turnovers. The
+	// rebalancer reassigns shard 0's buckets; resident tuples stay pinned
+	// until they expire, so the gap closes as the window turns over.
+	for i := 0; i < 4*windowN/rate; i++ {
+		ts++
+		step(ts)
+	}
+
+	if rebal.Rebalances() == 0 {
+		t.Fatal("memory-skewed stream triggered no routing rebalance")
+	}
+	if mig := rebal.Stats().Migrations; mig != rebal.Rebalances() {
+		t.Fatalf("Stats.Migrations = %d, want Rebalances() = %d", mig, rebal.Rebalances())
+	}
+	gapAfter := gap(rebal)
+	if gapAfter*2 >= gapBefore {
+		t.Fatalf("memory gap did not shrink: before %d, after %d", gapBefore, gapAfter)
+	}
+	// The control keeps every tuple on shard 0: its gap must still be of
+	// the original order, proving the shrink is the rebalancer's doing.
+	if g := gap(frozen); g*2 < gapBefore {
+		t.Fatalf("control monitor's gap %d collapsed without rebalancing (before %d): test is not measuring skew", g, gapBefore)
+	}
+}
+
+// TestTupleRoutingExportRestore pins the divergence bookkeeping: after the
+// bucket table moves away from resident tuples, ExportTupleRouting
+// reports exactly the pins that disagree with the table, and a fresh
+// monitor restored from the export routes identically.
+func TestTupleRoutingExportRestore(t *testing.T) {
+	const shards = 3
+	opts := core.Options{Dims: 2, Window: window.Count(500), TargetCells: 64}
+	d, err := NewData(opts, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	gen := stream.NewGenerator(stream.IND, 2, 9)
+	if _, err := d.Step(1, gen.Batch(200, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// No divergence yet: the table is the default and every tuple arrived
+	// under it.
+	route, pins := d.ExportTupleRouting()
+	if len(route) != dataBuckets {
+		t.Fatalf("exported route has %d buckets, want %d", len(route), dataBuckets)
+	}
+	if len(pins) != 0 {
+		t.Fatalf("fresh monitor exported %d divergent pins, want 0", len(pins))
+	}
+
+	// Rotate the table: every bucket moves one shard over, so every live
+	// tuple becomes a divergent pin.
+	rot := make([]int, dataBuckets)
+	for b := range rot {
+		rot[b] = (route[b] + 1) % shards
+	}
+	if err := d.RestoreTupleRouting(rot, nil); err != nil {
+		t.Fatal(err)
+	}
+	route2, pins2 := d.ExportTupleRouting()
+	if len(pins2) != 200 {
+		t.Fatalf("rotated table exported %d pins, want all 200 live tuples", len(pins2))
+	}
+	for i := 1; i < len(pins2); i++ {
+		if pins2[i-1].ID >= pins2[i].ID {
+			t.Fatalf("pins not sorted by id: %d before %d", pins2[i-1].ID, pins2[i].ID)
+		}
+	}
+	for _, p := range pins2 {
+		if p.Shard == route2[bucketOfTuple(p.ID)] {
+			t.Fatalf("pin for tuple %d agrees with the table: not divergent", p.ID)
+		}
+	}
+
+	// A fresh monitor restored from the export must route both resident
+	// ids (per pins) and new ids (per table) to the same shards.
+	d2, err := NewData(opts, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.RestoreTupleRouting(route2, pins2); err != nil {
+		t.Fatal(err)
+	}
+	r3, p3 := d2.ExportTupleRouting()
+	for b := range r3 {
+		if r3[b] != route2[b] {
+			t.Fatalf("restored route[%d] = %d, want %d", b, r3[b], route2[b])
+		}
+	}
+	if len(p3) != len(pins2) {
+		t.Fatalf("restored monitor exports %d pins, want %d", len(p3), len(pins2))
+	}
+	for i := range p3 {
+		if p3[i] != pins2[i] {
+			t.Fatalf("restored pin[%d] = %+v, want %+v", i, p3[i], pins2[i])
+		}
+	}
+}
+
+// TestTupleRoutingRestoreValidation rejects malformed routing state
+// instead of silently misrouting a restored stream.
+func TestTupleRoutingRestoreValidation(t *testing.T) {
+	opts := core.Options{Dims: 2, Window: window.Count(100), TargetCells: 64}
+	d, err := NewData(opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	good := make([]int, dataBuckets)
+	if err := d.RestoreTupleRouting(good[:10], nil); err == nil {
+		t.Fatal("short routing table accepted")
+	}
+	bad := make([]int, dataBuckets)
+	bad[7] = 2 // shard out of range for n=2
+	if err := d.RestoreTupleRouting(bad, nil); err == nil {
+		t.Fatal("out-of-range bucket target accepted")
+	}
+	if err := d.RestoreTupleRouting(good, []TuplePlacement{{ID: 1, Shard: -1}}); err == nil {
+		t.Fatal("out-of-range pin shard accepted")
+	}
+	if err := d.RestoreTupleRouting(good, []TuplePlacement{{ID: 1, Shard: 1}}); err != nil {
+		t.Fatalf("valid routing state rejected: %v", err)
+	}
+}

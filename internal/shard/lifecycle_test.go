@@ -38,7 +38,7 @@ func TestNewFailureStopsWorkers(t *testing.T) {
 			return err
 		},
 		"data": func() error {
-			_, err := newDataWithFactory(opts, 4, failAfter(2))
+			_, err := newDataWithFactory(opts, 4, RebalanceConfig{}, failAfter(2))
 			return err
 		},
 	} {

@@ -50,6 +50,14 @@ type RebalanceConfig struct {
 	// MaxMoves bounds the migrations of one pass. Zero selects the default
 	// 4; negative is invalid.
 	MaxMoves int
+	// MemoryWeight scales the memory term of the per-shard cost under
+	// data partitioning (databalance.go): the engine footprint plus the
+	// cap-aware per-cell bytes high-water, normalized to the fleet total,
+	// enters the cost multiplied by this weight alongside the normalized
+	// maintenance-work delta. Zero selects the default 1; negative is
+	// invalid. Query-partitioned rebalancing ignores it (queries migrate
+	// on attributed cost; their state is replicated either way).
+	MemoryWeight float64
 }
 
 // DefaultRebalanceThreshold is the max/mean cost ratio a rebalance pass
@@ -69,6 +77,9 @@ func (c RebalanceConfig) validate() error {
 	if c.MaxMoves < 0 {
 		return fmt.Errorf("shard: rebalance max moves must be non-negative, got %d", c.MaxMoves)
 	}
+	if c.MemoryWeight < 0 {
+		return fmt.Errorf("shard: rebalance memory weight must be non-negative, got %g", c.MemoryWeight)
+	}
 	return nil
 }
 
@@ -84,6 +95,13 @@ func (c RebalanceConfig) maxMoves() int {
 		return DefaultRebalanceMaxMoves
 	}
 	return c.MaxMoves
+}
+
+func (c RebalanceConfig) memoryWeight() float64 {
+	if c.MemoryWeight == 0 {
+		return DefaultRebalanceMemoryWeight
+	}
+	return c.MemoryWeight
 }
 
 // drainWorkers blocks until every shard has applied all currently queued

@@ -1,0 +1,256 @@
+// FMA tier of the AVX2 leg — opt-in only (simd.SetFMA via
+// topkmon.WithFMAKernels). VFMADD231PD rounds once per multiply-add
+// where the bit-exact legs round twice, so these kernels are ULP-bounded
+// against the scalar reference, never byte-identical. The topklint
+// bitexact analyzer confines FMA mnemonics to *fma*.s files; keeping the
+// fused kernels out of kernels_avx2_amd64.s is what lets the default
+// dispatch stay provably bit-exact. The product kernels have no
+// multiply-add to fuse and are shared with the bit-exact leg.
+
+#include "textflag.h"
+
+// func dotFmaD4(dst, coords, w *float64, quads int)
+TEXT ·dotFmaD4(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ coords+8(FP), SI
+	MOVQ w+16(FP), R8
+	MOVQ quads+24(FP), CX
+	VBROADCASTSD (R8), Y12
+	VBROADCASTSD 8(R8), Y13
+	VBROADCASTSD 16(R8), Y14
+
+dotfma_loop:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VMOVUPD 64(SI), Y2
+	VMOVUPD 96(SI), Y3
+	VUNPCKLPD Y1, Y0, Y4
+	VUNPCKHPD Y1, Y0, Y5
+	VUNPCKLPD Y3, Y2, Y6
+	VUNPCKHPD Y3, Y2, Y7
+	VPERM2F128 $0x20, Y6, Y4, Y8
+	VPERM2F128 $0x20, Y7, Y5, Y9
+	VPERM2F128 $0x31, Y6, Y4, Y10
+	VPERM2F128 $0x31, Y7, Y5, Y11
+	VBROADCASTSD 24(R8), Y7
+	VXORPD Y0, Y0, Y0
+	VFMADD231PD Y8, Y12, Y0    // acc += w0*x0, fused
+	VFMADD231PD Y9, Y13, Y0
+	VFMADD231PD Y10, Y14, Y0
+	VFMADD231PD Y11, Y7, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $128, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  dotfma_loop
+	VZEROUPPER
+	RET
+
+// func dotFmaAny(dst, coords, w *float64, quads, dims int)
+TEXT ·dotFmaAny(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ coords+8(FP), SI
+	MOVQ w+16(FP), R8
+	MOVQ quads+24(FP), CX
+	MOVQ dims+32(FP), DX
+	MOVQ DX, R9
+	SHLQ $3, R9
+
+dotfmaany_pgroup:
+	MOVQ SI, R10
+	LEAQ (SI)(R9*1), R11
+	LEAQ (R11)(R9*1), R12
+	LEAQ (R12)(R9*1), R13
+	MOVQ R8, BX
+	MOVQ DX, AX
+	VXORPD Y0, Y0, Y0
+
+dotfmaany_dim:
+	VMOVSD (R10), X1
+	VMOVHPD (R11), X1, X1
+	VMOVSD (R12), X2
+	VMOVHPD (R13), X2, X2
+	VINSERTF128 $1, X2, Y1, Y1
+	VBROADCASTSD (BX), Y2
+	VFMADD231PD Y1, Y2, Y0     // acc += w_i*x_i, fused
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $8, R12
+	ADDQ $8, R13
+	ADDQ $8, BX
+	DECQ AX
+	JNZ  dotfmaany_dim
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	LEAQ (SI)(R9*4), SI
+	DECQ CX
+	JNZ  dotfmaany_pgroup
+	VZEROUPPER
+	RET
+
+// func quadFmaD4(dst, coords, w *float64, quads int)
+TEXT ·quadFmaD4(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ coords+8(FP), SI
+	MOVQ w+16(FP), R8
+	MOVQ quads+24(FP), CX
+	VBROADCASTSD (R8), Y12
+	VBROADCASTSD 8(R8), Y13
+	VBROADCASTSD 16(R8), Y14
+
+quadfma_loop:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VMOVUPD 64(SI), Y2
+	VMOVUPD 96(SI), Y3
+	VUNPCKLPD Y1, Y0, Y4
+	VUNPCKHPD Y1, Y0, Y5
+	VUNPCKLPD Y3, Y2, Y6
+	VUNPCKHPD Y3, Y2, Y7
+	VPERM2F128 $0x20, Y6, Y4, Y8
+	VPERM2F128 $0x20, Y7, Y5, Y9
+	VPERM2F128 $0x31, Y6, Y4, Y10
+	VPERM2F128 $0x31, Y7, Y5, Y11
+	VBROADCASTSD 24(R8), Y7
+	VXORPD Y0, Y0, Y0
+	VMULPD Y8, Y12, Y1         // t = w0*x0 (rounded)
+	VFMADD231PD Y8, Y1, Y0     // acc += t*x0, fused
+	VMULPD Y9, Y13, Y1
+	VFMADD231PD Y9, Y1, Y0
+	VMULPD Y10, Y14, Y1
+	VFMADD231PD Y10, Y1, Y0
+	VMULPD Y11, Y7, Y1
+	VFMADD231PD Y11, Y1, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $128, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  quadfma_loop
+	VZEROUPPER
+	RET
+
+// func quadFmaAny(dst, coords, w *float64, quads, dims int)
+TEXT ·quadFmaAny(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ coords+8(FP), SI
+	MOVQ w+16(FP), R8
+	MOVQ quads+24(FP), CX
+	MOVQ dims+32(FP), DX
+	MOVQ DX, R9
+	SHLQ $3, R9
+
+quadfmaany_pgroup:
+	MOVQ SI, R10
+	LEAQ (SI)(R9*1), R11
+	LEAQ (R11)(R9*1), R12
+	LEAQ (R12)(R9*1), R13
+	MOVQ R8, BX
+	MOVQ DX, AX
+	VXORPD Y0, Y0, Y0
+
+quadfmaany_dim:
+	VMOVSD (R10), X1
+	VMOVHPD (R11), X1, X1
+	VMOVSD (R12), X2
+	VMOVHPD (R13), X2, X2
+	VINSERTF128 $1, X2, Y1, Y1
+	VBROADCASTSD (BX), Y2
+	VMULPD Y1, Y2, Y3          // t = w_i*x_i (rounded)
+	VFMADD231PD Y1, Y3, Y0     // acc += t*x_i, fused
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $8, R12
+	ADDQ $8, R13
+	ADDQ $8, BX
+	DECQ AX
+	JNZ  quadfmaany_dim
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	LEAQ (SI)(R9*4), SI
+	DECQ CX
+	JNZ  quadfmaany_pgroup
+	VZEROUPPER
+	RET
+
+// func dotMultiFmaD4(dst, coords, w *float64, pquads, n, qquads int)
+TEXT ·dotMultiFmaD4(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ w+16(FP), R8
+	MOVQ n+32(FP), R9
+	SHLQ $3, R9
+	LEAQ (R9)(R9*2), R13
+	MOVQ qquads+40(FP), DX
+
+dotmfma_qgroup:
+	MOVQ coords+8(FP), SI
+	MOVQ pquads+24(FP), CX
+	MOVQ DI, R10
+
+dotmfma_pgroup:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VMOVUPD 64(SI), Y2
+	VMOVUPD 96(SI), Y3
+	VUNPCKLPD Y1, Y0, Y4
+	VUNPCKHPD Y1, Y0, Y5
+	VUNPCKLPD Y3, Y2, Y6
+	VUNPCKHPD Y3, Y2, Y7
+	VPERM2F128 $0x20, Y6, Y4, Y8
+	VPERM2F128 $0x20, Y7, Y5, Y9
+	VPERM2F128 $0x31, Y6, Y4, Y10
+	VPERM2F128 $0x31, Y7, Y5, Y11
+
+	VXORPD Y0, Y0, Y0          // query row 0
+	VBROADCASTSD (R8), Y1
+	VFMADD231PD Y8, Y1, Y0
+	VBROADCASTSD 8(R8), Y1
+	VFMADD231PD Y9, Y1, Y0
+	VBROADCASTSD 16(R8), Y1
+	VFMADD231PD Y10, Y1, Y0
+	VBROADCASTSD 24(R8), Y1
+	VFMADD231PD Y11, Y1, Y0
+	VMOVUPD Y0, (R10)
+
+	VXORPD Y0, Y0, Y0          // query row 1
+	VBROADCASTSD 32(R8), Y1
+	VFMADD231PD Y8, Y1, Y0
+	VBROADCASTSD 40(R8), Y1
+	VFMADD231PD Y9, Y1, Y0
+	VBROADCASTSD 48(R8), Y1
+	VFMADD231PD Y10, Y1, Y0
+	VBROADCASTSD 56(R8), Y1
+	VFMADD231PD Y11, Y1, Y0
+	VMOVUPD Y0, (R10)(R9*1)
+
+	VXORPD Y0, Y0, Y0          // query row 2
+	VBROADCASTSD 64(R8), Y1
+	VFMADD231PD Y8, Y1, Y0
+	VBROADCASTSD 72(R8), Y1
+	VFMADD231PD Y9, Y1, Y0
+	VBROADCASTSD 80(R8), Y1
+	VFMADD231PD Y10, Y1, Y0
+	VBROADCASTSD 88(R8), Y1
+	VFMADD231PD Y11, Y1, Y0
+	VMOVUPD Y0, (R10)(R9*2)
+
+	VXORPD Y0, Y0, Y0          // query row 3
+	VBROADCASTSD 96(R8), Y1
+	VFMADD231PD Y8, Y1, Y0
+	VBROADCASTSD 104(R8), Y1
+	VFMADD231PD Y9, Y1, Y0
+	VBROADCASTSD 112(R8), Y1
+	VFMADD231PD Y10, Y1, Y0
+	VBROADCASTSD 120(R8), Y1
+	VFMADD231PD Y11, Y1, Y0
+	VMOVUPD Y0, (R10)(R13*1)
+
+	ADDQ $128, SI
+	ADDQ $32, R10
+	DECQ CX
+	JNZ  dotmfma_pgroup
+	ADDQ $128, R8
+	LEAQ (DI)(R9*4), DI
+	DECQ DX
+	JNZ  dotmfma_qgroup
+	VZEROUPPER
+	RET

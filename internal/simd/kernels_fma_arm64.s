@@ -1,0 +1,222 @@
+// FMA tier of the NEON leg — opt-in only (simd.SetFMA via
+// topkmon.WithFMAKernels). VFMLA rounds once per multiply-add where the
+// bit-exact leg rounds twice, so these kernels are ULP-bounded against
+// the scalar reference, never byte-identical. The topklint bitexact
+// analyzer confines fused mnemonics to *fma*.s files; the product
+// kernels have no multiply-add to fuse and are shared with the
+// bit-exact leg. Register conventions match kernels_neon_arm64.s.
+
+#include "textflag.h"
+
+#define FMUL2D(d, n, m) WORD $(0x6E60DC00 | ((m) << 16) | ((n) << 5) | (d))
+
+// func dotFmaD4(dst, coords, w *float64, quads int)
+TEXT ·dotFmaD4(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD coords+8(FP), R1
+	MOVD w+16(FP), R2
+	MOVD quads+24(FP), R3
+	VLD1R.P 8(R2), [V20.D2]
+	VLD1R.P 8(R2), [V21.D2]
+	VLD1R.P 8(R2), [V22.D2]
+	VLD1R.P 8(R2), [V23.D2]
+
+dotfma_loop:
+	VLD1.P 64(R1), [V0.D2, V1.D2, V2.D2, V3.D2]
+	VLD1.P 64(R1), [V4.D2, V5.D2, V6.D2, V7.D2]
+	VZIP1 V2.D2, V0.D2, V8.D2
+	VZIP2 V2.D2, V0.D2, V9.D2
+	VZIP1 V3.D2, V1.D2, V10.D2
+	VZIP2 V3.D2, V1.D2, V11.D2
+	VZIP1 V6.D2, V4.D2, V12.D2
+	VZIP2 V6.D2, V4.D2, V13.D2
+	VZIP1 V7.D2, V5.D2, V14.D2
+	VZIP2 V7.D2, V5.D2, V15.D2
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+	VFMLA V8.D2, V20.D2, V16.D2  // acc += w0*x0, fused (lo pair)
+	VFMLA V12.D2, V20.D2, V17.D2 // (hi pair)
+	VFMLA V9.D2, V21.D2, V16.D2
+	VFMLA V13.D2, V21.D2, V17.D2
+	VFMLA V10.D2, V22.D2, V16.D2
+	VFMLA V14.D2, V22.D2, V17.D2
+	VFMLA V11.D2, V23.D2, V16.D2
+	VFMLA V15.D2, V23.D2, V17.D2
+	VST1.P [V16.D2, V17.D2], 32(R0)
+	SUB $1, R3, R3
+	CBNZ R3, dotfma_loop
+	RET
+
+// func dotFmaAny(dst, coords, w *float64, quads, dims int)
+TEXT ·dotFmaAny(SB), NOSPLIT, $0-40
+	MOVD dst+0(FP), R0
+	MOVD coords+8(FP), R1
+	MOVD w+16(FP), R2
+	MOVD quads+24(FP), R3
+	MOVD dims+32(FP), R4
+	LSL $3, R4, R5
+
+dotfmaany_pgroup:
+	MOVD R1, R10
+	ADD R5, R10, R11
+	ADD R5, R11, R12
+	ADD R5, R12, R13
+	MOVD R2, R6
+	MOVD R4, R7
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+
+dotfmaany_dim:
+	VLD1.P 8(R10), V0.D[0]
+	VLD1.P 8(R11), V0.D[1]
+	VLD1.P 8(R12), V1.D[0]
+	VLD1.P 8(R13), V1.D[1]
+	VLD1R.P 8(R6), [V2.D2]
+	VFMLA V0.D2, V2.D2, V16.D2   // acc += w_i*x_i, fused
+	VFMLA V1.D2, V2.D2, V17.D2
+	SUB $1, R7, R7
+	CBNZ R7, dotfmaany_dim
+	VST1.P [V16.D2, V17.D2], 32(R0)
+	MOVD R13, R1
+	SUB $1, R3, R3
+	CBNZ R3, dotfmaany_pgroup
+	RET
+
+// func quadFmaD4(dst, coords, w *float64, quads int)
+TEXT ·quadFmaD4(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD coords+8(FP), R1
+	MOVD w+16(FP), R2
+	MOVD quads+24(FP), R3
+	VLD1R.P 8(R2), [V20.D2]
+	VLD1R.P 8(R2), [V21.D2]
+	VLD1R.P 8(R2), [V22.D2]
+	VLD1R.P 8(R2), [V23.D2]
+
+quadfma_loop:
+	VLD1.P 64(R1), [V0.D2, V1.D2, V2.D2, V3.D2]
+	VLD1.P 64(R1), [V4.D2, V5.D2, V6.D2, V7.D2]
+	VZIP1 V2.D2, V0.D2, V8.D2
+	VZIP2 V2.D2, V0.D2, V9.D2
+	VZIP1 V3.D2, V1.D2, V10.D2
+	VZIP2 V3.D2, V1.D2, V11.D2
+	VZIP1 V6.D2, V4.D2, V12.D2
+	VZIP2 V6.D2, V4.D2, V13.D2
+	VZIP1 V7.D2, V5.D2, V14.D2
+	VZIP2 V7.D2, V5.D2, V15.D2
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+	FMUL2D(0, 20, 8)             // t = w0*x0 (rounded)
+	VFMLA V8.D2, V0.D2, V16.D2   // acc += t*x0, fused
+	FMUL2D(0, 20, 12)
+	VFMLA V12.D2, V0.D2, V17.D2
+	FMUL2D(0, 21, 9)
+	VFMLA V9.D2, V0.D2, V16.D2
+	FMUL2D(0, 21, 13)
+	VFMLA V13.D2, V0.D2, V17.D2
+	FMUL2D(0, 22, 10)
+	VFMLA V10.D2, V0.D2, V16.D2
+	FMUL2D(0, 22, 14)
+	VFMLA V14.D2, V0.D2, V17.D2
+	FMUL2D(0, 23, 11)
+	VFMLA V11.D2, V0.D2, V16.D2
+	FMUL2D(0, 23, 15)
+	VFMLA V15.D2, V0.D2, V17.D2
+	VST1.P [V16.D2, V17.D2], 32(R0)
+	SUB $1, R3, R3
+	CBNZ R3, quadfma_loop
+	RET
+
+// func quadFmaAny(dst, coords, w *float64, quads, dims int)
+TEXT ·quadFmaAny(SB), NOSPLIT, $0-40
+	MOVD dst+0(FP), R0
+	MOVD coords+8(FP), R1
+	MOVD w+16(FP), R2
+	MOVD quads+24(FP), R3
+	MOVD dims+32(FP), R4
+	LSL $3, R4, R5
+
+quadfmaany_pgroup:
+	MOVD R1, R10
+	ADD R5, R10, R11
+	ADD R5, R11, R12
+	ADD R5, R12, R13
+	MOVD R2, R6
+	MOVD R4, R7
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+
+quadfmaany_dim:
+	VLD1.P 8(R10), V0.D[0]
+	VLD1.P 8(R11), V0.D[1]
+	VLD1.P 8(R12), V1.D[0]
+	VLD1.P 8(R13), V1.D[1]
+	VLD1R.P 8(R6), [V2.D2]
+	FMUL2D(3, 2, 0)              // t = w_i*x_i (rounded)
+	VFMLA V0.D2, V3.D2, V16.D2   // acc += t*x_i, fused
+	FMUL2D(3, 2, 1)
+	VFMLA V1.D2, V3.D2, V17.D2
+	SUB $1, R7, R7
+	CBNZ R7, quadfmaany_dim
+	VST1.P [V16.D2, V17.D2], 32(R0)
+	MOVD R13, R1
+	SUB $1, R3, R3
+	CBNZ R3, quadfmaany_pgroup
+	RET
+
+// func dotMultiFmaD4(dst, coords, w *float64, pquads, n, qquads int)
+TEXT ·dotMultiFmaD4(SB), NOSPLIT, $0-48
+	MOVD dst+0(FP), R0
+	MOVD w+16(FP), R2
+	MOVD n+32(FP), R9
+	LSL $3, R9, R9
+	MOVD qquads+40(FP), R3
+
+dotmfma_qgroup:
+	MOVD coords+8(FP), R7
+	MOVD pquads+24(FP), R5
+	MOVD R0, R10
+
+dotmfma_pgroup:
+	VLD1.P 64(R7), [V0.D2, V1.D2, V2.D2, V3.D2]
+	VLD1.P 64(R7), [V4.D2, V5.D2, V6.D2, V7.D2]
+	VZIP1 V2.D2, V0.D2, V8.D2
+	VZIP2 V2.D2, V0.D2, V9.D2
+	VZIP1 V3.D2, V1.D2, V10.D2
+	VZIP2 V3.D2, V1.D2, V11.D2
+	VZIP1 V6.D2, V4.D2, V12.D2
+	VZIP2 V6.D2, V4.D2, V13.D2
+	VZIP1 V7.D2, V5.D2, V14.D2
+	VZIP2 V7.D2, V5.D2, V15.D2
+	MOVD R2, R6
+	MOVD R10, R14
+	MOVD $4, R15
+
+dotmfma_qrow:
+	VEOR V16.B16, V16.B16, V16.B16
+	VEOR V17.B16, V17.B16, V17.B16
+	VLD1R.P 8(R6), [V2.D2]
+	VFMLA V8.D2, V2.D2, V16.D2
+	VFMLA V12.D2, V2.D2, V17.D2
+	VLD1R.P 8(R6), [V2.D2]
+	VFMLA V9.D2, V2.D2, V16.D2
+	VFMLA V13.D2, V2.D2, V17.D2
+	VLD1R.P 8(R6), [V2.D2]
+	VFMLA V10.D2, V2.D2, V16.D2
+	VFMLA V14.D2, V2.D2, V17.D2
+	VLD1R.P 8(R6), [V2.D2]
+	VFMLA V11.D2, V2.D2, V16.D2
+	VFMLA V15.D2, V2.D2, V17.D2
+	VST1 [V16.D2, V17.D2], (R14)
+	ADD R9, R14, R14
+	SUB $1, R15, R15
+	CBNZ R15, dotmfma_qrow
+
+	ADD $32, R10, R10
+	SUB $1, R5, R5
+	CBNZ R5, dotmfma_pgroup
+	ADD $128, R2, R2
+	ADD R9<<2, R0, R0
+	SUB $1, R3, R3
+	CBNZ R3, dotmfma_qgroup
+	RET

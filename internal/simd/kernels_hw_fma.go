@@ -1,0 +1,148 @@
+//go:build amd64 || arm64
+
+package simd
+
+// FMA-tier wrappers over the fused assembly kernels (kernels_fma_amd64.s
+// / kernels_fma_arm64.s). Structure mirrors kernels_hw.go: whole point
+// groups in assembly, Go-owned tails. The tails call the pointwise
+// chains of point_fma.go — NOT the twice-rounded reference loops —
+// because the tier's contract is self-consistency: ULP-bounded against
+// the scalar reference, but bit-identical across every path that scores
+// the same point while the tier is active. A tail point fused one way
+// and a grouped point fused another would give the engine two different
+// scores for one tuple, which flips total-order comparisons (result
+// membership, expiry maintenance) mid-run.
+
+// dotFmaD4 is dotAsmD4 with fused multiply-adds: one rounding per term,
+// ULP-bounded against the reference rather than bit-identical.
+//
+//go:noescape
+func dotFmaD4(dst, coords, w *float64, quads int)
+
+// dotFmaAny is dotFmaD4 for arbitrary dims >= 1.
+//
+//go:noescape
+func dotFmaAny(dst, coords, w *float64, quads, dims int)
+
+// quadFmaD4 is quadAsmD4 with the accumulate fused: acc = fma(w*x, x, acc).
+//
+//go:noescape
+func quadFmaD4(dst, coords, w *float64, quads int)
+
+// quadFmaAny is quadFmaD4 for arbitrary dims >= 1.
+//
+//go:noescape
+func quadFmaAny(dst, coords, w *float64, quads, dims int)
+
+// dotMultiFmaD4 is dotMultiAsmD4 with fused multiply-adds.
+//
+//go:noescape
+func dotMultiFmaD4(dst, coords, w *float64, pquads, n, qquads int)
+
+// hwDotFMA is hwDot on the fused kernels, with the tail fused through
+// the same per-point chain the kernels compute.
+//
+//topk:hot
+func hwDotFMA(dst, coords, w []float64) {
+	dims := len(w)
+	n := len(dst)
+	if dims == 0 || n == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	_ = coords[n*dims-1]
+	quads := n / 4
+	if quads > 0 {
+		if dims == 4 {
+			dotFmaD4(&dst[0], &coords[0], &w[0], quads)
+		} else {
+			dotFmaAny(&dst[0], &coords[0], &w[0], quads, dims)
+		}
+	}
+	for j := quads * 4; j < n; j++ {
+		b := j * dims
+		dst[j] = dotPointFMA(w, coords[b:b+dims:b+dims])
+	}
+}
+
+// hwQuadFMA is hwQuad on the fused kernels.
+//
+//topk:hot
+func hwQuadFMA(dst, coords, w []float64) {
+	dims := len(w)
+	n := len(dst)
+	if dims == 0 || n == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	_ = coords[n*dims-1]
+	quads := n / 4
+	if quads > 0 {
+		if dims == 4 {
+			quadFmaD4(&dst[0], &coords[0], &w[0], quads)
+		} else {
+			quadFmaAny(&dst[0], &coords[0], &w[0], quads, dims)
+		}
+	}
+	for j := quads * 4; j < n; j++ {
+		b := j * dims
+		dst[j] = quadPointFMA(w, coords[b:b+dims:b+dims])
+	}
+}
+
+// hwDotMultiFMA is hwDotMulti on the fused kernels.
+//
+//topk:hot
+func hwDotMultiFMA(dst, coords, w []float64, dims int) {
+	nq, n := multiShape(dst, coords, w, dims)
+	if dims == 0 || n == 0 || nq == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	_ = coords[n*dims-1]
+	if dims == 4 {
+		pquads := n / 4
+		qquads := nq / 4
+		if pquads > 0 && qquads > 0 {
+			dotMultiFmaD4(&dst[0], &coords[0], &w[0], pquads, n, qquads)
+		}
+		for q := 0; q < qquads*4; q++ {
+			row := dst[q*n : (q+1)*n : (q+1)*n]
+			wq := w[q*4 : q*4+4 : q*4+4]
+			for j := pquads * 4; j < n; j++ {
+				b := j * 4
+				row[j] = dotPointFMA(wq, coords[b:b+4:b+4])
+			}
+		}
+		for q := qquads * 4; q < nq; q++ {
+			hwDotFMA(dst[q*n:(q+1)*n], coords, w[q*4:(q+1)*4])
+		}
+		return
+	}
+	for q := 0; q < nq; q++ {
+		hwDotFMA(dst[q*n:(q+1)*n], coords, w[q*dims:(q+1)*dims])
+	}
+}
+
+// hwQuadMultiFMA is hwQuadMulti on the fused kernels, row-looping the
+// single-query fused kernel.
+//
+//topk:hot
+func hwQuadMultiFMA(dst, coords, w []float64, dims int) {
+	nq, n := multiShape(dst, coords, w, dims)
+	if dims == 0 || n == 0 || nq == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	for q := 0; q < nq; q++ {
+		hwQuadFMA(dst[q*n:(q+1)*n], coords, w[q*dims:(q+1)*dims])
+	}
+}

@@ -1,0 +1,384 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// forEachLeg runs fn once per leg this host supports, with the dispatch
+// routed to that leg, restoring the original (leg, fma) state afterwards.
+// The equivalence and fuzz suites run under it so every assembly leg is
+// held to the scalar reference on every host that can execute it — not
+// just the leg the process happened to boot with.
+func forEachLeg(t testing.TB, fn func(t testing.TB, leg Leg)) {
+	origLeg, origFMA := ActiveLeg(), FMAEnabled()
+	defer func() {
+		if err := SetLeg(origLeg); err != nil {
+			t.Fatalf("restoring leg %s: %v", origLeg, err)
+		}
+		if origFMA {
+			if err := SetFMA(true); err != nil {
+				t.Fatalf("restoring FMA tier: %v", err)
+			}
+		}
+	}()
+	for _, leg := range AvailableLegs() {
+		if err := SetLeg(leg); err != nil {
+			t.Fatalf("SetLeg(%s): %v", leg, err)
+		}
+		fn(t, leg)
+	}
+}
+
+// runOnLeg names the subtest after the leg when fn runs under *testing.T;
+// fuzz targets (testing.TB only) call fn directly.
+func runOnLeg(t testing.TB, leg Leg, fn func(t testing.TB)) {
+	if tt, ok := t.(*testing.T); ok {
+		tt.Run("leg="+leg.String(), func(tt *testing.T) { fn(tt) })
+		return
+	}
+	fn(t)
+}
+
+// TestEnvForcedLeg asserts that a TOPK_SIMD override really pinned the
+// dispatch: the active leg matches the variable and Forced reports it.
+// Without the variable the default must be the widest available leg and
+// must not claim to be forced.
+func TestEnvForcedLeg(t *testing.T) {
+	v := os.Getenv("TOPK_SIMD")
+	if v == "" {
+		if Forced() {
+			t.Fatal("Forced() = true without TOPK_SIMD")
+		}
+		return
+	}
+	want, err := ParseLeg(v)
+	if err != nil {
+		t.Fatalf("TOPK_SIMD=%q did not parse, yet the process booted: %v", v, err)
+	}
+	if !Forced() {
+		t.Fatalf("TOPK_SIMD=%q set but Forced() = false", v)
+	}
+	if got := ActiveLeg(); got != want {
+		t.Fatalf("TOPK_SIMD=%q but ActiveLeg() = %s: silent fallback", v, got)
+	}
+}
+
+// TestParseLegRoundTrip pins the TOPK_SIMD vocabulary.
+func TestParseLegRoundTrip(t *testing.T) {
+	for _, leg := range []Leg{LegScalar, LegUnrolled, LegAVX2, LegNEON} {
+		got, err := ParseLeg(leg.String())
+		if err != nil || got != leg {
+			t.Fatalf("ParseLeg(%q) = %v, %v; want %v", leg.String(), got, err, leg)
+		}
+	}
+	if _, err := ParseLeg("avx512"); err == nil {
+		t.Fatal("ParseLeg(avx512) succeeded; want error")
+	}
+}
+
+// TestSetLegUnsupported asserts that forcing an unsupported leg errors
+// and leaves the active leg untouched — the fail-loud half of the
+// forced-leg contract.
+func TestSetLegUnsupported(t *testing.T) {
+	avail := map[Leg]bool{}
+	for _, l := range AvailableLegs() {
+		avail[l] = true
+	}
+	before := ActiveLeg()
+	for _, l := range []Leg{LegAVX2, LegNEON, Leg(99)} {
+		if avail[l] {
+			continue
+		}
+		if err := SetLeg(l); err == nil {
+			t.Fatalf("SetLeg(%s) succeeded on a host that does not support it", l)
+		}
+		if got := ActiveLeg(); got != before {
+			t.Fatalf("failed SetLeg(%s) changed active leg to %s", l, got)
+		}
+	}
+}
+
+// TestAvailableLegsAlwaysRunnable asserts every advertised leg can
+// actually be selected, and that the pure-Go legs are always advertised.
+func TestAvailableLegsAlwaysRunnable(t *testing.T) {
+	legs := AvailableLegs()
+	seen := map[Leg]bool{}
+	for _, l := range legs {
+		seen[l] = true
+	}
+	if !seen[LegScalar] || !seen[LegUnrolled] {
+		t.Fatalf("AvailableLegs() = %v missing a pure-Go leg", legs)
+	}
+	forEachLeg(t, func(t testing.TB, leg Leg) {
+		if ActiveLeg() != leg {
+			t.Fatalf("after SetLeg(%s), ActiveLeg() = %s", leg, ActiveLeg())
+		}
+	})
+}
+
+// TestSetFMAGating pins the FMA tier rules: it only enables on a
+// hardware leg that has one, it reports via FMAEnabled, and SetLeg
+// always turns it back off.
+func TestSetFMAGating(t *testing.T) {
+	origLeg := ActiveLeg()
+	defer func() {
+		if err := SetLeg(origLeg); err != nil {
+			t.Fatalf("restoring leg: %v", err)
+		}
+	}()
+
+	if FMAEnabled() {
+		t.Fatal("FMA tier on by default")
+	}
+	for _, l := range []Leg{LegScalar, LegUnrolled} {
+		if err := SetLeg(l); err != nil {
+			t.Fatalf("SetLeg(%s): %v", l, err)
+		}
+		if err := SetFMA(true); err == nil {
+			t.Fatalf("SetFMA(true) succeeded on pure-Go leg %s", l)
+		}
+		if FMAEnabled() {
+			t.Fatalf("failed SetFMA left the tier enabled on %s", l)
+		}
+	}
+	hw, ok := HardwareLeg()
+	if !ok || !FMASupported() {
+		return
+	}
+	if err := SetLeg(hw); err != nil {
+		t.Fatalf("SetLeg(%s): %v", hw, err)
+	}
+	if err := SetFMA(true); err != nil {
+		t.Fatalf("SetFMA(true) on %s: %v", hw, err)
+	}
+	if !FMAEnabled() {
+		t.Fatal("SetFMA(true) succeeded but FMAEnabled() = false")
+	}
+	if err := SetLeg(hw); err != nil {
+		t.Fatalf("SetLeg(%s): %v", hw, err)
+	}
+	if FMAEnabled() {
+		t.Fatal("SetLeg did not disable the FMA tier")
+	}
+}
+
+// absInputs returns |v| for every element — the inputs for a
+// magnitude-accumulation reference run.
+func absInputs(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = math.Abs(x)
+	}
+	return out
+}
+
+// checkFMATol asserts |got-want| <= 4*dims*eps*absRef per slot. Fusing
+// removes one rounding per term, so the divergence between the fused and
+// two-rounding accumulations is bounded by a small multiple of dims
+// machine epsilons of the accumulated MAGNITUDE sum (absRef, the same
+// kernel run on |inputs|) — not of the result itself, which cancellation
+// can make arbitrarily smaller than its terms.
+func checkFMATol(t testing.TB, name string, dims int, got, want, absRef []float64) {
+	t.Helper()
+	const eps = 0x1p-52
+	for j := range want {
+		tol := 4 * float64(dims) * eps * absRef[j]
+		if d := math.Abs(got[j] - want[j]); !(d <= tol) {
+			t.Fatalf("%s dims=%d slot %d: fma %v vs scalar %v differ by %g (tol %g)",
+				name, dims, j, got[j], want[j], d, tol)
+		}
+	}
+}
+
+// TestFMAULPBounded holds the opt-in FMA tier to its contract: never
+// required to be byte-identical, but every score must stay within a
+// small error envelope of the scalar reference, proportional to the
+// accumulated magnitude.
+func TestFMAULPBounded(t *testing.T) {
+	hw, ok := HardwareLeg()
+	if !ok || !FMASupported() {
+		t.Skip("no FMA tier on this host")
+	}
+	origLeg := ActiveLeg()
+	defer func() {
+		if err := SetLeg(origLeg); err != nil {
+			t.Fatalf("restoring leg: %v", err)
+		}
+	}()
+	if err := SetLeg(hw); err != nil {
+		t.Fatalf("SetLeg(%s): %v", hw, err)
+	}
+	if err := SetFMA(true); err != nil {
+		t.Fatalf("SetFMA(true): %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for dims := 1; dims <= 9; dims++ {
+		for n := 0; n <= 21; n++ {
+			coords := make([]float64, n*dims)
+			for i := range coords {
+				coords[i] = rng.Float64()*2 - 1
+			}
+			absCoords := absInputs(coords)
+			for _, kc := range kernelCases() {
+				params := make([]float64, dims)
+				for i := range params {
+					params[i] = rng.Float64()*2 - 1
+				}
+				want := make([]float64, n)
+				got := make([]float64, n)
+				absRef := make([]float64, n)
+				kc.scalar(want, coords, params)
+				kc.kernel(got, coords, params)
+				kc.scalar(absRef, absCoords, absInputs(params))
+				checkFMATol(t, kc.name, dims, got, want, absRef)
+			}
+			// Multi kernels under the same bound.
+			nq := 6
+			params := make([]float64, nq*dims)
+			for i := range params {
+				params[i] = rng.Float64()*2 - 1
+			}
+			for _, kc := range multiKernelCases() {
+				want := make([]float64, nq*n)
+				got := make([]float64, nq*n)
+				absRef := make([]float64, nq*n)
+				kc.scalar(want, coords, params, dims)
+				kc.kernel(got, coords, params, dims)
+				kc.scalar(absRef, absCoords, absInputs(params), dims)
+				checkFMATol(t, kc.name+" multi", dims, got, want, absRef)
+			}
+		}
+	}
+}
+
+// checkPointwiseBlock asserts the within-run consistency contract under
+// whatever (leg, fma) state is currently dispatched: scoring a point
+// alone (Dot/Quad/Product) and scoring it inside a block — single- and
+// multi-query — must produce identical bits, tails and leftover rows
+// included. The engine compares scores computed on both paths (block
+// cell scoring vs pointwise influence/expiry checks); a single mismatched
+// bit flips those total-order comparisons and corrupts results, which is
+// exactly what unfused FMA-wrapper tails once did.
+func checkPointwiseBlock(t testing.TB, rng *rand.Rand) {
+	t.Helper()
+	state := ActiveLeg().String()
+	if FMAEnabled() {
+		state += "+fma"
+	}
+	points := []struct {
+		name  string
+		point func(params, x []float64) float64
+		block func(dst, coords, params []float64)
+		multi func(dst, coords, params []float64, dims int)
+	}{
+		{"dot", Dot, DotBlockInto, DotBlockMulti},
+		{"quad", Quad, QuadBlockInto, QuadBlockMulti},
+		{"product", Product, ProductBlockInto, ProductBlockMulti},
+	}
+	const nq = 6
+	for dims := 1; dims <= 9; dims++ {
+		for n := 1; n <= 21; n++ {
+			coords := make([]float64, n*dims)
+			for i := range coords {
+				coords[i] = rng.Float64()*2 - 1
+			}
+			mparams := make([]float64, nq*dims)
+			for i := range mparams {
+				mparams[i] = rng.Float64()*2 - 1
+			}
+			for _, pc := range points {
+				params := mparams[:dims]
+				blk := make([]float64, n)
+				pc.block(blk, coords, params)
+				for j := 0; j < n; j++ {
+					pw := pc.point(params, coords[j*dims:(j+1)*dims])
+					if !bitsEqual(blk[j], pw) {
+						t.Fatalf("%s %s dims=%d n=%d point %d: block %x != pointwise %x",
+							state, pc.name, dims, n, j,
+							math.Float64bits(blk[j]), math.Float64bits(pw))
+					}
+				}
+				mblk := make([]float64, nq*n)
+				pc.multi(mblk, coords, mparams, dims)
+				for q := 0; q < nq; q++ {
+					wq := mparams[q*dims : (q+1)*dims]
+					for j := 0; j < n; j++ {
+						pw := pc.point(wq, coords[j*dims:(j+1)*dims])
+						if !bitsEqual(mblk[q*n+j], pw) {
+							t.Fatalf("%s %s multi dims=%d n=%d q=%d point %d: block %x != pointwise %x",
+								state, pc.name, dims, n, q, j,
+								math.Float64bits(mblk[q*n+j]), math.Float64bits(pw))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPointwiseBlockConsistency holds every dispatch state this host
+// supports — each bit-exact leg, plus the FMA tier of the hardware leg —
+// to the pointwise/block consistency contract.
+func TestPointwiseBlockConsistency(t *testing.T) {
+	forEachLeg(t, func(t testing.TB, leg Leg) {
+		runOnLeg(t, leg, func(t testing.TB) {
+			checkPointwiseBlock(t, rand.New(rand.NewSource(13)))
+		})
+	})
+	hw, ok := HardwareLeg()
+	if !ok || !FMASupported() {
+		t.Log("no FMA tier on this host; fused consistency not exercised")
+		return
+	}
+	t.Run("leg="+hw.String()+"+fma", func(t *testing.T) {
+		origLeg := ActiveLeg()
+		defer func() {
+			if err := SetLeg(origLeg); err != nil {
+				t.Fatalf("restoring leg: %v", err)
+			}
+		}()
+		if err := SetLeg(hw); err != nil {
+			t.Fatalf("SetLeg(%s): %v", hw, err)
+		}
+		if err := SetFMA(true); err != nil {
+			t.Fatalf("SetFMA(true): %v", err)
+		}
+		checkPointwiseBlock(t, rand.New(rand.NewSource(13)))
+	})
+}
+
+// TestFMADefaultByteIdentical pins that with FMA left at its default
+// (off), the dispatched kernels are byte-identical to scalar even on the
+// hardware leg — the property that keeps checkpoint/difftest lineages
+// stable unless a caller explicitly opts in.
+func TestFMADefaultByteIdentical(t *testing.T) {
+	if FMAEnabled() {
+		t.Fatal("FMA tier enabled by default")
+	}
+	rng := rand.New(rand.NewSource(11))
+	n, dims := 37, 4
+	coords := make([]float64, n*dims)
+	for i := range coords {
+		coords[i] = rng.Float64()*2 - 1
+	}
+	params := make([]float64, dims)
+	for i := range params {
+		params[i] = rng.Float64()*2 - 1
+	}
+	for _, kc := range kernelCases() {
+		want := make([]float64, n)
+		got := make([]float64, n)
+		kc.scalar(want, coords, params)
+		kc.kernel(got, coords, params)
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("%s point %d: default dispatch %x != scalar %x",
+					kc.name, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+			}
+		}
+	}
+}

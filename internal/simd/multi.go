@@ -89,8 +89,8 @@ func dotBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 	q := 0
 	if dims == 4 {
 		// Mirror dotBlockUnrolled's dims==4 form exactly — sixteen
-		// weights hoisted to registers, scores built as w0*x0 then three
-		// adds — so every row stays bit-identical to the single-query
+		// weights hoisted to registers, scores accumulated from +0 with
+		// four adds — so every row stays bit-identical to the single-query
 		// kernel while each coordinate load feeds four query chains.
 		for ; q+4 <= nq; q += 4 {
 			wq := w[q*4 : q*4+16 : q*4+16]
@@ -105,19 +105,22 @@ func dotBlockMultiUnrolled(dst, coords, w []float64, dims int) {
 			for j := 0; j < n; j++ {
 				c := coords[j*4 : j*4+4 : j*4+4]
 				x0, x1, x2, x3 := c[0], c[1], c[2], c[3]
-				s0 := a0 * x0
+				// Start from +0 like the scalar reference (see
+				// dotBlockUnrolled): a -0 first product must round to +0.
+				var s0, s1, s2, s3 float64
+				s0 += float64(a0 * x0)
 				s0 += float64(a1 * x1)
 				s0 += float64(a2 * x2)
 				s0 += float64(a3 * x3)
-				s1 := b0 * x0
+				s1 += float64(b0 * x0)
 				s1 += float64(b1 * x1)
 				s1 += float64(b2 * x2)
 				s1 += float64(b3 * x3)
-				s2 := c0 * x0
+				s2 += float64(c0 * x0)
 				s2 += float64(c1 * x1)
 				s2 += float64(c2 * x2)
 				s2 += float64(c3 * x3)
-				s3 := d0 * x0
+				s3 += float64(d0 * x0)
 				s3 += float64(d1 * x1)
 				s3 += float64(d2 * x2)
 				s3 += float64(d3 * x3)

@@ -25,47 +25,50 @@ func multiKernelCases() []multiKernelCase {
 }
 
 // TestMultiKernelEquivalenceExhaustive sweeps (dims, n, nq) densely —
-// covering every 4-query unroll remainder — and requires bit-identical
-// output among the dispatched multi kernel, the scalar reference, and a
-// per-query loop over the single-query dispatch kernel.
+// covering every 4-query unroll remainder — on every leg this host
+// supports, and requires bit-identical output among the dispatched multi
+// kernel, the scalar reference, and a per-query loop over the
+// single-query dispatch kernel.
 func TestMultiKernelEquivalenceExhaustive(t *testing.T) {
-	rng := rand.New(rand.NewSource(43))
-	for _, kc := range multiKernelCases() {
-		t.Run(kc.name, func(t *testing.T) {
-			for dims := 1; dims <= 6; dims++ {
-				for n := 0; n <= 9; n++ {
-					for nq := 0; nq <= 9; nq++ {
-						coords := make([]float64, n*dims)
-						for i := range coords {
-							coords[i] = rng.Float64()
-						}
-						params := make([]float64, nq*dims)
-						for i := range params {
-							params[i] = rng.Float64()*2 - 1
-						}
-						want := make([]float64, nq*n)
-						got := make([]float64, nq*n)
-						perQ := make([]float64, nq*n)
-						kc.scalar(want, coords, params, dims)
-						kc.kernel(got, coords, params, dims)
-						for q := 0; q < nq; q++ {
-							kc.single(perQ[q*n:(q+1)*n], coords, params[q*dims:(q+1)*dims])
-						}
-						for j := range want {
-							if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-								t.Fatalf("dims=%d n=%d nq=%d slot %d: kernel %v != scalar %v",
-									dims, n, nq, j, got[j], want[j])
+	forEachLeg(t, func(tb testing.TB, leg Leg) {
+		runOnLeg(tb, leg, func(t testing.TB) {
+			rng := rand.New(rand.NewSource(43))
+			for _, kc := range multiKernelCases() {
+				for dims := 1; dims <= 6; dims++ {
+					for n := 0; n <= 9; n++ {
+						for nq := 0; nq <= 9; nq++ {
+							coords := make([]float64, n*dims)
+							for i := range coords {
+								coords[i] = rng.Float64()
 							}
-							if math.Float64bits(perQ[j]) != math.Float64bits(want[j]) {
-								t.Fatalf("dims=%d n=%d nq=%d slot %d: per-query %v != scalar %v",
-									dims, n, nq, j, perQ[j], want[j])
+							params := make([]float64, nq*dims)
+							for i := range params {
+								params[i] = rng.Float64()*2 - 1
+							}
+							want := make([]float64, nq*n)
+							got := make([]float64, nq*n)
+							perQ := make([]float64, nq*n)
+							kc.scalar(want, coords, params, dims)
+							kc.kernel(got, coords, params, dims)
+							for q := 0; q < nq; q++ {
+								kc.single(perQ[q*n:(q+1)*n], coords, params[q*dims:(q+1)*dims])
+							}
+							for j := range want {
+								if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+									t.Fatalf("%s %s dims=%d n=%d nq=%d slot %d: kernel %v != scalar %v",
+										leg, kc.name, dims, n, nq, j, got[j], want[j])
+								}
+								if math.Float64bits(perQ[j]) != math.Float64bits(want[j]) {
+									t.Fatalf("%s %s dims=%d n=%d nq=%d slot %d: per-query %v != scalar %v",
+										leg, kc.name, dims, n, nq, j, perQ[j], want[j])
+								}
 							}
 						}
 					}
 				}
 			}
 		})
-	}
+	})
 }
 
 // TestMultiKernelZeroDims pins the degenerate dims==0 behavior: the empty
@@ -82,40 +85,38 @@ func TestMultiKernelZeroDims(t *testing.T) {
 	}
 }
 
-// TestMultiKernelSpecialValues exercises denormals, extreme magnitudes,
-// zeros and mixed signs across the query block.
+// TestMultiKernelSpecialValues exercises the specialValues lattice
+// (denormals, extreme magnitudes, ±0, infinities, NaN) across the query
+// block on every leg this host supports.
 func TestMultiKernelSpecialValues(t *testing.T) {
-	values := []float64{
-		0, 1, -1, 0.5, -0.5,
-		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
-		1e-300, -1e-300, 1e300, -1e300,
-		math.Nextafter(1, 2), math.Nextafter(1, 0),
-	}
-	for _, kc := range multiKernelCases() {
-		t.Run(kc.name, func(t *testing.T) {
-			for dims := 1; dims <= 5; dims++ {
-				n, nq := 7, 13 // unroll groups plus remainders on both axes
-				coords := make([]float64, n*dims)
-				params := make([]float64, nq*dims)
-				for i := range coords {
-					coords[i] = values[i%len(values)]
-				}
-				for i := range params {
-					params[i] = values[(i*3+1)%len(values)]
-				}
-				want := make([]float64, nq*n)
-				got := make([]float64, nq*n)
-				kc.scalar(want, coords, params, dims)
-				kc.kernel(got, coords, params, dims)
-				for j := range want {
-					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-						t.Fatalf("dims=%d slot %d: kernel %x != scalar %x",
-							dims, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+	values := specialValues()
+	forEachLeg(t, func(tb testing.TB, leg Leg) {
+		runOnLeg(tb, leg, func(t testing.TB) {
+			for _, kc := range multiKernelCases() {
+				for dims := 1; dims <= 5; dims++ {
+					n, nq := 7, 13 // unroll groups plus remainders on both axes
+					coords := make([]float64, n*dims)
+					params := make([]float64, nq*dims)
+					for i := range coords {
+						coords[i] = values[i%len(values)]
+					}
+					for i := range params {
+						params[i] = values[(i*3+1)%len(values)]
+					}
+					want := make([]float64, nq*n)
+					got := make([]float64, nq*n)
+					kc.scalar(want, coords, params, dims)
+					kc.kernel(got, coords, params, dims)
+					for j := range want {
+						if !bitsEqual(got[j], want[j]) {
+							t.Fatalf("%s %s dims=%d slot %d: kernel %x != scalar %x",
+								leg, kc.name, dims, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+						}
 					}
 				}
 			}
 		})
-	}
+	})
 }
 
 // FuzzMultiKernels drives the (dispatch, scalar) equivalence of the
@@ -139,18 +140,20 @@ func FuzzMultiKernels(f *testing.F) {
 			n = 64
 		}
 		coords := rest[:n*dims]
-		for _, kc := range multiKernelCases() {
-			want := make([]float64, nq*n)
-			got := make([]float64, nq*n)
-			kc.scalar(want, coords, params, dims)
-			kc.kernel(got, coords, params, dims)
-			for j := range want {
-				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-					t.Fatalf("%s dims=%d n=%d nq=%d slot %d: kernel %x != scalar %x",
-						kc.name, dims, n, nq, j,
-						math.Float64bits(got[j]), math.Float64bits(want[j]))
+		forEachLeg(t, func(tb testing.TB, leg Leg) {
+			for _, kc := range multiKernelCases() {
+				want := make([]float64, nq*n)
+				got := make([]float64, nq*n)
+				kc.scalar(want, coords, params, dims)
+				kc.kernel(got, coords, params, dims)
+				for j := range want {
+					if !bitsEqual(got[j], want[j]) {
+						tb.Fatalf("%s %s dims=%d n=%d nq=%d slot %d: kernel %x != scalar %x",
+							leg, kc.name, dims, n, nq, j,
+							math.Float64bits(got[j]), math.Float64bits(want[j]))
+					}
 				}
 			}
-		}
+		})
 	})
 }

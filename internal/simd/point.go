@@ -1,0 +1,62 @@
+package simd
+
+// Pointwise scoring entry points. The geom scoring functions route their
+// Score methods here so that pointwise and block scores come from the
+// same dispatch: under the bit-exact legs both compute the twice-rounded
+// reference expression, and under the opt-in FMA tier both compute the
+// fused chain (point_fma.go) — a tuple's score never depends on whether
+// it was scored alone or as part of a block, which the engine's
+// total-order comparisons require.
+
+// Dot returns the dot product of w and x under the active tier. It is
+// the pointwise counterpart of DotBlockInto and mirrors
+// geom.Linear.Score. The float64 conversion forces the product to round
+// before the add: it blocks FMA contraction on arm64 so the bit-exact
+// path stays bit-identical across architectures (a free no-op on amd64,
+// where gc never fuses).
+//
+//topk:acc 1
+//topk:hot
+func Dot(w, x []float64) float64 {
+	if activeFMA {
+		return dotPointFMA(w, x)
+	}
+	var s float64
+	for i, wi := range w {
+		s += float64(wi * x[i])
+	}
+	return s
+}
+
+// Quad returns sum_i w[i]*x_i*x_i under the active tier, each bit-exact
+// term rounded as (w*x)*x. It is the pointwise counterpart of
+// QuadBlockInto and mirrors geom.Quadratic.Score.
+//
+//topk:acc 1
+//topk:hot
+func Quad(w, x []float64) float64 {
+	if activeFMA {
+		return quadPointFMA(w, x)
+	}
+	var s float64
+	for i, wi := range w {
+		xi := x[i]
+		s += float64(wi * xi * xi)
+	}
+	return s
+}
+
+// Product returns prod_i (off[i]+x_i) accumulated from 1.0, the
+// pointwise counterpart of ProductBlockInto (geom.Product.Score). The
+// product form has no multiply-add to fuse, so it has no FMA tier and
+// one path serves both tiers.
+//
+//topk:acc 1
+//topk:hot
+func Product(off, x []float64) float64 {
+	s := 1.0
+	for i, oi := range off {
+		s *= oi + x[i]
+	}
+	return s
+}

@@ -1,0 +1,41 @@
+package simd
+
+import "math"
+
+// The FMA tier's pointwise scalar references. The tier is allowed to
+// differ from the bit-exact legs — one rounding per multiply-add instead
+// of two — but it is NOT allowed to disagree with itself: scores feed
+// total-order comparisons inside the engine (result membership,
+// influence, expiry maintenance), so every path that scores the same
+// (weights, point) pair while the tier is active must produce identical
+// bits. These chains replicate the fused kernels' per-point accumulation
+// exactly — fma from +0 over dimensions in index order — and are the
+// single source of truth the block tails (kernels_hw_fma.go) and the
+// pointwise dispatch (point.go) both call.
+//
+// The file's *fma* name opts it out of the topklint fma rule, exactly
+// like the *fma*.s kernels: explicit fusing here is the contract, not a
+// violation of it.
+
+// dotPointFMA is the fused dot product s_{i+1} = fma(w_i, x_i, s_i) from
+// +0 — the chain dotFmaD4/dotFmaAny/dotMultiFmaD4 compute per lane.
+func dotPointFMA(w, x []float64) float64 {
+	var s float64
+	for i, wi := range w {
+		s = math.FMA(wi, x[i], s)
+	}
+	return s
+}
+
+// quadPointFMA is the fused quadratic form: each term's w*x product is
+// rounded (the fused kernels compute t = round(w*x) with a plain
+// multiply), then folded in with a single rounding via fma(t, x, s) —
+// the chain quadFmaD4/quadFmaAny compute per lane.
+func quadPointFMA(w, x []float64) float64 {
+	var s float64
+	for i, wi := range w {
+		xi := x[i]
+		s = math.FMA(wi*xi, xi, s)
+	}
+	return s
+}

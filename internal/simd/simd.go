@@ -4,13 +4,12 @@
 // A block holds n points contiguously: point j occupies
 // coords[j*dims : (j+1)*dims]. Each kernel fills dst[j] with the score of
 // point j under one scoring-function family (linear dot product, product
-// form, quadratic form). The kernels are written as four independent
-// accumulator chains over consecutive points so the Go compiler can keep
-// them in registers and auto-vectorize where the target supports it; on
-// architectures outside the allowlist (see kernels_portable.go) the
-// dispatch falls back to the scalar reference implementations.
+// form, quadratic form). Four implementation legs share each kernel's
+// contract (see leg.go): the scalar reference, a four-chain pure-Go
+// unroll, and the AVX2/NEON assembly legs, selected at startup by CPU
+// feature detection or forced via TOPK_SIMD / SetLeg.
 //
-// Bit-exactness contract: every kernel performs the per-point floating
+// Bit-exactness contract: every leg performs the per-point floating
 // point operations in exactly the order the corresponding
 // geom.ScoringFunction.Score method does (accumulate over dimensions in
 // index order), so batch and pointwise scoring yield bit-identical
@@ -18,15 +17,19 @@
 // total-order comparisons, and the differential harness asserts
 // byte-identical transcripts against a pointwise reference scorer. The
 // equivalence tests and the fuzz entry in this package pin the contract.
+// The opt-in FMA tier (SetFMA) relaxes the cross-leg contract to
+// ULP-bounded but keeps the within-run contract absolute: pointwise and
+// block paths compute the same fused chain (point_fma.go).
 //
 // The //topk:bitexact directive below puts this package under the
-// topklint bitexact analyzer: math.FMA is forbidden, every contractible
-// a*b+c shape must carry an explicit float64() rounding conversion (the
-// Go compiler fuses multiply-adds on arm64 but not amd64; the conversion
-// is a documented no-op on amd64 and makes arm64 match it bit for bit),
-// and the amd64/arm64/portable build legs must keep identical kernel
-// signatures. //topk:deterministic additionally bans wall-clock reads,
-// unseeded randomness, and iteration-order leaks.
+// topklint bitexact analyzer: math.FMA is forbidden outside the *fma*
+// opt-in files, every contractible a*b+c shape must carry an explicit
+// float64() rounding conversion (the Go compiler fuses multiply-adds on
+// arm64 but not amd64; the conversion is a documented no-op on amd64 and
+// makes arm64 match it bit for bit), and the amd64/arm64/portable build
+// legs must keep identical kernel signatures. //topk:deterministic
+// additionally bans wall-clock reads, unseeded randomness, and
+// iteration-order leaks.
 //
 //topk:bitexact
 //topk:deterministic
@@ -120,19 +123,24 @@ func dotBlockUnrolled(dst, coords, w []float64) {
 		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
 		for ; j+4 <= n; j += 4 {
 			c := coords[j*4 : j*4+16 : j*4+16]
-			s0 := w0 * c[0]
+			// Each chain starts from +0 like the scalar reference's
+			// accumulator: seeding with the first product instead would
+			// turn a -0 first term into a -0 score where the scalar
+			// kernel's +0 + (-0) rounds to +0.
+			var s0, s1, s2, s3 float64
+			s0 += float64(w0 * c[0])
 			s0 += float64(w1 * c[1])
 			s0 += float64(w2 * c[2])
 			s0 += float64(w3 * c[3])
-			s1 := w0 * c[4]
+			s1 += float64(w0 * c[4])
 			s1 += float64(w1 * c[5])
 			s1 += float64(w2 * c[6])
 			s1 += float64(w3 * c[7])
-			s2 := w0 * c[8]
+			s2 += float64(w0 * c[8])
 			s2 += float64(w1 * c[9])
 			s2 += float64(w2 * c[10])
 			s2 += float64(w3 * c[11])
-			s3 := w0 * c[12]
+			s3 += float64(w0 * c[12])
 			s3 += float64(w1 * c[13])
 			s3 += float64(w2 * c[14])
 			s3 += float64(w3 * c[15])

@@ -6,6 +6,18 @@ import (
 	"testing"
 )
 
+// bitsEqual is the bit-identity check modulo NaN payloads: any NaN
+// compares equal to any NaN. Which payload a NaN-producing chain ends up
+// with (a propagated input NaN vs the hardware's generated "indefinite"
+// NaN from 0*Inf or Inf-Inf) depends on operand order in the emitted
+// instructions, which Go does not define even between two pure-Go
+// builds of the same expression — so NaN-ness must agree exactly, the
+// payload is free. Scores that are NaN are outside the total-order
+// comparison contract anyway.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
 // kernelCase names one (dispatch, scalar) pair under test.
 type kernelCase struct {
 	name    string
@@ -24,36 +36,38 @@ func kernelCases() []kernelCase {
 
 // TestKernelEquivalenceExhaustive sweeps every (dims, n) pair in a dense
 // range — covering all unroll remainders and the dims==4 specialization —
-// and requires bit-identical output between the dispatched kernel and the
-// scalar reference.
+// on every leg this host supports, and requires bit-identical output
+// between the dispatched kernel and the scalar reference.
 func TestKernelEquivalenceExhaustive(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
-	for _, kc := range kernelCases() {
-		t.Run(kc.name, func(t *testing.T) {
-			for dims := 1; dims <= 9; dims++ {
-				for n := 0; n <= 21; n++ {
-					coords := make([]float64, n*dims)
-					for i := range coords {
-						coords[i] = rng.Float64()
-					}
-					params := make([]float64, dims)
-					for i := range params {
-						params[i] = rng.Float64()*2 - 1
-					}
-					want := make([]float64, n)
-					got := make([]float64, n)
-					kc.scalar(want, coords, params)
-					kc.kernel(got, coords, params)
-					for j := range want {
-						if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-							t.Fatalf("dims=%d n=%d point %d: kernel %v != scalar %v",
-								dims, n, j, got[j], want[j])
+	forEachLeg(t, func(tb testing.TB, leg Leg) {
+		runOnLeg(tb, leg, func(t testing.TB) {
+			rng := rand.New(rand.NewSource(42))
+			for _, kc := range kernelCases() {
+				for dims := 1; dims <= 9; dims++ {
+					for n := 0; n <= 21; n++ {
+						coords := make([]float64, n*dims)
+						for i := range coords {
+							coords[i] = rng.Float64()
+						}
+						params := make([]float64, dims)
+						for i := range params {
+							params[i] = rng.Float64()*2 - 1
+						}
+						want := make([]float64, n)
+						got := make([]float64, n)
+						kc.scalar(want, coords, params)
+						kc.kernel(got, coords, params)
+						for j := range want {
+							if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+								t.Fatalf("%s %s dims=%d n=%d point %d: kernel %v != scalar %v",
+									leg, kc.name, dims, n, j, got[j], want[j])
+							}
 						}
 					}
 				}
 			}
 		})
-	}
+	})
 }
 
 // TestKernelMatchesUnrolled pins the dispatch-vs-unrolled identity on the
@@ -71,40 +85,52 @@ func TestKernelZeroDims(t *testing.T) {
 	}
 }
 
-// TestKernelSpecialValues exercises denormals, extreme magnitudes, zeros
-// and mixed signs — regions where a reassociated kernel would diverge.
-func TestKernelSpecialValues(t *testing.T) {
-	values := []float64{
-		0, 1, -1, 0.5, -0.5,
+// specialValues are the IEEE edge cases every leg must reproduce
+// bit-for-bit: denormals, extreme magnitudes, both zero signs, infinities
+// and (canonical) NaN — regions where a reassociated kernel, a fused
+// multiply-add, or an accumulator seeded with the first product instead
+// of +0 would diverge.
+func specialValues() []float64 {
+	return []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5,
 		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
 		1e-300, -1e-300, 1e300, -1e300,
+		math.Inf(1), math.Inf(-1), math.NaN(),
 		math.Nextafter(1, 2), math.Nextafter(1, 0),
 	}
-	for _, kc := range kernelCases() {
-		t.Run(kc.name, func(t *testing.T) {
-			for dims := 1; dims <= 5; dims++ {
-				n := 13 // one full unroll group plus remainder
-				coords := make([]float64, n*dims)
-				params := make([]float64, dims)
-				for i := range coords {
-					coords[i] = values[i%len(values)]
-				}
-				for i := range params {
-					params[i] = values[(i*3+1)%len(values)]
-				}
-				want := make([]float64, n)
-				got := make([]float64, n)
-				kc.scalar(want, coords, params)
-				kc.kernel(got, coords, params)
-				for j := range want {
-					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-						t.Fatalf("dims=%d point %d: kernel %x != scalar %x",
-							dims, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+}
+
+// TestKernelSpecialValues exercises the specialValues lattice on every
+// leg this host supports.
+func TestKernelSpecialValues(t *testing.T) {
+	values := specialValues()
+	forEachLeg(t, func(tb testing.TB, leg Leg) {
+		runOnLeg(tb, leg, func(t testing.TB) {
+			for _, kc := range kernelCases() {
+				for dims := 1; dims <= 5; dims++ {
+					n := 13 // one full unroll group plus remainder
+					coords := make([]float64, n*dims)
+					params := make([]float64, dims)
+					for i := range coords {
+						coords[i] = values[i%len(values)]
+					}
+					for i := range params {
+						params[i] = values[(i*3+1)%len(values)]
+					}
+					want := make([]float64, n)
+					got := make([]float64, n)
+					kc.scalar(want, coords, params)
+					kc.kernel(got, coords, params)
+					for j := range want {
+						if !bitsEqual(got[j], want[j]) {
+							t.Fatalf("%s %s dims=%d point %d: kernel %x != scalar %x",
+								leg, kc.name, dims, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+						}
 					}
 				}
 			}
 		})
-	}
+	})
 }
 
 // FuzzKernels drives the (dispatch, scalar) equivalence from fuzzed bytes:
@@ -129,19 +155,21 @@ func FuzzKernels(f *testing.F) {
 			n = 256
 		}
 		coords := rest[:n*dims]
-		for _, kc := range kernelCases() {
-			want := make([]float64, n)
-			got := make([]float64, n)
-			kc.scalar(want, coords, params)
-			kc.kernel(got, coords, params)
-			for j := range want {
-				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-					t.Fatalf("%s dims=%d n=%d point %d: kernel %x != scalar %x",
-						kc.name, dims, n, j,
-						math.Float64bits(got[j]), math.Float64bits(want[j]))
+		forEachLeg(t, func(tb testing.TB, leg Leg) {
+			for _, kc := range kernelCases() {
+				want := make([]float64, n)
+				got := make([]float64, n)
+				kc.scalar(want, coords, params)
+				kc.kernel(got, coords, params)
+				for j := range want {
+					if !bitsEqual(got[j], want[j]) {
+						tb.Fatalf("%s %s dims=%d n=%d point %d: kernel %x != scalar %x",
+							leg, kc.name, dims, n, j,
+							math.Float64bits(got[j]), math.Float64bits(want[j]))
+					}
 				}
 			}
-		}
+		})
 	})
 }
 

@@ -125,6 +125,7 @@ type config struct {
 	checkpointDir      string
 	checkpointEvery    int
 	checkpointSync     bool
+	fmaKernels         bool
 }
 
 // Option configures a Monitor.
@@ -152,17 +153,24 @@ func WithPartitioning(p Partitioning) Option { return func(c *config) { c.partit
 // every query runs on every shard, so there is nothing to place).
 func WithPlacement(p Placement) Option { return func(c *config) { c.placement = p } }
 
-// WithRebalance enables periodic cost-aware shard rebalancing with live
-// query migration: every interval processing cycles the monitor attributes
-// maintenance cost per query (influence events, cells processed, heap
-// operations, cells walked — deterministic counters, not wall time), and
-// when the hottest shard's cost exceeds threshold × the mean shard cost it
-// migrates the most expensive movable queries onto the coldest shard.
-// Migrations happen at cycle barriers and never change results — the
-// differential harness forces them mid-run and asserts transcripts stay
-// byte-identical to the single engine. threshold <= 0 selects the default
-// (1.2); values in (0, 1) are rejected. Requires WithShards(n > 1) with
-// PartitionQueries. Stats.Migrations counts executed moves.
+// WithRebalance enables periodic cost-aware shard rebalancing. Every
+// interval processing cycles the monitor compares per-shard costs built
+// from deterministic counters (influence events, cells processed, heap
+// operations, cells walked — never wall time), and when the hottest
+// shard's cost exceeds threshold × the mean it sheds load onto the
+// coldest shard. What moves depends on the partitioning: under
+// PartitionQueries the most expensive movable queries migrate live;
+// under PartitionData the hottest routing buckets are reassigned, so
+// future arrivals land elsewhere while resident tuples stay pinned to
+// their shard until they expire — there the cost also carries a memory
+// term (engine footprint plus the cap-aware per-cell bytes high-water),
+// so a skewed tuple hash triggers rebalancing even when per-cycle work
+// hides it. Rebalancing happens at cycle barriers and never changes
+// results — the differential harness forces it mid-run and asserts
+// transcripts stay byte-identical to the single engine. threshold <= 0
+// selects the default (1.2); values in (0, 1) are rejected. Requires
+// WithShards(n > 1). Stats.Migrations counts executed moves (query
+// migrations or bucket reassignments).
 func WithRebalance(interval int, threshold float64) Option {
 	return func(c *config) {
 		c.rebalanceInterval = interval
@@ -261,6 +269,18 @@ func WithCheckpoint(dir string, every int) Option {
 // suffix since the last checkpoint). Checkpoints themselves always fsync.
 // It has no effect without WithCheckpoint.
 func WithCheckpointSync() Option { return func(c *config) { c.checkpointSync = true } }
+
+// WithFMAKernels opts the process into the fused-multiply-add tier of
+// the hardware simd leg. Fused kernels round once per multiply-add
+// instead of twice, which makes block scoring faster but only
+// ULP-bounded-equal to pointwise scoring — never byte-identical — so the
+// tier is off by default and New rejects it in combination with
+// WithCheckpoint: a checkpoint lineage's restore guarantee is
+// byte-identical replay, which fused scores cannot honor across hosts
+// with different legs. The setting is process-wide (it reconfigures the
+// kernel dispatch, not one monitor) and fails at New when the host has no
+// FMA tier (no hardware leg, or the CPU lacks the extension).
+func WithFMAKernels() Option { return func(c *config) { c.fmaKernels = true } }
 
 // WithGridRes fixes the number of grid cells per axis, overriding the
 // tuned default.

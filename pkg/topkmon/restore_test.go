@@ -50,6 +50,7 @@ func TestFacadeCheckpointRestore(t *testing.T) {
 		{"engine", nil},
 		{"query-sharded", []Option{WithShards(3)}},
 		{"data-sharded", []Option{WithShards(3), WithPartitioning(PartitionData)}},
+		{"data-rebalanced", []Option{WithShards(3), WithPartitioning(PartitionData), WithRebalance(2, 1.05)}},
 		{"least-loaded", []Option{WithShards(3), WithPlacement(PlacementLeastLoaded())}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {

@@ -67,6 +67,41 @@
 // A checkpoint directory holds one lineage: New refuses a dir with an
 // existing manifest (use Restore to resume it), so two monitors cannot
 // interleave WALs.
+//
+// # SIMD dispatch
+//
+// All scoring runs through internal/simd, which selects one of four
+// kernel legs at startup: hand-written AVX2 assembly (amd64 with AVX2),
+// NEON assembly (arm64), a 4-wide unrolled pure-Go leg, or the plain
+// scalar loop. Selection order is widest-first — the fastest leg the
+// CPU supports wins — and the choice is process-global and fixed for
+// the monitor's lifetime.
+//
+// Every leg obeys the same contract: bit-identical float64 results.
+// The assembly keeps the scalar loop's accumulation order and rounds
+// every intermediate product to float64, so a monitor produces the same
+// result transcript — and the same checkpoints — on an AVX2 server, a
+// NEON laptop, and a host with neither. That is what lets the
+// differential and crash-recovery harnesses compare transcripts across
+// machines, and it is why the default tier never fuses multiply-adds.
+//
+// WithFMAKernels opts one monitor into a faster tier that scores with
+// fused multiply-add instructions (VFMADD on amd64, FMLA on arm64).
+// Fusing skips one rounding step per term, so FMA-tier scores may
+// differ from the default tier by a bounded few ULPs — which can
+// reorder ties and produce a different (equally valid) transcript.
+// Within a single run the tier is still self-consistent: every path
+// that scores a tuple produces identical bits, so results remain
+// deterministic for a given configuration. It is opt-in precisely
+// because checkpoints and differential baselines recorded under the
+// default tier belong to a different lineage; do not mix tiers across
+// a Restore.
+//
+// The TOPK_SIMD environment variable (scalar, unrolled, avx2, neon)
+// forces a specific leg for testing and triage, panicking at startup if
+// the host cannot run it — a forced leg that silently fell back would
+// defeat the point. CI runs the kernel suites under every forcible leg
+// on both architectures.
 package topkmon
 
 import (
@@ -77,6 +112,7 @@ import (
 	"topkmon/internal/pipeline"
 	"topkmon/internal/recovery"
 	"topkmon/internal/shard"
+	"topkmon/internal/simd"
 )
 
 // Monitor is the public handle to a monitoring engine (single or sharded,
@@ -112,20 +148,30 @@ func New(dims int, opts ...Option) (*Monitor, error) {
 		return nil, err
 	}
 	m := &Monitor{policy: cfg.policy, clock: cfg.clock, shards: cfg.shards}
-	placed := cfg.placement != nil || cfg.rebalanceInterval > 0
-	if placed && (cfg.shards <= 1 || cfg.partition == PartitionData) {
-		return nil, fmt.Errorf("topkmon: WithPlacement/WithRebalance require WithShards(n > 1) with PartitionQueries")
+	if cfg.placement != nil && (cfg.shards <= 1 || cfg.partition == PartitionData) {
+		return nil, fmt.Errorf("topkmon: WithPlacement requires WithShards(n > 1) with PartitionQueries")
+	}
+	if cfg.rebalanceInterval > 0 && cfg.shards <= 1 {
+		return nil, fmt.Errorf("topkmon: WithRebalance requires WithShards(n > 1)")
+	}
+	if cfg.fmaKernels {
+		if cfg.checkpointDir != "" {
+			return nil, fmt.Errorf("topkmon: WithFMAKernels cannot be combined with WithCheckpoint: fused scores are not byte-identical across legs, so a checkpoint lineage could not guarantee identical replay")
+		}
+		if err := simd.SetFMA(true); err != nil {
+			return nil, fmt.Errorf("topkmon: WithFMAKernels: %w", err)
+		}
 	}
 	if cfg.shards > 1 {
 		var sh core.StreamMonitor
 		var err error
+		rb := shard.RebalanceConfig{Interval: cfg.rebalanceInterval}
+		if cfg.rebalanceThreshold > 0 {
+			rb.Threshold = cfg.rebalanceThreshold
+		}
 		if cfg.partition == PartitionData {
-			sh, err = shard.NewData(engOpts, cfg.shards)
+			sh, err = shard.NewDataWithConfig(engOpts, cfg.shards, rb)
 		} else {
-			rb := shard.RebalanceConfig{Interval: cfg.rebalanceInterval}
-			if cfg.rebalanceThreshold > 0 {
-				rb.Threshold = cfg.rebalanceThreshold
-			}
 			sh, err = shard.NewWithConfig(engOpts, cfg.shards, shard.Config{
 				Placement: cfg.placement,
 				Rebalance: rb,
