@@ -378,6 +378,12 @@ func BenchmarkQueryIndexProbe(b *testing.B) { benchsuite.RunGroup(b, "QueryIndex
 // registered. Ratios across the query counts are the scaling claim.
 func BenchmarkPubSubCycle(b *testing.B) { benchsuite.RunGroup(b, "PubSubCycle") }
 
+// BenchmarkAdmissionOverhead is the governor's free-when-idle A/B pair:
+// the same steady-state ingest cycle with and without the Normal-state
+// per-batch governor calls. cmd/benchreport gates governed within 2% of
+// ungoverned as a same-run ratio invariant.
+func BenchmarkAdmissionOverhead(b *testing.B) { benchsuite.RunGroup(b, "AdmissionOverhead") }
+
 // BenchmarkTopKComputation isolates the top-k computation module of
 // Figure 6 (the T_comp term of the Section 6 analysis) on a loaded grid.
 func BenchmarkTopKComputation(b *testing.B) {

@@ -234,6 +234,12 @@ func speedupInvariants() []speedupPair {
 	pairs := []speedupPair{
 		{"ScoreBlock batch-scoring", "ScoreBlock/kernel-d4", "ScoreBlock/pointwise-d4", 2},
 		{"MultiQueryKernel multi-query", "MultiQueryKernel/multi-d4", "MultiQueryKernel/perquery-d4", 2},
+		// cycle/fastpath >= 50 bounds the governor's Normal-state calls at
+		// under 2% of a steady-state ingest cycle — the free-when-idle
+		// claim, expressed as a two-orders-of-magnitude ratio so scheduler
+		// jitter on a shared runner cannot flap it the way a governed-vs-
+		// ungoverned A/B of two full-cycle timings would.
+		{"AdmissionOverhead fast path (<=2% of ungoverned cycle)", "AdmissionOverhead/fastpath", "AdmissionOverhead/ungoverned", 50},
 	}
 	if hw, ok := simd.HardwareLeg(); ok {
 		pairs = append(pairs,

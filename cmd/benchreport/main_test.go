@@ -90,15 +90,22 @@ func TestCheckSpeedup(t *testing.T) {
 }
 
 // TestSpeedupInvariantsIncludeHardwarePairs checks the host-aware
-// invariant set: the two 2x pairs always, plus the 1.5x
-// hardware-vs-unrolled pairs on hosts with an assembly leg (CI runners
-// always have one; a host without simply has nothing to bound).
+// invariant set: the two 2x kernel pairs and the admission-overhead
+// bound always, plus the 1.5x hardware-vs-unrolled pairs on hosts with
+// an assembly leg (CI runners always have one; a host without simply has
+// nothing to bound).
 func TestSpeedupInvariantsIncludeHardwarePairs(t *testing.T) {
 	pairs := speedupInvariants()
-	if len(pairs) < 2 {
-		t.Fatalf("got %d invariant pairs, want at least the two 2x pairs", len(pairs))
+	if len(pairs) < 3 {
+		t.Fatalf("got %d invariant pairs, want at least the two 2x pairs plus the admission-overhead bound", len(pairs))
 	}
-	for _, p := range pairs[2:] {
+	// The overhead bound rides the speedup machinery: ungoverned cycle
+	// (slow) over governor fast path (fast) >= 50 caps the governor's
+	// Normal-state calls at 2% of a steady-state cycle.
+	if p := pairs[2]; p.fast != "AdmissionOverhead/fastpath" || p.slow != "AdmissionOverhead/ungoverned" || p.min != 50 {
+		t.Fatalf("admission-overhead pair = %+v, want fastpath-vs-ungoverned at 50", p)
+	}
+	for _, p := range pairs[3:] {
 		if p.min != 1.5 {
 			t.Fatalf("hardware pair %q has bound %g, want 1.5", p.label, p.min)
 		}

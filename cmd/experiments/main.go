@@ -45,7 +45,7 @@ func watchSignals() <-chan struct{} {
 
 func main() {
 	var (
-		expFlag       = flag.String("exp", "all", "experiment id (fig14..fig21, table2, kmax, model, order, shards, partition, pipeline, rebalance, querycount), comma-separated, or 'all'")
+		expFlag       = flag.String("exp", "all", "experiment id (fig14..fig21, table2, kmax, model, order, shards, partition, pipeline, rebalance, querycount, overload), comma-separated, or 'all'")
 		scaleFlag     = flag.Float64("scale", 0.02, "workload scale relative to the paper's defaults (1 = full N=1M, Q=1K)")
 		seedFlag      = flag.Int64("seed", 1, "workload seed")
 		csvFlag       = flag.Bool("csv", false, "emit CSV instead of aligned tables")

@@ -61,6 +61,8 @@ func main() {
 		shardsFlag    = flag.Int("shards", 1, "engine shards (>1 runs the concurrent sharded engine)")
 		partitionFlag = flag.String("partition", "queries", "sharding layout for -shards > 1: 'queries' or 'data'")
 		pipelineFlag  = flag.Int("pipeline", 0, "async pipelined ingestion queue depth (0 = synchronous Step)")
+		admFlag       = flag.Bool("admission", false, "front pipelined ingestion with the load-shedding admission governor (requires -pipeline)")
+		memLimitFlag  = flag.Int64("mem-limit", 0, "hard memory limit in bytes for the governor's Critical watermark (implies -admission; requires -pipeline)")
 		placeFlag     = flag.String("placement", "", "query placement for -shards > 1: 'hash' (default) or 'least-loaded'")
 		rebalFlag     = flag.Int("rebalance", 0, "cost-aware rebalancing interval in cycles (0 = disabled; query partitioning only)")
 		ckptFlag      = flag.String("checkpoint", "", "checkpoint directory: WAL every batch and snapshot full state there (must not hold a previous lineage)")
@@ -107,6 +109,12 @@ func main() {
 			topkmon.WithShards(*shardsFlag), topkmon.WithPartitioning(partition)}
 		if *pipelineFlag > 0 {
 			monOpts = append(monOpts, topkmon.WithPipeline(*pipelineFlag))
+		}
+		if *admFlag {
+			monOpts = append(monOpts, topkmon.WithAdmission(topkmon.AdmissionConfig{}))
+		}
+		if *memLimitFlag > 0 {
+			monOpts = append(monOpts, topkmon.WithMemoryLimit(*memLimitFlag))
 		}
 		if *placeFlag != "" {
 			p, perr := topkmon.ParsePlacement(*placeFlag)
@@ -197,7 +205,12 @@ loop:
 				interrupted = true
 				break
 			}
-			fatal(err)
+			// A governor shed is graceful degradation, not a fault: the
+			// cycle's tuples are dropped (already counted in Stats) and the
+			// replay keeps going.
+			if !errors.Is(err, topkmon.ErrOverloaded) {
+				fatal(err)
+			}
 		}
 		cycles++
 		if cycles%*everyFlag == 0 {
@@ -226,6 +239,13 @@ loop:
 	s := mon.Stats()
 	fmt.Printf("replayed %d cycles, %d arrivals, %d expirations, %d recomputations\n",
 		cycles, s.Arrivals, s.Expirations, s.Recomputes)
+	if mon.AdmissionControlled() {
+		snap := mon.AdmissionStats()
+		fmt.Printf("admission: state=%s dropped=%d batches / %d tuples, degraded cycles=%d shedding + %d critical\n",
+			snap.State, s.DroppedBatches, s.DroppedTuples, snap.SheddingDrains, snap.CriticalDrains)
+	} else if s.DroppedBatches > 0 {
+		fmt.Printf("dropped: %d batches / %d tuples\n", s.DroppedBatches, s.DroppedTuples)
+	}
 	if interrupted {
 		fmt.Println("interrupted; state flushed" + checkpointNote(*ckptFlag, *restoreFlag))
 	}

@@ -57,6 +57,10 @@ func main() {
 		partitionFlag = flag.String("partition", "queries", "sharding layout for -shards > 1: 'queries' or 'data'")
 		pipelineFlag  = flag.Int("pipeline", 0, "async pipelined ingestion queue depth (grid algorithms; 0 = synchronous Step)")
 		pipeMaxFlag   = flag.Int("pipeline-max", 0, "adaptive pipeline depth ceiling (> -pipeline grows the queue under burst)")
+		admFlag       = flag.Bool("admission", false, "front pipelined ingestion with the load-shedding admission governor (requires -pipeline)")
+		memLimitFlag  = flag.Int64("mem-limit", 0, "hard memory limit in bytes for the governor's Critical watermark (implies -admission)")
+		admTargetFlag = flag.Duration("admission-target", 0, "per-cycle latency target for the governor: cycles above it count as overload (implies -admission)")
+		ingestIntFlag = flag.Duration("ingest-interval", 0, "pace pipelined ingestion to one batch per interval instead of generating flat out (requires -pipeline)")
 		placeFlag     = flag.String("placement", "", "query placement for -shards > 1: 'hash' (default) or 'least-loaded'")
 		rebalFlag     = flag.Int("rebalance", 0, "cost-aware rebalancing interval in cycles (0 = disabled; query partitioning only)")
 		rebalThrFlag  = flag.Float64("rebalance-threshold", 0, "max/mean cost ratio triggering migrations (0 = default 1.2)")
@@ -109,6 +113,10 @@ func main() {
 		RebalanceInterval:  *rebalFlag,
 		RebalanceThreshold: *rebalThrFlag,
 		ZipfK:              *zipfFlag,
+		Admission:          *admFlag,
+		MemLimit:           *memLimitFlag,
+		AdmissionTarget:    *admTargetFlag,
+		IngestInterval:     *ingestIntFlag,
 		CheckpointDir:      *ckptFlag,
 		CheckpointEvery:    *ckptEveryFlag,
 		Seed:               *seedFlag,
@@ -133,6 +141,10 @@ func main() {
 					harness.FormatMB(l.MemoryHighWater), harness.FormatMB(l.MaxCellBytesHighWater))
 			}
 			fmt.Println()
+		}
+		cfg.AdmissionProgress = func(cycle int, snap harness.AdmissionSnapshot) {
+			fmt.Printf("  cycle %d admission: state=%s rate=%.2f occ=%.2f admitted=%d shed=%d stripped=%d\n",
+				cycle, snap.State, snap.Rate, snap.AvgOccupancy, snap.Admitted, snap.ShedBatches, snap.StrippedBatches)
 		}
 	}
 	if err := cfg.Validate(); err != nil {
@@ -173,5 +185,17 @@ func main() {
 	}
 	if res.Migrations > 0 {
 		fmt.Printf("  query migrations:     %d\n", res.Migrations)
+	}
+	if res.AdmissionState != "" {
+		offered := int64(res.CyclesRun) * int64(cfg.R)
+		frac := 0.0
+		if offered > 0 {
+			frac = 100 * float64(res.DroppedTuples) / float64(offered)
+		}
+		fmt.Printf("  admission:            state=%s dropped=%d batches / %d tuples (%.1f%%) degraded cycles=%d shedding + %d critical\n",
+			res.AdmissionState, res.DroppedBatches, res.DroppedTuples, frac,
+			res.SheddingCycles, res.CriticalCycles)
+	} else if res.DroppedBatches > 0 {
+		fmt.Printf("  dropped:              %d batches / %d tuples\n", res.DroppedBatches, res.DroppedTuples)
 	}
 }

@@ -101,6 +101,69 @@
 //     cycle/delivery overlap pays; prefer synchronous Step when the
 //     caller needs each cycle's updates before producing the next batch.
 //
+// # Overload and admission control
+//
+// Backpressure policies answer a full queue; they do not answer sustained
+// overload, where the producer outruns the engine indefinitely and the
+// only question is which resource fails first (latency under Block,
+// data under DropOldest, memory under either). WithAdmission installs a
+// load-shedding governor (internal/admission) ahead of the pipelined
+// ingest queue that turns sustained overload into bounded, observable
+// staleness. It is a deterministic three-state machine:
+//
+//   - Normal: everything is admitted; the only cost is one uncontended
+//     lock round-trip per batch (pinned allocation-free and under 2% of
+//     a steady-state cycle by the AdmissionOverhead benchmarks and
+//     their benchreport ratio invariant).
+//   - Shedding, entered when the smoothed queue pressure — the EWMA of
+//     ingest-queue occupancy, or of the busiest shard's job-queue
+//     occupancy, whichever is higher, so one hot shard triggers shedding
+//     before the global queue backs up — crosses the high watermark, or
+//     when cycle latency breaches AdmissionConfig.CycleTarget. Two
+//     controllers thin the stream: an AIMD token bucket converges the
+//     admitted-batch rate onto the measured drain rate (additive raise
+//     per healthy cycle, multiplicative cut per breach, floored at
+//     MinRate so the stream is never starved), and a RED-style dropper
+//     sheds probabilistically with probability ramping from zero at the
+//     low watermark to MaxDropProb at the high one — random early
+//     dropping instead of deterministic tail-dropping, from a seeded
+//     PRNG so runs reproduce. Shedding exits to Normal only after
+//     HealthyExit consecutive healthy drains below the low watermark
+//     (hysteresis against square-wave flapping).
+//   - Critical, forced from any state when the larger of the engine's
+//     cap-aware footprint and the process heap crosses
+//     MemHighFraction of the WithMemoryLimit bytes. Critical admits
+//     nothing but deletions: arrivals are stripped from admitted batches
+//     while the cycles themselves still run, so window expiry keeps
+//     shrinking state instead of the queue pinning memory in place. It
+//     steps back down to Shedding (never straight to Normal) once memory
+//     falls below MemLowFraction and the queue has drained.
+//
+// The bounded-staleness contract: a governed monitor under overload
+// serves results that are exact for the admitted subsequence of the
+// stream — the transcript is byte-identical to a reference engine fed
+// exactly the admitted batches (shed batches skipped, Critical batches
+// arrivals-stripped), a property the overload differential suite
+// enforces across seeds and engine modes. Loss is never silent:
+// Stats.DroppedBatches/DroppedTuples count it, AdmissionStats reports
+// the governor's rate and per-state drain counters (SheddingDrains and
+// CriticalDrains are the staleness figures: cycles run while degraded),
+// AdmissionState is a lock-free poll, and on a checkpointed monitor every
+// shed batch writes an advisory WAL drop record. The overload experiment
+// (go run ./cmd/experiments -exp overload) sweeps paced arrival rates
+// from 1x to 16x the calibrated cycle budget across shard counts and
+// tabulates drop fraction, degraded cycles, and peak memory.
+//
+// Choosing a policy: Block alone when loss is unacceptable and the
+// producer can stall (lossless, unbounded producer latency under
+// overload); DropOldest alone when the producer must never stall and
+// freshest-data-wins (sheds the oldest queued batch, keeps the newest);
+// admission control over either when overload is sustained rather than
+// bursty — it sheds early, proportionally and reproducibly instead of
+// tail-dropping whatever the queue happened to hold, bounds memory, and
+// under Block converts the stall into a typed ErrOverloaded the producer
+// can back off on.
+//
 // The per-cycle hot path is columnar and batch-scored. Each grid cell
 // stores its tuples as a struct-of-arrays block — one flat dims-strided
 // coordinate array with parallel id/sequence/timestamp/pointer columns —
@@ -154,7 +217,7 @@
 // kernel-vs-pointwise, MultiQueryKernel multi-vs-per-query,
 // QueryIndexProbe, the PubSubCycle query-count series and
 // TopKComputation), reachable both via `go test -bench` and via `go run
-// ./cmd/benchreport`, which emits BENCH_7.json (ns/op, allocs/op, MB/s
+// ./cmd/benchreport`, which emits BENCH_8.json (ns/op, allocs/op, MB/s
 // per benchmark, plus the ScoreBlockLeg/MultiQueryKernelLeg per-leg
 // series). CI regenerates the report on every push and gates it against
 // the committed baseline at ±15%, plus hardware-independent speedup
@@ -163,7 +226,7 @@
 // re-runs the kernel equivalence tests and fuzz smokes to pin
 // bit-identity on a fusing architecture, and both arch jobs re-run the
 // kernel suites under every TOPK_SIMD-forcible leg. Refresh the baseline
-// with `go run ./cmd/benchreport -out BENCH_7.json` when a PR
+// with `go run ./cmd/benchreport -out BENCH_8.json` when a PR
 // intentionally shifts it.
 //
 // # SIMD dispatch

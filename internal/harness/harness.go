@@ -10,10 +10,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"topkmon/internal/admission"
 	"topkmon/internal/core"
 	"topkmon/internal/geom"
 	"topkmon/internal/pipeline"
@@ -27,6 +29,10 @@ import (
 // ShardLoad re-exports the shard package's per-shard load figure for the
 // commands' Progress callbacks.
 type ShardLoad = shard.ShardLoad
+
+// AdmissionSnapshot re-exports the governor's counter snapshot for the
+// commands' AdmissionProgress callbacks and epilogues.
+type AdmissionSnapshot = admission.Snapshot
 
 // Algo identifies one of the three compared algorithms.
 type Algo int
@@ -111,6 +117,29 @@ type Config struct {
 	// PipelineMax, when greater than Pipeline, lets the ingest queue grow
 	// adaptively under burst up to this bound (see pipeline.Options).
 	PipelineMax int
+	// Admission fronts pipelined ingestion with the load-shedding governor
+	// (internal/admission): under sustained overload batches are shed —
+	// counted in Result.DroppedBatches/DroppedTuples — instead of queueing
+	// without bound, and the run keeps going. Requires Pipeline > 0; grid
+	// algorithms only.
+	Admission bool
+	// MemLimit arms the governor's memory watermark, in bytes: crossing it
+	// forces the Critical state (arrivals stripped, expiry keeps running).
+	// Implies Admission.
+	MemLimit int64
+	// AdmissionTarget arms the governor's per-cycle latency trigger: drain
+	// or hot-shard observations above it count as overload even while the
+	// queue looks shallow. Zero leaves only the occupancy and memory
+	// triggers. Requires Admission (or MemLimit).
+	AdmissionTarget time.Duration
+	// IngestInterval paces pipelined ingestion to one batch per interval
+	// instead of generating flat out. The generator is effectively
+	// infinitely fast relative to the engine, so an unpaced closed loop
+	// pegs the bounded queue at any batch size and queue occupancy stops
+	// meaning anything; pacing restores a real arrival rate, which is what
+	// an overload sweep varies. Zero disables pacing. Requires
+	// Pipeline > 0.
+	IngestInterval time.Duration
 	// ZipfK, when > 1, draws each query's k from 1 + Zipf(ZipfK) capped at
 	// 4×K instead of the uniform K — the skewed per-query-cost workload
 	// the rebalance sweep needs (a few expensive queries among many cheap
@@ -147,6 +176,10 @@ type Config struct {
 	// is a barrier, so frequent progress sampling costs overlap.
 	Progress      func(cycle int, loads []shard.ShardLoad)
 	ProgressEvery int
+	// AdmissionProgress, when non-nil with ProgressEvery > 0, fires at the
+	// same cadence as Progress with the governor's current snapshot
+	// (admission-controlled pipelined runs only).
+	AdmissionProgress func(cycle int, snap admission.Snapshot)
 	// CheckpointDir, when non-empty, wraps the monitor in a durability
 	// guard (internal/recovery): batches are WAL-logged before they are
 	// applied and the full monitor state is checkpointed into this
@@ -204,6 +237,18 @@ func (c Config) Validate() error {
 	if c.CheckpointDir != "" && c.Algo == AlgoTSL {
 		return fmt.Errorf("harness: CheckpointDir applies to the grid algorithms only")
 	}
+	// The governor fronts the pipelined ingest queue: without a pipeline
+	// there is no queue to govern, and silently ignoring the flags would
+	// publish an ungoverned run as an admission measurement.
+	if (c.Admission || c.MemLimit > 0 || c.AdmissionTarget > 0) && (c.Pipeline <= 0 || c.Algo == AlgoTSL) {
+		return fmt.Errorf("harness: Admission/MemLimit require Pipeline > 0 on a grid algorithm")
+	}
+	// Pacing sleeps inside the measured loop: on the synchronous path the
+	// sleep would be booked as engine time and publish bogus per-cycle
+	// figures.
+	if c.IngestInterval > 0 && (c.Pipeline <= 0 || c.Algo == AlgoTSL) {
+		return fmt.Errorf("harness: IngestInterval requires Pipeline > 0 on a grid algorithm")
+	}
 	return nil
 }
 
@@ -248,6 +293,20 @@ type Result struct {
 	// MaxCellBytesHighWater is the largest single grid cell ever
 	// allocated, in bytes — the tuple-skew figure (grid engines).
 	MaxCellBytesHighWater int64
+	// DroppedBatches and DroppedTuples count the load shed by the admission
+	// governor (or by a drop-oldest queue) on a pipelined run: whole cycles
+	// and the stream events they carried that never reached the engine.
+	DroppedBatches int64
+	DroppedTuples  int64
+	// AdmissionState is the governor's final state ("" when admission is
+	// off): "normal" means the run ended recovered, "shedding"/"critical"
+	// that overload outlasted the measured cycles.
+	AdmissionState string
+	// SheddingCycles and CriticalCycles count cycles drained while the
+	// governor was degraded — the bounded-staleness figure of an overload
+	// run.
+	SheddingCycles int64
+	CriticalCycles int64
 	// CyclesRun counts the processing cycles actually executed; less than
 	// Config.Cycles only when the run was interrupted.
 	CyclesRun int
@@ -451,29 +510,73 @@ func Run(cfg Config) (Result, error) {
 		// a consumer goroutine, ingest without waiting, and close the run
 		// with the Flush barrier so every cycle is applied and delivered
 		// inside the measured span.
-		p := pipeline.New(mon.(core.StreamMonitor), pipeline.Options{Depth: cfg.Pipeline, MaxDepth: cfg.PipelineMax})
+		popts := pipeline.Options{Depth: cfg.Pipeline, MaxDepth: cfg.PipelineMax}
+		var gov *admission.Governor
+		if cfg.Admission || cfg.MemLimit > 0 || cfg.AdmissionTarget > 0 {
+			gov = admission.New(admission.Config{
+				Seed:        cfg.Seed,
+				MemLimit:    cfg.MemLimit,
+				CycleTarget: cfg.AdmissionTarget,
+			})
+			popts.Admission = gov
+		}
+		// Init (prefill + registration) ran through the same shard workers
+		// as live cycles but at orders-of-magnitude larger batch sizes;
+		// without a reset the stale EWMA reads as a latency breach and the
+		// governor sheds a perfectly healthy run's first cycles.
+		if gov != nil {
+			if rl, ok := mon.(interface{ ResetLoadStats() }); ok {
+				rl.ResetLoadStats()
+			}
+		}
+		p := pipeline.New(mon.(core.StreamMonitor), popts)
 		consumerDone := p.Drain()
 		// Close is idempotent: the stats epilogue below closes the monitor
 		// too, this deferred close only covers error returns and joins the
 		// consumer either way.
 		defer func() { _ = p.Close(); <-consumerDone }()
 		t1 := time.Now()
+		next := time.Now()
 		for c := 0; c < cfg.Cycles && !res.Interrupted; c++ {
 			if cfg.stopped() {
 				res.Interrupted = true
 				break
 			}
+			if cfg.IngestInterval > 0 {
+				// Fixed-schedule pacing: sleep to the slot, not for the
+				// interval, so a slow Ingest (the queue blocking) eats its
+				// own budget instead of pushing every later arrival back.
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(cfg.IngestInterval)
+			}
 			if err := p.Ingest(ts, gen.Batch(cfg.R, ts)); err != nil {
-				return res, err
+				// A governor shed is the run degrading as designed: the
+				// cycle's arrivals are the staleness cost, the run goes on.
+				if gov == nil || !errors.Is(err, admission.ErrOverloaded) {
+					return res, err
+				}
 			}
 			ts++
 			res.CyclesRun++
 			cfg.progress(c, p)
+			if gov != nil && cfg.AdmissionProgress != nil && cfg.ProgressEvery > 0 && (c+1)%cfg.ProgressEvery == 0 {
+				cfg.AdmissionProgress(c+1, gov.Snapshot())
+			}
 		}
 		if err := p.Flush(); err != nil {
 			return res, err
 		}
 		runTime = time.Since(t1)
+		res.DroppedBatches = p.Dropped()
+		res.DroppedTuples = p.DroppedTuples()
+		if gov != nil {
+			snap := gov.Snapshot()
+			res.AdmissionState = snap.State.String()
+			res.SheddingCycles = snap.SheddingDrains
+			res.CriticalCycles = snap.CriticalDrains
+		}
 		mon = p
 	} else {
 		t1 := time.Now()

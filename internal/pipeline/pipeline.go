@@ -51,9 +51,12 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"runtime/metrics"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"topkmon/internal/admission"
 	"topkmon/internal/core"
 	"topkmon/internal/shard"
 	"topkmon/internal/stream"
@@ -129,8 +132,27 @@ type Options struct {
 	// per-drop WAL records, so a replayed transcript can account for the
 	// exact stream events load shedding discarded. Called outside the
 	// pipeline's internal lock, on the producer goroutine that triggered
-	// the shed; implementations may block or take their own locks.
+	// the shed; implementations may block or take their own locks. Batches
+	// shed (or arrival-stripped) by the admission governor are logged the
+	// same way, whatever the backpressure policy.
 	DropLog DropLogger
+	// Admission, when non-nil, is the load-shedding governor consulted
+	// before every batch enters the ingest queue. A Shed verdict rejects
+	// the whole batch — under Block the producer sees an error wrapping
+	// admission.ErrOverloaded, under DropOldest the batch is silently
+	// counted in Stats.DroppedBatches — and an AdmitDeletions verdict
+	// (Critical state) strips the batch's arrivals while the cycle still
+	// runs. The pipeline feeds the governor its drain, hot-shard and
+	// memory observations from the runner goroutine.
+	Admission *admission.Governor
+	// AdmissionLog, when non-nil, observes the final fate of every batch
+	// offered while a governor is installed: the decision for batch `now`
+	// is the last one reported for that timestamp (a batch admitted into
+	// the queue and later shed by DropOldest is reported twice, Admit then
+	// Shed). The overload differential harness uses this to reconstruct
+	// the admitted subsequence. Called on the producer goroutine, outside
+	// the pipeline's internal lock; must not call back into the pipeline.
+	AdmissionLog func(now int64, d admission.Decision)
 }
 
 // DropLogger receives the content of batches shed under the DropOldest
@@ -201,6 +223,18 @@ type Pipeline struct {
 	highWater     atomic.Int64
 	dropLog       DropLogger
 
+	// gov is the admission governor (nil when disabled); admLog its
+	// decision hook. qBatches and qDepth mirror batches and effDepth
+	// (maintained under mu, read lock-free) so the admission decision and
+	// the runner's drain observation see queue occupancy without taking
+	// mu a second time. appliedBatches is runner-private and spaces the
+	// memory-watermark samples.
+	gov            *admission.Governor
+	admLog         func(now int64, d admission.Decision)
+	qBatches       atomic.Int64
+	qDepth         atomic.Int64
+	appliedBatches int
+
 	deliveries chan delivery
 	out        chan []core.Update
 
@@ -229,6 +263,8 @@ func New(mon core.StreamMonitor, opts Options) *Pipeline {
 		effDepth: depth,
 		policy:   opts.Policy,
 		dropLog:  opts.DropLog,
+		gov:      opts.Admission,
+		admLog:   opts.AdmissionLog,
 		// The delivery buffers are sized for the maximum: adaptive growth
 		// only moves the ingest bound, never reallocates channels.
 		deliveries:    make(chan delivery, maxDepth),
@@ -236,6 +272,7 @@ func New(mon core.StreamMonitor, opts Options) *Pipeline {
 		delivererDone: make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
+	p.qDepth.Store(int64(depth))
 	go p.runner()
 	go p.deliverer()
 	return p
@@ -261,6 +298,10 @@ func (p *Pipeline) HighWater() int64 { return p.highWater.Load() }
 
 // Policy returns the configured backpressure policy.
 func (p *Pipeline) Policy() Policy { return p.policy }
+
+// Admission returns the governor fronting this pipeline, nil when
+// admission control is disabled.
+func (p *Pipeline) Admission() *admission.Governor { return p.gov }
 
 // Updates returns the ordered delivery channel: one non-empty []Update per
 // cycle that changed any result, closed by Close after the final delivery.
@@ -304,6 +345,18 @@ func (p *Pipeline) IngestUpdate(now int64, arrivals []*stream.Tuple, deletions [
 }
 
 func (p *Pipeline) enqueueBatch(j *job) error {
+	// The admission decision runs before the queue is touched: a shed
+	// batch never contends for a slot, and the governor sees the
+	// occupancy the batch would have joined.
+	dec := admission.Admit
+	if p.gov != nil {
+		var done bool
+		var err error
+		dec, done, err = p.admitBatch(j)
+		if done {
+			return err
+		}
+	}
 	// Shed batches are collected under the lock and accounted after it is
 	// released: the drop log may block (it appends WAL records), and mu is
 	// a leaf lock on the cycle path.
@@ -312,11 +365,65 @@ func (p *Pipeline) enqueueBatch(j *job) error {
 	for _, q := range shed {
 		p.dropped.Add(1)
 		p.droppedTuples.Add(int64(len(q.arrivals) + len(q.deletions)))
+		if p.admLog != nil {
+			// A queue-shed overrides the batch's earlier Admit report: the
+			// last decision logged for a timestamp is its final fate.
+			p.admLog(q.now, admission.Shed)
+		}
 		if p.dropLog != nil {
 			p.dropLog.LogDrop(q.now, q.isUpdate, q.arrivals, q.deletions)
 		}
 	}
+	if err == nil && p.gov != nil && p.admLog != nil {
+		p.admLog(j.now, dec)
+	}
 	return err
+}
+
+// admitBatch consults the governor about one offered batch. done reports
+// that the batch must not be enqueued: the producer sees err (an
+// ErrOverloaded wrap under Block, nil under DropOldest — shedding is what
+// that policy asked for). An AdmitDeletions verdict strips the batch's
+// arrivals in place (drop-logging them) and lets it proceed.
+func (p *Pipeline) admitBatch(j *job) (dec admission.Decision, done bool, err error) {
+	dec = p.gov.Admit(int(p.qBatches.Load()), int(p.qDepth.Load()), len(j.arrivals), len(j.deletions))
+	switch dec {
+	case admission.Shed:
+		// A closed (or failed) pipeline reports its terminal error, not a
+		// drop: the batch was never going to be applied either way, and
+		// counting it as shed would misattribute the loss.
+		p.mu.Lock()
+		closed, cycleErr := p.closed, p.err
+		p.mu.Unlock()
+		if closed {
+			return dec, true, ErrClosed
+		}
+		if cycleErr != nil {
+			return dec, true, cycleErr
+		}
+		p.dropped.Add(1)
+		p.droppedTuples.Add(int64(len(j.arrivals) + len(j.deletions)))
+		if p.admLog != nil {
+			p.admLog(j.now, admission.Shed)
+		}
+		if p.dropLog != nil {
+			p.dropLog.LogDrop(j.now, j.isUpdate, j.arrivals, j.deletions)
+		}
+		if p.policy == Block {
+			return dec, true, fmt.Errorf("pipeline: batch at t=%d shed by the admission governor (state %s): %w",
+				j.now, p.gov.State(), admission.ErrOverloaded)
+		}
+		return dec, true, nil
+	case admission.AdmitDeletions:
+		if len(j.arrivals) > 0 {
+			p.droppedTuples.Add(int64(len(j.arrivals)))
+			if p.dropLog != nil {
+				p.dropLog.LogDrop(j.now, j.isUpdate, j.arrivals, nil)
+			}
+			j.arrivals = nil
+		}
+	}
+	return dec, false, nil
 }
 
 func (p *Pipeline) enqueueBatchLocked(j *job, shed *[]*job) error {
@@ -341,6 +448,7 @@ func (p *Pipeline) enqueueBatchLocked(j *job, shed *[]*job) error {
 			if p.effDepth > p.maxDepth {
 				p.effDepth = p.maxDepth
 			}
+			p.qDepth.Store(int64(p.effDepth))
 			continue
 		}
 		if p.policy == DropOldest {
@@ -348,6 +456,7 @@ func (p *Pipeline) enqueueBatchLocked(j *job, shed *[]*job) error {
 				if q.isBatch {
 					p.queue = append(p.queue[:i], p.queue[i+1:]...)
 					p.batches--
+					p.qBatches.Store(int64(p.batches))
 					*shed = append(*shed, q)
 					break
 				}
@@ -357,6 +466,7 @@ func (p *Pipeline) enqueueBatchLocked(j *job, shed *[]*job) error {
 		p.cond.Wait()
 	}
 	p.batches++
+	p.qBatches.Store(int64(p.batches))
 	if hw := int64(p.batches); hw > p.highWater.Load() {
 		p.highWater.Store(hw)
 	}
@@ -412,6 +522,7 @@ func (p *Pipeline) runner() {
 		p.queue = p.queue[:len(p.queue)-1]
 		if j.isBatch {
 			p.batches--
+			p.qBatches.Store(int64(p.batches))
 			// Shrink a burst-grown queue back toward the configured depth
 			// whenever the runner fully catches up: the burst is over, and
 			// the smaller bound restores the ingest-to-result latency cap.
@@ -420,6 +531,7 @@ func (p *Pipeline) runner() {
 				if p.effDepth < p.depth {
 					p.effDepth = p.depth
 				}
+				p.qDepth.Store(int64(p.effDepth))
 			}
 		}
 		failed := p.err != nil
@@ -442,16 +554,61 @@ func (p *Pipeline) runner() {
 				// may still run — undefined state either way.)
 				continue
 			}
-			p.apply(j)
+			cycleNS := p.apply(j)
+			if p.gov != nil {
+				p.observeGovernor(cycleNS)
+			}
 		}
 	}
 }
 
-// apply runs one batch. The sharded fast path submits the cycle and hands
-// its ticket to the delivery stage, freeing this goroutine to apply the
-// next batch while the shards still work; other monitors process the cycle
-// here, synchronously.
-func (p *Pipeline) apply(j *job) {
+// memSampleEvery spaces the governor's memory-watermark observations: the
+// engine footprint walk is not free (on the sharded monitors it drains the
+// shard queues), so the runner samples it every memSampleEvery applied
+// batches rather than per cycle. Memory moves on window scale, not batch
+// scale, so the lag is bounded and harmless.
+const memSampleEvery = 16
+
+// observeGovernor feeds the runner's post-apply signals to the admission
+// governor: the queue occupancy and cycle time it just drained, the
+// busiest shard's backlog when the wrapped monitor exposes one, and —
+// every memSampleEvery batches — the engine footprint plus the process
+// heap. Runs on the runner goroutine with no pipeline locks held.
+func (p *Pipeline) observeGovernor(cycleNS int64) {
+	p.gov.ObserveDrain(int(p.qBatches.Load()), int(p.qDepth.Load()), cycleNS)
+	if ls, ok := p.mon.(interface{ LoadSignal() (int, int, int64) }); ok {
+		depth, capacity, ewmaNS := ls.LoadSignal()
+		p.gov.ObserveShard(depth, capacity, ewmaNS)
+	}
+	p.appliedBatches++
+	if p.appliedBatches%memSampleEvery == 0 {
+		p.gov.ObserveMemory(p.mon.MemoryBytes(), heapInUseBytes())
+	}
+}
+
+// heapMetric is the runtime/metrics gauge backing the governor's
+// process-memory signal: bytes of live heap objects, the figure that
+// actually grows when the engine's window state does.
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// heapInUseBytes reads the process-heap figure for the memory watermark.
+func heapInUseBytes() int64 {
+	s := [1]metrics.Sample{{Name: heapMetric}}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return int64(s[0].Value.Uint64())
+	}
+	return 0
+}
+
+// apply runs one batch and returns the cycle's wall time in nanoseconds on
+// the synchronous path (zero on the async fast path, where submission
+// returns before the shards finish and the hot-shard EWMA carries the
+// latency signal instead). The sharded fast path submits the cycle and
+// hands its ticket to the delivery stage, freeing this goroutine to apply
+// the next batch while the shards still work; other monitors process the
+// cycle here, synchronously.
+func (p *Pipeline) apply(j *job) int64 {
 	if as, ok := p.mon.(asyncStepper); ok {
 		var t *shard.Ticket
 		var err error
@@ -464,8 +621,9 @@ func (p *Pipeline) apply(j *job) {
 			p.recordErr(err)
 		}
 		p.deliveries <- delivery{ticket: t, err: err}
-		return
+		return 0
 	}
+	start := time.Now()
 	var updates []core.Update
 	var err error
 	if j.isUpdate {
@@ -473,6 +631,7 @@ func (p *Pipeline) apply(j *job) {
 	} else {
 		updates, err = p.mon.Step(j.now, j.arrivals)
 	}
+	cycleNS := time.Since(start).Nanoseconds()
 	if err != nil {
 		// Record here, on the runner, not only at the delivery stage: the
 		// next queued batch is dequeued immediately after this return, and
@@ -481,6 +640,7 @@ func (p *Pipeline) apply(j *job) {
 		p.recordErr(err)
 	}
 	p.deliveries <- delivery{updates: updates, err: err}
+	return cycleNS
 }
 
 // deliverer resolves completed cycles in submission order and forwards

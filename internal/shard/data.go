@@ -758,6 +758,23 @@ func (d *DataSharded) ShardLoads() []ShardLoad {
 	return per
 }
 
+// LoadSignal returns a lock-free snapshot of the busiest shard's ingest
+// pressure (deepest job queue, capacity, largest EWMA cycle time) — see
+// Sharded.LoadSignal. Data-partitioned cycles are per-cycle barriers, so
+// queue depth rarely exceeds one, but the EWMA still carries the
+// hot-shard latency signal.
+func (d *DataSharded) LoadSignal() (depth, capacity int, ewmaNS int64) {
+	return loadSignal(d.workers)
+}
+
+// ResetLoadStats clears the per-worker cycle-time EWMAs — see
+// Sharded.ResetLoadStats.
+func (d *DataSharded) ResetLoadStats() {
+	for _, w := range d.workers {
+		w.ewmaNS.Store(0)
+	}
+}
+
 // ShardMemoryBytes returns each shard engine's individual footprint —
 // under data partitioning each entry is O(N/shards), the property the
 // partition benchmark asserts.

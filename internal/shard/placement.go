@@ -31,6 +31,13 @@ type ShardLoad struct {
 	// only: placement and rebalancing decide on Cost, which is
 	// deterministic for a given stream, so decisions are reproducible.
 	EWMACycleNS int64
+	// QueueDepth is the number of cycles queued on the shard's bounded
+	// job channel at gather time (capacity QueueCap) — nonzero only under
+	// pipelined ingestion, where it is the per-shard backlog signal the
+	// admission governor sheds on.
+	QueueDepth int
+	// QueueCap is the job channel's capacity.
+	QueueCap int
 	// Cost is the cumulative attributed maintenance cost of the queries
 	// currently on the shard (see core.Stats: influence events + cells
 	// processed + heap ops + cells walked).
@@ -62,7 +69,9 @@ func gatherLoad(i int, w *worker) ShardLoad {
 	return ShardLoad{
 		Shard:                 i,
 		Queries:               w.eng.NumQueries(),
-		EWMACycleNS:           w.ewmaNS,
+		EWMACycleNS:           w.ewmaNS.Load(),
+		QueueDepth:            len(w.jobs),
+		QueueCap:              cap(w.jobs),
 		Cost:                  cost,
 		MemoryBytes:           mem,
 		MemoryHighWater:       st.MemoryHighWater,

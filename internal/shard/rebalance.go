@@ -273,7 +273,7 @@ func (s *Sharded) rebalanceLocked() {
 				loads[j] = queryLoad{id: w.localToGlobal[qc.ID], delta: qc.Cost}
 			}
 			per[i] = loads
-			ewmas[i] = w.ewmaNS
+			ewmas[i] = w.ewmaNS.Load()
 		}
 	}
 	wg.Wait()

@@ -129,19 +129,22 @@ type worker struct {
 	stopped       chan struct{}
 	localToGlobal map[core.QueryID]core.QueryID
 	// ewmaNS smooths the shard's per-cycle wall time (alpha 0.2). Written
-	// and read on the worker goroutine only (cycle jobs, load gathers).
-	ewmaNS int64
+	// on the worker goroutine only (cycle jobs); atomic because the
+	// lock-free LoadSignal read crosses goroutines — the admission
+	// governor samples it from the pipeline runner while cycles run.
+	ewmaNS atomic.Int64
 }
 
 // noteCycle folds one cycle's wall time into the worker's EWMA. It runs on
-// the worker goroutine.
+// the worker goroutine (the only writer).
 func (w *worker) noteCycle(d time.Duration) {
 	ns := d.Nanoseconds()
-	if w.ewmaNS == 0 {
-		w.ewmaNS = ns
+	prev := w.ewmaNS.Load()
+	if prev == 0 {
+		w.ewmaNS.Store(ns)
 		return
 	}
-	w.ewmaNS += (ns - w.ewmaNS) / 5
+	w.ewmaNS.Store(prev + (ns-prev)/5)
 }
 
 func (w *worker) loop() {
@@ -677,6 +680,42 @@ func (s *Sharded) ShardLoads() []ShardLoad {
 	}
 	s.mu.Unlock()
 	return per
+}
+
+// LoadSignal returns a lock-free snapshot of the busiest shard's ingest
+// pressure: the deepest per-shard job queue, the queue capacity, and the
+// largest per-shard EWMA cycle time. Unlike ShardLoads it never touches
+// the worker goroutines (channel length and atomic reads only), so the
+// admission governor can sample it from the pipeline runner without
+// stalling in-flight cycles. The figures are approximate by nature —
+// queue depths move concurrently — which is all a load controller needs.
+func (s *Sharded) LoadSignal() (depth, capacity int, ewmaNS int64) {
+	return loadSignal(s.workers)
+}
+
+// loadSignal is LoadSignal over any worker set, shared by both layouts.
+func loadSignal(workers []*worker) (depth, capacity int, ewmaNS int64) {
+	for _, w := range workers {
+		if d := len(w.jobs); d > depth {
+			depth = d
+		}
+		if e := w.ewmaNS.Load(); e > ewmaNS {
+			ewmaNS = e
+		}
+	}
+	return depth, jobQueueDepth, ewmaNS
+}
+
+// ResetLoadStats clears the per-worker cycle-time EWMAs so the next cycle
+// seeds them fresh. Bulk initialization (window prefill, query
+// registration) runs through the same workers as live cycles but costs
+// orders of magnitude more; a driver that measures — or feeds the signal
+// to the admission governor — calls this at measurement start so stale
+// init latency cannot masquerade as overload.
+func (s *Sharded) ResetLoadStats() {
+	for _, w := range s.workers {
+		w.ewmaNS.Store(0)
+	}
 }
 
 // Migrations returns the number of live query migrations executed so far

@@ -3,6 +3,7 @@ package topkmon
 import (
 	"io"
 
+	"topkmon/internal/admission"
 	"topkmon/internal/core"
 	"topkmon/internal/geom"
 	"topkmon/internal/pipeline"
@@ -55,6 +56,17 @@ type (
 	// QueryMove names one query's migration target; a batch of them is
 	// executed under a single drain barrier by Monitor.MigrateQueries.
 	QueryMove = shard.QueryMove
+	// AdmissionConfig tunes the load-shedding governor enabled by
+	// WithAdmission: AIMD rate bounds, RED watermarks, the per-cycle
+	// latency target and the memory limit. The zero value selects workable
+	// defaults for every field.
+	AdmissionConfig = admission.Config
+	// AdmissionState is the governor's degradation level: AdmissionNormal,
+	// AdmissionShedding or AdmissionCritical.
+	AdmissionState = admission.State
+	// AdmissionSnapshot is a consistent read of the governor's state, rate
+	// and shed/staleness counters (see Monitor.AdmissionStats).
+	AdmissionSnapshot = admission.Snapshot
 )
 
 // Sentinel errors, re-exported so callers can errors.Is-classify failures
@@ -76,6 +88,11 @@ var (
 	// ErrVersion is reported by Restore when the on-disk format was
 	// written by an incompatible build.
 	ErrVersion = recovery.ErrVersion
+	// ErrOverloaded is reported (wrapped) by Ingest/IngestUpdate when the
+	// admission governor sheds the batch under the Block backpressure
+	// policy: the system is protecting itself, not failing. Producers
+	// should back off and retry; the batch was counted and drop-logged.
+	ErrOverloaded = admission.ErrOverloaded
 )
 
 // Monitoring policies.
@@ -95,6 +112,22 @@ const (
 	// UpdateStream is the explicit-deletion model of Section 7: tuples stay
 	// valid until deleted by id. SMA is unavailable in this mode.
 	UpdateStream = core.UpdateStream
+)
+
+// Admission-control degradation levels (see WithAdmission and the
+// package doc's overload section).
+const (
+	// AdmissionNormal admits every batch: the engine keeps up.
+	AdmissionNormal = admission.Normal
+	// AdmissionShedding bounds the admitted rate to the measured drain
+	// rate and thins bursts probabilistically; shed batches surface in
+	// Stats.DroppedBatches and as ErrOverloaded under Block.
+	AdmissionShedding = admission.Shedding
+	// AdmissionCritical admits nothing but deletions until memory falls
+	// back below the configured limit's low fraction: arrivals are
+	// stripped while cycles (and window expiry) keep running, so state
+	// shrinks instead of growing.
+	AdmissionCritical = admission.Critical
 )
 
 // Synthetic workload distributions.

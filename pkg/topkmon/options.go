@@ -121,6 +121,8 @@ type config struct {
 	pipeDepth          int
 	pipeMaxDepth       int
 	backpressure       Backpressure
+	admission          *AdmissionConfig
+	memLimit           int64
 	noQueryIndex       bool
 	checkpointDir      string
 	checkpointEvery    int
@@ -211,6 +213,41 @@ func WithAdaptiveDepth(max int) Option { return func(c *config) { c.pipeMaxDepth
 // (load-shedding, counted in Stats.DroppedBatches). It has no effect
 // without WithPipeline.
 func WithBackpressure(b Backpressure) Option { return func(c *config) { c.backpressure = b } }
+
+// WithAdmission enables the load-shedding admission governor in front of
+// the pipelined ingest queue (requires WithPipeline; New rejects other
+// combinations). Under sustained overload the governor degrades service
+// in bounded, observable steps instead of letting the queue, the latency
+// or the memory footprint grow without limit: an AIMD rate controller
+// converges the admitted batch rate onto what the engine actually drains,
+// a RED-style dropper thins bursts probabilistically as smoothed queue
+// occupancy climbs between the config's watermarks, and a memory
+// watermark (see WithMemoryLimit) forces the deletions-only Critical
+// state above a hard limit. Shed batches are counted in
+// Stats.DroppedBatches/DroppedTuples, drop-logged into the WAL on a
+// checkpointed monitor, and surface as ErrOverloaded from Ingest under
+// the Block backpressure policy. Decisions are deterministic given
+// cfg.Seed and the observed load, which is what the overload
+// differential suite leans on. The zero AdmissionConfig is valid:
+// defaults throughout, no memory limit. See the package doc's "Overload
+// and admission control" section for the state machine and the
+// bounded-staleness contract.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(c *config) { c.admission = &cfg }
+}
+
+// WithMemoryLimit sets the admission governor's hard memory limit in
+// bytes and enables the governor if WithAdmission did not (requires
+// WithPipeline). When the larger of the engine's cap-aware footprint and
+// the process heap crosses the limit's high fraction (default 0.9), the
+// monitor enters the Critical state: arrivals are stripped from admitted
+// batches while cycles — and window expiry — keep running, so state
+// shrinks until memory falls below the low fraction (default 0.7) and
+// normal admission resumes through the Shedding hysteresis. It overrides
+// any MemLimit set in WithAdmission's config.
+func WithMemoryLimit(bytes int64) Option {
+	return func(c *config) { c.memLimit = bytes }
+}
 
 // WithPolicy sets the default maintenance policy used by RegisterTopK.
 // Queries registered through Register carry their own policy in the spec.

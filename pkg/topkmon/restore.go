@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"topkmon/internal/admission"
 	"topkmon/internal/pipeline"
 	"topkmon/internal/recovery"
 	"topkmon/internal/shard"
@@ -27,6 +28,11 @@ type facadeAux struct {
 	Backpressure       int     `json:"backpressure,omitempty"`
 	Every              int     `json:"every,omitempty"`
 	Sync               bool    `json:"sync,omitempty"`
+	// Admission is the governor configuration (nil when admission control
+	// is off). Only the configuration is durable: a restored monitor's
+	// governor starts fresh in Normal — shed counters and smoothed
+	// occupancy describe the dead process's load, not the new one's.
+	Admission *AdmissionConfig `json:"admission,omitempty"`
 }
 
 // walSync translates the boolean option to the recovery policy.
@@ -53,6 +59,7 @@ func facadeAuxBytes(cfg *config) ([]byte, error) {
 		Backpressure:       int(cfg.backpressure),
 		Every:              cfg.checkpointEvery,
 		Sync:               cfg.checkpointSync,
+		Admission:          cfg.admission,
 	}
 	switch cfg.placement.(type) {
 	case nil:
@@ -137,12 +144,17 @@ func Restore(dir string, opts ...Option) (*Monitor, error) {
 	}
 
 	if st.PipeDepth > 0 {
-		m.pipe = pipeline.New(m.mon, pipeline.Options{
+		popts := pipeline.Options{
 			Depth:    st.PipeDepth,
 			MaxDepth: st.PipeMaxDepth,
 			Policy:   pipeline.Policy(st.Backpressure),
 			DropLog:  g,
-		})
+		}
+		if st.Admission != nil {
+			m.gov = admission.New(*st.Admission)
+			popts.Admission = m.gov
+		}
+		m.pipe = pipeline.New(m.mon, popts)
 		m.mon = m.pipe
 	}
 	return m, nil

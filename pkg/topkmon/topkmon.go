@@ -108,6 +108,7 @@ import (
 	"fmt"
 	"sync"
 
+	"topkmon/internal/admission"
 	"topkmon/internal/core"
 	"topkmon/internal/pipeline"
 	"topkmon/internal/recovery"
@@ -123,8 +124,9 @@ import (
 // single engines.
 type Monitor struct {
 	mon    core.StreamMonitor
-	pipe   *pipeline.Pipeline // non-nil under WithPipeline; then mon == pipe
-	guard  *recovery.Guard    // non-nil under WithCheckpoint; sits inside the pipeline
+	pipe   *pipeline.Pipeline  // non-nil under WithPipeline; then mon == pipe
+	guard  *recovery.Guard     // non-nil under WithCheckpoint; sits inside the pipeline
+	gov    *admission.Governor // non-nil under WithAdmission/WithMemoryLimit
 	policy Policy
 	shards int
 
@@ -153,6 +155,15 @@ func New(dims int, opts ...Option) (*Monitor, error) {
 	}
 	if cfg.rebalanceInterval > 0 && cfg.shards <= 1 {
 		return nil, fmt.Errorf("topkmon: WithRebalance requires WithShards(n > 1)")
+	}
+	if cfg.memLimit > 0 {
+		if cfg.admission == nil {
+			cfg.admission = &AdmissionConfig{}
+		}
+		cfg.admission.MemLimit = cfg.memLimit
+	}
+	if cfg.admission != nil && cfg.pipeDepth <= 0 {
+		return nil, fmt.Errorf("topkmon: WithAdmission/WithMemoryLimit require WithPipeline: the governor fronts the ingest queue")
 	}
 	if cfg.fmaKernels {
 		if cfg.checkpointDir != "" {
@@ -214,9 +225,14 @@ func New(dims int, opts ...Option) (*Monitor, error) {
 			Policy:   pipeline.Policy(cfg.backpressure),
 		}
 		if m.guard != nil {
-			// Batches shed under DropOldest get advisory WAL records, so
-			// load shedding stays visible in the durable lineage.
+			// Batches shed under DropOldest or by the admission governor get
+			// advisory WAL records, so load shedding stays visible in the
+			// durable lineage.
 			popts.DropLog = m.guard
+		}
+		if cfg.admission != nil {
+			m.gov = admission.New(*cfg.admission)
+			popts.Admission = m.gov
 		}
 		m.pipe = pipeline.New(m.mon, popts)
 		m.mon = m.pipe
@@ -268,6 +284,33 @@ func (m *Monitor) Flush() error {
 		return fmt.Errorf("topkmon: Flush requires WithPipeline")
 	}
 	return m.pipe.Flush()
+}
+
+// AdmissionControlled reports whether the monitor runs with the
+// load-shedding governor (WithAdmission or WithMemoryLimit).
+func (m *Monitor) AdmissionControlled() bool { return m.gov != nil }
+
+// AdmissionState returns the governor's current degradation level:
+// AdmissionNormal (everything admitted — also the answer when admission
+// control is disabled), AdmissionShedding (rate-bounded probabilistic
+// admission) or AdmissionCritical (deletions only, memory over the
+// limit). The read is lock-free and safe to poll from a stats loop.
+func (m *Monitor) AdmissionState() AdmissionState {
+	if m.gov == nil {
+		return AdmissionNormal
+	}
+	return m.gov.State()
+}
+
+// AdmissionStats returns a snapshot of the governor's state, admitted
+// rate and shed/staleness counters; the zero Snapshot when admission
+// control is disabled. SheddingDrains and CriticalDrains count the cycles
+// processed while degraded — the bounded-staleness figure.
+func (m *Monitor) AdmissionStats() AdmissionSnapshot {
+	if m.gov == nil {
+		return AdmissionSnapshot{}
+	}
+	return m.gov.Snapshot()
 }
 
 // Checkpointed reports whether the monitor runs with durability
